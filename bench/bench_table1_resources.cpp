@@ -1,0 +1,54 @@
+// Reproduces paper Table 1: "Initial set of resources with delays"
+// (artisan_90nm_typical, 32-bit units, Tclk = 1600 ps).
+//
+//   resource   mul  add  gt   neq  ff     mux2  mux3
+//   delay(ps)  930  350  220  60   40/70  110   115
+#include <cstdio>
+
+#include "support/table.hpp"
+#include "tech/library.hpp"
+
+int main() {
+  using namespace hls;
+  const auto& lib = tech::artisan90();
+
+  std::printf("Table 1: initial set of resources with delays (%s)\n\n",
+              lib.name().c_str());
+  TextTable t({"resource", "paper (ps)", "model (ps)", "match"});
+  struct Row {
+    const char* name;
+    double paper;
+    double model;
+  };
+  const Row rows[] = {
+      {"mul", 930, lib.fu_delay_ps(tech::FuClass::kMultiplier, 32)},
+      {"add", 350, lib.fu_delay_ps(tech::FuClass::kAdder, 32)},
+      {"gt", 220, lib.fu_delay_ps(tech::FuClass::kCompareOrd, 32)},
+      {"neq", 60, lib.fu_delay_ps(tech::FuClass::kCompareEq, 32)},
+      {"ff (clk-to-q)", 40, lib.reg_clk_to_q_ps()},
+      {"mux2", 110, lib.mux_delay_ps(2)},
+      {"mux3", 115, lib.mux_delay_ps(3)},
+  };
+  bool all = true;
+  for (const Row& r : rows) {
+    const bool ok = r.paper == r.model;
+    all &= ok;
+    t.row({r.name, fmt_fixed(r.paper, 0), fmt_fixed(r.model, 0),
+           ok ? "exact" : "DIFFERS"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Width scaling (delay ps at 8/16/32/64 bits):\n");
+  TextTable s({"resource", "8", "16", "32", "64"});
+  for (auto cls : {tech::FuClass::kMultiplier, tech::FuClass::kAdder,
+                   tech::FuClass::kCompareOrd, tech::FuClass::kCompareEq}) {
+    s.row({tech::fu_class_name(cls), fmt_fixed(lib.fu_delay_ps(cls, 8), 0),
+           fmt_fixed(lib.fu_delay_ps(cls, 16), 0),
+           fmt_fixed(lib.fu_delay_ps(cls, 32), 0),
+           fmt_fixed(lib.fu_delay_ps(cls, 64), 0)});
+  }
+  std::printf("%s\n", s.to_string().c_str());
+  std::printf("RESULT: %s\n", all ? "all Table 1 delays reproduce exactly"
+                                  : "MISMATCH against Table 1");
+  return all ? 0 : 1;
+}

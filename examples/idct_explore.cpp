@@ -1,0 +1,62 @@
+// The paper's Section VI design-space exploration: the IDCT used in video
+// decoding, swept over pipelined and non-pipelined micro-architectures and
+// clock periods (Figures 10 and 11). Prints the (delay, area, power)
+// points per curve and marks the Pareto frontier.
+//
+//   $ ./examples/idct_explore
+#include <algorithm>
+#include <cstdio>
+
+#include "core/explore.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hls;
+
+  const auto grid = core::idct_paper_grid();
+  std::printf("Running %zu HLS + synthesis-estimate configurations...\n\n",
+              grid.size());
+  auto points = core::explore([] { return workloads::make_idct8(); }, grid);
+
+  TextTable table({"curve", "Tclk(ps)", "delay(ns)", "area", "power(mW)",
+                   "pareto"});
+  // Pareto: no other feasible point has both lower delay and lower area.
+  auto is_pareto = [&](const core::ExplorePoint& p) {
+    if (!p.feasible) return false;
+    return std::none_of(points.begin(), points.end(),
+                        [&](const core::ExplorePoint& q) {
+                          return q.feasible && q.delay_ns <= p.delay_ns &&
+                                 q.area < p.area &&
+                                 (q.delay_ns < p.delay_ns || q.area < p.area);
+                        });
+  };
+  for (const auto& p : points) {
+    if (!p.feasible) {
+      table.row({p.curve, strf(p.tclk_ps), "infeasible", "-", "-", ""});
+      continue;
+    }
+    table.row({p.curve, strf(p.tclk_ps), fmt_fixed(p.delay_ns, 1),
+               fmt_fixed(p.area, 0), fmt_fixed(p.power_mw, 2),
+               is_pareto(p) ? "*" : ""});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The paper's headline: the best area x delay corner is reached only by
+  // pipelining.
+  const core::ExplorePoint* best = nullptr;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    if (best == nullptr ||
+        p.delay_ns * p.area < best->delay_ns * best->area) {
+      best = &p;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("Best area x delay point: %s @ Tclk=%.0fps (delay %.1f ns, "
+                "area %.0f)%s\n",
+                best->curve.c_str(), best->tclk_ps, best->delay_ns,
+                best->area,
+                best->pipelined ? "  <- pipelined, as in the paper" : "");
+  }
+  return 0;
+}

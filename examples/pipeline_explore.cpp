@@ -1,0 +1,88 @@
+// Pipelining exploration on the paper's Example 1 (Sections IV-V):
+// sequential, pipelined II=2, and pipelined II=1 micro-architectures,
+// including the SCC window relaxation of Example 3 and the Table 3
+// area/throughput trade-off — then co-simulates each machine against the
+// untimed reference to demonstrate behavioural equivalence and measured
+// initiation intervals.
+//
+//   $ ./examples/pipeline_explore
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "workloads/example1.hpp"
+
+namespace {
+
+hls::workloads::Workload make() {
+  auto ex = hls::workloads::make_example1();
+  hls::workloads::Workload w;
+  w.name = "example1";
+  w.module = std::move(ex.module);
+  w.loop = ex.loop;
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hls;
+
+  TextTable table({"microarchitecture", "cycles/iter", "LI", "muls", "area",
+                   "measured II", "outputs match"});
+
+  for (int mode = 0; mode < 3; ++mode) {
+    core::FlowOptions opts;
+    const char* name = "Sequential (S)";
+    if (mode == 1) {
+      opts.pipeline_ii = 2;
+      name = "Pipe, II=2 (P2)";
+    } else if (mode == 2) {
+      opts.pipeline_ii = 1;
+      name = "Pipe, II=1 (P1)";
+    }
+    auto r = core::run_flow(make(), opts);
+    if (!r.success) {
+      std::printf("%s failed: %s\n", name, r.failure_reason.c_str());
+      continue;
+    }
+    std::printf("=== %s ===\n%s\n", name,
+                core::render_trace(r.sched).c_str());
+
+    // Co-simulate against the untimed reference.
+    Rng rng(2026);
+    ir::Stimulus s;
+    std::vector<std::int64_t> mask, chrome, scale, th;
+    for (int i = 0; i < 48; ++i) {
+      mask.push_back(rng.uniform(1, 500));
+      chrome.push_back(rng.uniform(1, 500));
+      scale.push_back(rng.uniform(-8, 8));
+      th.push_back(rng.uniform(-400, 400));
+    }
+    s.set("mask", mask);
+    s.set("chrome", chrome);
+    s.set("scale", scale);
+    s.set("th", th);
+    const auto ref = ir::interpret(*r.module, s);
+    const auto sim = rtl::simulate(r.machine, s);
+    const bool match = ir::writes_by_port(*r.module, ref.writes) ==
+                       ir::writes_by_port(*r.module, sim.writes);
+
+    int muls = 0;
+    for (const auto& p : r.sched.schedule.resources.pools) {
+      if (p.cls == tech::FuClass::kMultiplier) muls = p.count;
+    }
+    table.row({name, strf(r.machine.loop.initiation_interval()),
+               strf(r.sched.schedule.num_steps), strf(muls),
+               fmt_fixed(r.area.total(), 0), fmt_fixed(sim.measured_ii(), 2),
+               match ? "yes" : "NO"});
+  }
+
+  std::printf(
+      "Comparing microarchitectures for Example 1 (paper Table 3: areas "
+      "16094 / 24010 / 30491):\n%s\n",
+      table.to_string().c_str());
+  return 0;
+}

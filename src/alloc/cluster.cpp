@@ -1,0 +1,79 @@
+#include "alloc/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace hls::alloc {
+
+using ir::OpId;
+using tech::FuClass;
+
+std::vector<std::vector<OpId>> ResourceSet::members() const {
+  std::vector<std::vector<OpId>> out(pools.size());
+  for (OpId id = 0; id < op_pool.size(); ++id) {
+    if (op_pool[id] >= 0) out[static_cast<std::size_t>(op_pool[id])].push_back(id);
+  }
+  return out;
+}
+
+int ResourceSet::total_instances() const {
+  int n = 0;
+  for (const ResourcePool& p : pools) n += p.count;
+  return n;
+}
+
+ResourceSet cluster_resources(const ir::Dfg& dfg,
+                              const std::vector<OpId>& region_ops,
+                              const tech::Library& lib) {
+  ResourceSet out;
+  out.op_pool.assign(dfg.size(), -1);
+
+  // Group by class.
+  std::map<FuClass, std::vector<OpId>> by_class;
+  for (OpId id : region_ops) {
+    const FuClass c = tech::fu_class_for(dfg, id);
+    if (c == FuClass::kNone) continue;
+    by_class[c].push_back(id);
+  }
+
+  for (auto& [cls, ops] : by_class) {
+    // Sort by width ascending; greedily cut when max would exceed 2*min.
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      const int wa = tech::resource_width_for(dfg, a);
+      const int wb = tech::resource_width_for(dfg, b);
+      return wa != wb ? wa < wb : a < b;
+    });
+    std::size_t start = 0;
+    int cluster_index = 0;
+    while (start < ops.size()) {
+      const int w_min = tech::resource_width_for(dfg, ops[start]);
+      std::size_t end = start;
+      int w_max = w_min;
+      while (end < ops.size()) {
+        const int w = tech::resource_width_for(dfg, ops[end]);
+        if (w > 2 * w_min) break;
+        w_max = std::max(w_max, w);
+        ++end;
+      }
+      ResourcePool pool;
+      pool.cls = cls;
+      pool.width = w_max;
+      pool.count = 0;
+      pool.latency_cycles = lib.fu_latency_cycles(cls);
+      pool.name = strf(tech::fu_class_name(cls), w_max,
+                       cluster_index > 0 ? strf("#", cluster_index) : "");
+      const int pool_idx = static_cast<int>(out.pools.size());
+      for (std::size_t i = start; i < end; ++i) {
+        out.op_pool[ops[i]] = pool_idx;
+      }
+      out.pools.push_back(std::move(pool));
+      ++cluster_index;
+      start = end;
+    }
+  }
+  return out;
+}
+
+}  // namespace hls::alloc

@@ -1,0 +1,45 @@
+// Resource type clustering (paper Section IV.A): operations map to
+// resource types combining the operation class with operand/result widths.
+// "E.g. A1[7:0] + B1[4:0] and A2[5:0] + B2[6:0] could be implemented by an
+// 8x6 bit adder. We do not merge resources of very different bit widths."
+//
+// Clustering rule: within one function-unit class, ops are merged into one
+// pool while the pool's max width is at most twice its min width.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "tech/library.hpp"
+
+namespace hls::alloc {
+
+struct ResourcePool {
+  tech::FuClass cls = tech::FuClass::kNone;
+  int width = 0;          ///< instance width = max member width
+  int count = 0;          ///< number of instances (set by the estimator)
+  int latency_cycles = 0; ///< >0 for multi-cycle units
+  std::string name;       ///< e.g. "mul32", "add32#1"
+};
+
+struct ResourceSet {
+  std::vector<ResourcePool> pools;
+  /// Pool index per OpId; -1 for ops that need no function unit.
+  std::vector<int> op_pool;
+
+  int pool_of(ir::OpId op) const {
+    return op < op_pool.size() ? op_pool[op] : -1;
+  }
+  /// Ops mapped to each pool.
+  std::vector<std::vector<ir::OpId>> members() const;
+  /// Total instances across pools.
+  int total_instances() const;
+};
+
+/// Builds pools for the given region ops (count fields left at 0).
+ResourceSet cluster_resources(const ir::Dfg& dfg,
+                              const std::vector<ir::OpId>& region_ops,
+                              const tech::Library& lib);
+
+}  // namespace hls::alloc

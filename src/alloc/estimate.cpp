@@ -1,0 +1,93 @@
+#include "alloc/estimate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::alloc {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::OpId;
+
+bool mutually_exclusive(const Dfg& dfg, OpId a, OpId b) {
+  const ir::Op& oa = dfg.op(a);
+  const ir::Op& ob = dfg.op(b);
+  return oa.pred != kNoOp && oa.pred == ob.pred &&
+         oa.pred_value != ob.pred_value;
+}
+
+namespace {
+
+/// Effective op count after pairing off mutually exclusive ops: per
+/// predicate op, the true-side and false-side ops can share instances
+/// pairwise, so they contribute max(#true, #false) instead of the sum.
+int effective_count(const Dfg& dfg, const std::vector<OpId>& ops) {
+  int unpredicated = 0;
+  std::map<OpId, std::pair<int, int>> by_pred;  // pred -> (true, false)
+  for (OpId id : ops) {
+    const ir::Op& o = dfg.op(id);
+    if (o.pred == kNoOp) {
+      ++unpredicated;
+    } else if (o.pred_value) {
+      ++by_pred[o.pred].first;
+    } else {
+      ++by_pred[o.pred].second;
+    }
+  }
+  int n = unpredicated;
+  for (const auto& [pred, tf] : by_pred) {
+    n += std::max(tf.first, tf.second);
+  }
+  return n;
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+ResourceSet estimate_initial_counts(const Dfg& dfg, ResourceSet set,
+                                    const LifespanResult& spans,
+                                    int num_steps,
+                                    const EstimateOptions& opts) {
+  const auto members = set.members();
+  for (std::size_t p = 0; p < set.pools.size(); ++p) {
+    const auto& ops = members[p];
+    if (ops.empty()) {
+      set.pools[p].count = 0;
+      continue;
+    }
+    const int occupancy = std::max(1, set.pools[p].latency_cycles);
+    int demand = 1;
+    // Interval analysis over all [a, b] step windows.
+    for (int a = 0; a < num_steps; ++a) {
+      for (int b = a; b < num_steps; ++b) {
+        std::vector<OpId> inside;
+        for (OpId id : ops) {
+          const OpSpan& sp = spans.spans[id];
+          if (sp.asap >= a && sp.alap <= b) inside.push_back(id);
+        }
+        if (inside.empty()) continue;
+        const int n = opts.use_mutual_exclusivity
+                          ? effective_count(dfg, inside)
+                          : static_cast<int>(inside.size());
+        demand = std::max(
+            demand, ceil_div(n * occupancy, b - a + 1));
+      }
+    }
+    if (opts.pipeline_ii > 0) {
+      // An instance is busy on all steps equivalent modulo II, so it offers
+      // at most II slots regardless of the latency interval.
+      const int n = opts.use_mutual_exclusivity
+                        ? effective_count(dfg, ops)
+                        : static_cast<int>(ops.size());
+      demand = std::max(demand,
+                        ceil_div(n * occupancy, opts.pipeline_ii));
+    }
+    set.pools[p].count = demand;
+  }
+  return set;
+}
+
+}  // namespace hls::alloc

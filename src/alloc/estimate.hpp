@@ -1,0 +1,36 @@
+// Initial resource set estimation (paper Section IV.A).
+//
+// For each resource pool, a lower bound on the instance count is derived
+// from interval demand over the timing-aware ASAP/ALAP life spans: for
+// every step interval I, the ops that must execute inside I (span ⊆ I)
+// need at least ceil(N_eff / |I|) instances, where N_eff discounts pairs
+// of mutually exclusive operations (opposite predicate polarities from the
+// predicate transform). For pipelined loops each instance has only II
+// usable slots, adding the bound ceil(N_eff_total / II).
+#pragma once
+
+#include "alloc/cluster.hpp"
+#include "alloc/lifespan.hpp"
+
+namespace hls::alloc {
+
+struct EstimateOptions {
+  /// Pipelining initiation interval; 0 = not pipelined.
+  int pipeline_ii = 0;
+  /// Account for predicate-based mutual exclusivity (paper IV.A improves
+  /// over Sharma-Jain with this); disable for ablation studies.
+  bool use_mutual_exclusivity = true;
+};
+
+/// Fills `set.pools[*].count` with lower bounds and returns the updated
+/// set. `spans` must come from compute_lifespans over the same region.
+ResourceSet estimate_initial_counts(const ir::Dfg& dfg, ResourceSet set,
+                                    const LifespanResult& spans,
+                                    int num_steps,
+                                    const EstimateOptions& opts = {});
+
+/// True if two ops can never execute together: same predicate op with
+/// opposite polarity.
+bool mutually_exclusive(const ir::Dfg& dfg, ir::OpId a, ir::OpId b);
+
+}  // namespace hls::alloc

@@ -1,0 +1,42 @@
+// Timing-aware ASAP / ALAP life spans (paper Section IV.A).
+//
+// Improving on pure step-level mobility (Sharma-Jain), life spans are
+// computed with approximate timing: a greedy chain-packing pass walks the
+// DFG in topological order accumulating combinational delay (ignoring
+// sharing muxes, as the paper specifies for the initial estimate) and cuts
+// the chain at register boundaries when the usable cycle time would be
+// exceeded. ALAP mirrors the pass from the region's deadline.
+#pragma once
+
+#include <vector>
+
+#include "ir/region.hpp"
+#include "tech/library.hpp"
+
+namespace hls::alloc {
+
+struct OpSpan {
+  int asap = 0;
+  int alap = 0;
+  /// Optimistic arrival of the op's output within its ASAP step (ps).
+  double asap_arrival_ps = 0;
+  bool in_region = false;
+
+  int mobility() const { return alap - asap; }
+};
+
+struct LifespanResult {
+  std::vector<OpSpan> spans;  ///< indexed by OpId; in_region marks members
+  bool feasible = true;       ///< false if some op has alap < asap
+  ir::OpId first_infeasible = ir::kNoOp;
+};
+
+/// Computes spans for all ops of `region` over `num_steps` control steps.
+/// If `anchor_io` is true (timed regions), reads/writes are pinned to their
+/// home step.
+LifespanResult compute_lifespans(const ir::Dfg& dfg,
+                                 const ir::LinearRegion& region,
+                                 int num_steps, const tech::Library& lib,
+                                 double tclk_ps, bool anchor_io);
+
+}  // namespace hls::alloc

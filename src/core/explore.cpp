@@ -1,0 +1,68 @@
+#include "core/explore.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace hls::core {
+
+std::vector<ExplorePoint> explore(
+    const std::function<workloads::Workload()>& make_workload,
+    const std::vector<ExploreConfig>& configs) {
+  std::vector<ExplorePoint> points;
+  points.reserve(configs.size());
+  for (const ExploreConfig& cfg : configs) {
+    FlowOptions opts;
+    opts.tclk_ps = cfg.tclk_ps;
+    opts.pipeline_ii = cfg.pipeline_ii;
+    opts.latency_min = cfg.latency;
+    opts.latency_max = cfg.latency;
+    ExplorePoint pt;
+    pt.curve = cfg.curve;
+    pt.tclk_ps = cfg.tclk_ps;
+    pt.latency = cfg.latency;
+    pt.pipelined = cfg.pipeline_ii > 0;
+    try {
+      FlowResult r = run_flow(make_workload(), opts);
+      if (r.success) {
+        pt.feasible = true;
+        pt.delay_ns = r.delay_ns;
+        pt.area = r.area.total();
+        pt.power_mw = r.power.total_mw();
+      }
+    } catch (const InternalError&) {
+      // Clock infeasible for the library (e.g. a multiplier cannot fit):
+      // the configuration is reported as infeasible, like a failed run.
+    }
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+std::vector<ExploreConfig> idct_paper_grid() {
+  // 5 micro-architectures x 5 clock periods = 25 runs (paper Section VI:
+  // "We performed 25 HLS and logic synthesis runs").
+  struct Arch {
+    const char* name;
+    int latency;
+    int ii;  // 0 = sequential
+  };
+  const Arch archs[] = {
+      {"Non-Pipelined 8", 8, 0},   {"Non-Pipelined 16", 16, 0},
+      {"Non-Pipelined 32", 32, 0}, {"Pipelined 16", 16, 8},
+      {"Pipelined 32", 32, 16},
+  };
+  const double clocks[] = {1300, 1450, 1600, 1850, 2200};
+  std::vector<ExploreConfig> grid;
+  for (const Arch& a : archs) {
+    for (double t : clocks) {
+      ExploreConfig cfg;
+      cfg.curve = a.name;
+      cfg.tclk_ps = t;
+      cfg.latency = a.latency;
+      cfg.pipeline_ii = a.ii;
+      grid.push_back(cfg);
+    }
+  }
+  return grid;
+}
+
+}  // namespace hls::core

@@ -1,0 +1,42 @@
+// Design-space exploration (paper Section VI, Figures 10-11): sweep
+// micro-architectures (sequential / pipelined x latency x clock) and
+// collect (delay, area, power) points per curve.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace hls::core {
+
+struct ExplorePoint {
+  std::string curve;    ///< e.g. "Pipelined 32", "Non-Pipelined 16"
+  double tclk_ps = 0;
+  int latency = 0;      ///< LI of the configuration
+  bool pipelined = false;
+  double delay_ns = 0;  ///< II x Tclk (inverse throughput)
+  double area = 0;
+  double power_mw = 0;
+  bool feasible = false;
+};
+
+struct ExploreConfig {
+  std::string curve;
+  double tclk_ps = 0;
+  int latency = 0;       ///< target LI (used as both min and max bound)
+  int pipeline_ii = 0;   ///< 0 = sequential
+};
+
+/// Runs the flow once per configuration on fresh copies of the workload.
+std::vector<ExplorePoint> explore(
+    const std::function<workloads::Workload()>& make_workload,
+    const std::vector<ExploreConfig>& configs);
+
+/// The paper's IDCT experiment grid: pipelined and non-pipelined
+/// micro-architectures with latencies {8, 16, 32}, clock scaled so each
+/// curve spans a range of delays (25 configurations).
+std::vector<ExploreConfig> idct_paper_grid();
+
+}  // namespace hls::core

@@ -1,0 +1,63 @@
+// The end-to-end HLS flow facade (paper Figure 2): optimizer →
+// micro-architecture (pipelining directive) → simultaneous scheduling and
+// binding → output generation (RTL model + Verilog) → synthesis estimates.
+//
+//   core::FlowOptions opts;
+//   opts.tclk_ps = 1600;
+//   opts.pipeline_ii = 2;                  // 0 = sequential
+//   auto result = core::run_flow(workloads::make_idct8(), opts);
+//   std::cout << result.sched.schedule.to_table(result.module->thread.dfg);
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "rtl/sim.hpp"
+#include "rtl/verilog.hpp"
+#include "sched/driver.hpp"
+#include "synth/power.hpp"
+#include "synth/recovery.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hls::core {
+
+struct FlowOptions {
+  double tclk_ps = 1600;
+  const tech::Library* lib = nullptr;  ///< defaults to artisan90
+  /// 0 = sequential micro-architecture; >0 = pipeline with this II.
+  int pipeline_ii = 0;
+  /// Override the loop's latency bound (0 keeps the designer's bound).
+  int latency_min = 0;
+  int latency_max = 0;
+  bool run_optimizer = true;
+  /// Paper feature switches, forwarded to the scheduler.
+  bool enable_chaining = true;
+  bool enable_move_scc = true;
+  bool avoid_comb_cycles = true;
+  bool use_mutual_exclusivity = true;
+  bool allow_accept_slack = true;
+  /// Emit Verilog text into the result (costs a little time).
+  bool emit_verilog = true;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::string failure_reason;
+  /// The transformed module (owned; machine and reports reference it).
+  std::unique_ptr<ir::Module> module;
+  ir::StmtId loop = ir::kNoStmt;
+  sched::SchedulerResult sched;
+  rtl::ModuleMachine machine;
+  synth::AreaReport area;
+  synth::PowerReport power;
+  std::string verilog;
+  double sched_seconds = 0;  ///< wall-clock scheduling time (Figure 9)
+
+  /// Delay in ns per iteration: II × Tclk (the paper's Figures 10-11 x
+  /// axis: "the delay is actually the inverse of the throughput").
+  double delay_ns = 0;
+};
+
+FlowResult run_flow(workloads::Workload workload, const FlowOptions& options);
+
+}  // namespace hls::core

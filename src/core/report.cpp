@@ -1,0 +1,123 @@
+#include "core/report.hpp"
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hls::core {
+
+std::string render_trace(const sched::SchedulerResult& r) {
+  std::string out;
+  for (const auto& pass : r.history) {
+    out += strf("pass ", pass.pass_number, " @ ", pass.num_steps, " states: ",
+                pass.success ? "success" : "failed", "\n");
+    for (const auto& restraint : pass.restraints) {
+      out += strf("  restraint: ", restraint, "\n");
+    }
+    if (!pass.action.empty()) out += strf("  action: ", pass.action, "\n");
+  }
+  return out;
+}
+
+std::string render_report(const FlowResult& r) {
+  if (!r.success) {
+    return strf("flow FAILED: ", r.failure_reason, "\n");
+  }
+  const ir::Module& m = *r.module;
+  std::string out = strf("=== ", m.name, " ===\n");
+  out += strf("latency interval LI = ", r.sched.schedule.num_steps,
+              " states; ",
+              r.sched.schedule.pipeline.enabled
+                  ? strf("pipelined II = ", r.sched.schedule.pipeline.ii,
+                         " (", r.machine.loop.folded.stages, " stages)")
+                  : std::string("sequential"),
+              "\n");
+  out += strf("worst slack: ", fmt_fixed(r.sched.schedule.worst_slack_ps, 0),
+              " ps; passes: ", r.sched.passes, "; timing queries: ",
+              r.sched.timing_queries, "\n\n");
+  out += "Schedule (Table 2 format):\n";
+  out += r.sched.schedule.to_table(m.thread.dfg);
+  out += "\nResources:\n";
+  {
+    TextTable t({"pool", "instances", "width", "area"});
+    const auto& lib = tech::artisan90();
+    for (const auto& p : r.sched.schedule.resources.pools) {
+      t.row({p.name, strf(p.count), strf(p.width),
+             fmt_fixed(p.count * lib.fu_area(p.cls, p.width), 0)});
+    }
+    out += t.to_string();
+  }
+  out += strf("\nArea: fu=", fmt_fixed(r.area.functional_units, 0),
+              " mux=", fmt_fixed(r.area.sharing_muxes, 0),
+              " reg=", fmt_fixed(r.area.registers, 0),
+              " ctrl=", fmt_fixed(r.area.control, 0),
+              " recovery=", fmt_fixed(r.area.timing_recovery, 0),
+              "  total=", fmt_fixed(r.area.total(), 0), "\n");
+  out += strf("Power: dynamic=", fmt_fixed(r.power.dynamic_mw, 3),
+              " mW leakage=", fmt_fixed(r.power.leakage_mw, 3),
+              " mW  total=", fmt_fixed(r.power.total_mw(), 3), " mW\n");
+  out += strf("Delay (II x Tclk): ", fmt_fixed(r.delay_ns, 2), " ns\n");
+  return out;
+}
+
+std::string render_json(const FlowResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("success");
+  w.value(r.success);
+  if (r.success) {
+    w.key("module");
+    w.value(r.module->name);
+    w.key("li");
+    w.value(r.sched.schedule.num_steps);
+    w.key("pipelined");
+    w.value(r.sched.schedule.pipeline.enabled);
+    w.key("ii");
+    w.value(r.machine.loop.initiation_interval());
+    w.key("worst_slack_ps");
+    w.value(r.sched.schedule.worst_slack_ps);
+    w.key("passes");
+    w.value(r.sched.passes);
+    w.key("timing_queries");
+    w.value(r.sched.timing_queries);
+    w.key("sched_seconds");
+    w.value(r.sched_seconds);
+    w.key("area");
+    w.begin_object();
+    w.key("fu");
+    w.value(r.area.functional_units);
+    w.key("mux");
+    w.value(r.area.sharing_muxes);
+    w.key("reg");
+    w.value(r.area.registers);
+    w.key("control");
+    w.value(r.area.control);
+    w.key("recovery");
+    w.value(r.area.timing_recovery);
+    w.key("total");
+    w.value(r.area.total());
+    w.end_object();
+    w.key("power_mw");
+    w.value(r.power.total_mw());
+    w.key("delay_ns");
+    w.value(r.delay_ns);
+    w.key("resources");
+    w.begin_array();
+    for (const auto& p : r.sched.schedule.resources.pools) {
+      w.begin_object();
+      w.key("name");
+      w.value(p.name);
+      w.key("count");
+      w.value(p.count);
+      w.end_object();
+    }
+    w.end_array();
+  } else {
+    w.key("reason");
+    w.value(r.failure_reason);
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hls::core

@@ -1,0 +1,20 @@
+// Report rendering: schedule tables (the paper's Table 2 format), area /
+// power breakdowns, relaxation traces, and machine-readable JSON dumps.
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace hls::core {
+
+/// Multi-section human-readable report of a flow result.
+std::string render_report(const FlowResult& r);
+
+/// The scheduling-pass / restraint / action trace (expert system log).
+std::string render_trace(const sched::SchedulerResult& r);
+
+/// Machine-readable summary (schedule, area, power, stats).
+std::string render_json(const FlowResult& r);
+
+}  // namespace hls::core

@@ -1,0 +1,311 @@
+#include "frontend/builder.hpp"
+
+#include <algorithm>
+
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::frontend {
+
+using ir::kNoOp;
+using ir::kNoStmt;
+using ir::LoopKind;
+using ir::OpKind;
+using ir::StmtKind;
+
+Builder::Builder(std::string module_name) {
+  m_.name = std::move(module_name);
+  seq_stack_.push_back(m_.thread.tree.root());
+}
+
+PortHandle Builder::in(std::string name, Type t) {
+  m_.ports.push_back({std::move(name), t, ir::PortDir::kIn});
+  return {static_cast<std::uint32_t>(m_.ports.size() - 1)};
+}
+
+PortHandle Builder::out(std::string name, Type t) {
+  m_.ports.push_back({std::move(name), t, ir::PortDir::kOut});
+  return {static_cast<std::uint32_t>(m_.ports.size() - 1)};
+}
+
+void Builder::emit(OpId op) {
+  HLS_ASSERT(!seq_stack_.empty(), "no open sequence");
+  tree().append(seq_stack_.back(), tree().make_op(op));
+}
+
+Val Builder::c(std::int64_t value, Type t) {
+  // Constants are not emitted into the region tree (they are pure values).
+  return {dfg().constant(value, t)};
+}
+
+Val Builder::read(PortHandle p, std::string name) {
+  HLS_ASSERT(p.index != ir::kNoPort, "read from null port");
+  if (name.empty()) name = m_.ports[p.index].name + "_read";
+  const OpId id = dfg().read(p.index, m_.ports[p.index].type, std::move(name));
+  emit(id);
+  return {id};
+}
+
+void Builder::write(PortHandle p, Val v) {
+  HLS_ASSERT(p.index != ir::kNoPort, "write to null port");
+  const OpId id =
+      dfg().write(p.index, v.id, m_.ports[p.index].name + "_write");
+  emit(id);
+}
+
+Type Builder::common_type(Val a, Val b) const {
+  const Type ta = m_.thread.dfg.op(a.id).type;
+  const Type tb = m_.thread.dfg.op(b.id).type;
+  return Type{std::max(ta.width, tb.width), ta.is_signed || tb.is_signed};
+}
+
+Val Builder::binary_common(OpKind k, Val a, Val b, std::string name) {
+  const OpId id = dfg().binary(k, a.id, b.id, common_type(a, b),
+                               std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::compare_common(OpKind k, Val a, Val b, std::string name) {
+  const OpId id = dfg().compare(k, a.id, b.id, std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::add(Val a, Val b, std::string n) { return binary_common(OpKind::kAdd, a, b, std::move(n)); }
+Val Builder::sub(Val a, Val b, std::string n) { return binary_common(OpKind::kSub, a, b, std::move(n)); }
+Val Builder::mul(Val a, Val b, std::string n) { return binary_common(OpKind::kMul, a, b, std::move(n)); }
+Val Builder::div(Val a, Val b, std::string n) { return binary_common(OpKind::kDiv, a, b, std::move(n)); }
+Val Builder::mod(Val a, Val b, std::string n) { return binary_common(OpKind::kMod, a, b, std::move(n)); }
+Val Builder::band(Val a, Val b, std::string n) { return binary_common(OpKind::kAnd, a, b, std::move(n)); }
+Val Builder::bor(Val a, Val b, std::string n) { return binary_common(OpKind::kOr, a, b, std::move(n)); }
+Val Builder::bxor(Val a, Val b, std::string n) { return binary_common(OpKind::kXor, a, b, std::move(n)); }
+Val Builder::shl(Val a, Val b, std::string n) { return binary_common(OpKind::kShl, a, b, std::move(n)); }
+Val Builder::shr(Val a, Val b, std::string n) { return binary_common(OpKind::kShr, a, b, std::move(n)); }
+
+Val Builder::neg(Val a, std::string name) {
+  const OpId id = dfg().unary(OpKind::kNeg, a.id, m_.thread.dfg.op(a.id).type,
+                              std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::bnot(Val a, std::string name) {
+  const OpId id = dfg().unary(OpKind::kNot, a.id, m_.thread.dfg.op(a.id).type,
+                              std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::eq(Val a, Val b, std::string n) { return compare_common(OpKind::kEq, a, b, std::move(n)); }
+Val Builder::ne(Val a, Val b, std::string n) { return compare_common(OpKind::kNe, a, b, std::move(n)); }
+Val Builder::lt(Val a, Val b, std::string n) { return compare_common(OpKind::kLt, a, b, std::move(n)); }
+Val Builder::le(Val a, Val b, std::string n) { return compare_common(OpKind::kLe, a, b, std::move(n)); }
+Val Builder::gt(Val a, Val b, std::string n) { return compare_common(OpKind::kGt, a, b, std::move(n)); }
+Val Builder::ge(Val a, Val b, std::string n) { return compare_common(OpKind::kGe, a, b, std::move(n)); }
+
+Val Builder::mux(Val sel, Val if_true, Val if_false, std::string name) {
+  const OpId id = dfg().mux(sel.id, if_true.id, if_false.id, std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::sext(Val a, std::uint8_t width, std::string name) {
+  const OpId id = dfg().sext(a.id, width, std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::zext(Val a, std::uint8_t width, std::string name) {
+  const OpId id = dfg().zext(a.id, width, std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::trunc(Val a, std::uint8_t width, std::string name) {
+  const OpId id = dfg().trunc(a.id, width, std::move(name));
+  emit(id);
+  return {id};
+}
+
+Val Builder::bits(Val a, std::uint8_t hi, std::uint8_t lo, std::string name) {
+  const OpId id = dfg().bit_range(a.id, hi, lo, std::move(name));
+  emit(id);
+  return {id};
+}
+
+VarHandle Builder::var(std::string name, Type t) {
+  vars_.push_back({std::move(name), t, kNoOp});
+  return {static_cast<std::uint32_t>(vars_.size() - 1)};
+}
+
+void Builder::set(VarHandle v, Val x) {
+  HLS_ASSERT(v.index < vars_.size(), "bad variable handle");
+  vars_[v.index].def = x.id;
+}
+
+Val Builder::get(VarHandle v) {
+  HLS_ASSERT(v.index < vars_.size(), "bad variable handle");
+  const OpId def = vars_[v.index].def;
+  HLS_ASSERT(def != kNoOp, "variable '", vars_[v.index].name,
+             "' read before first assignment");
+  return {def};
+}
+
+void Builder::wait(std::string label) {
+  tree().append(seq_stack_.back(), tree().make_wait(std::move(label)));
+}
+
+void Builder::begin_if(Val cond) {
+  IfFrame f;
+  f.cond = cond.id;
+  const StmtId then_seq = tree().make_seq();
+  const StmtId else_seq = tree().make_seq();
+  f.if_stmt = tree().make_if(cond.id, then_seq, else_seq);
+  tree().append(seq_stack_.back(), f.if_stmt);
+  f.snapshot.reserve(vars_.size());
+  for (const VarState& vs : vars_) f.snapshot.push_back(vs.def);
+  if_stack_.push_back(std::move(f));
+  seq_stack_.push_back(then_seq);
+}
+
+void Builder::begin_else() {
+  HLS_ASSERT(!if_stack_.empty(), "begin_else outside if");
+  IfFrame& f = if_stack_.back();
+  HLS_ASSERT(!f.in_else, "begin_else called twice");
+  f.in_else = true;
+  // Save then-branch defs; restore snapshot for the else branch.
+  f.then_defs.reserve(vars_.size());
+  for (const VarState& vs : vars_) f.then_defs.push_back(vs.def);
+  for (std::size_t i = 0; i < f.snapshot.size(); ++i) {
+    vars_[i].def = f.snapshot[i];
+  }
+  // Any variable DECLARED inside the then branch stays then-local; its def
+  // is left untouched (snapshot is shorter than vars_).
+  seq_stack_.pop_back();
+  seq_stack_.push_back(tree().stmt(f.if_stmt).else_body);
+}
+
+void Builder::end_if() {
+  HLS_ASSERT(!if_stack_.empty(), "end_if outside if");
+  IfFrame f = std::move(if_stack_.back());
+  if_stack_.pop_back();
+  if (!f.in_else) {
+    // No else branch: treat current defs as then-defs and restore snapshot.
+    f.then_defs.reserve(vars_.size());
+    for (const VarState& vs : vars_) f.then_defs.push_back(vs.def);
+    for (std::size_t i = 0; i < f.snapshot.size(); ++i) {
+      vars_[i].def = f.snapshot[i];
+    }
+    f.in_else = true;
+  }
+  seq_stack_.pop_back();
+  // Merge: for each variable whose def differs between branches, emit a mux
+  // after the if statement (this is the merge MUX of the paper's Figure 3).
+  for (std::size_t i = 0; i < f.snapshot.size(); ++i) {
+    const OpId then_def = i < f.then_defs.size() ? f.then_defs[i] : kNoOp;
+    const OpId else_def = vars_[i].def;  // restored snapshot or else-branch def
+    if (then_def == kNoOp || else_def == kNoOp) continue;
+    if (then_def == else_def) continue;
+    const OpId merged = dfg().mux(f.cond, then_def, else_def,
+                                  vars_[i].name + "_mux");
+    emit(merged);
+    vars_[i].def = merged;
+  }
+}
+
+StmtId Builder::begin_forever() {
+  open_loop_common(LoopKind::kForever, kNoOp);
+  return loop_stack_.back().loop;
+}
+
+StmtId Builder::begin_do_while() {
+  open_loop_common(LoopKind::kDoWhile, kNoOp);
+  return loop_stack_.back().loop;
+}
+
+StmtId Builder::begin_counted(std::int64_t trip) {
+  open_loop_common(LoopKind::kCounted, kNoOp);
+  tree().stmt_mut(loop_stack_.back().loop).trip_count = trip;
+  return loop_stack_.back().loop;
+}
+
+// Opens a loop frame and eagerly promotes live variables.
+void Builder::open_loop_common(LoopKind kind, OpId /*cond*/) {
+  LoopFrame f;
+  const StmtId body = tree().make_seq();
+  f.loop = tree().make_loop(kind, body);
+  tree().append(seq_stack_.back(), f.loop);
+  f.header = tree().make_seq();
+  tree().append(body, f.header);
+  // Eagerly promote every live variable to a loop-carried mux; pass-through
+  // muxes (for variables the loop never reassigns) are folded by the
+  // optimizer's loop-mux simplification.
+  for (std::uint32_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].def == kNoOp) continue;
+    const OpId lm = dfg().loop_mux(vars_[i].def, vars_[i].type,
+                                   vars_[i].name + "_lmux");
+    tree().append(f.header, tree().make_op(lm));
+    f.promoted.push_back({i, lm, vars_[i].def});
+    vars_[i].def = lm;
+  }
+  loop_stack_.push_back(std::move(f));
+  seq_stack_.push_back(body);
+}
+
+void Builder::end_loop() {
+  HLS_ASSERT(!loop_stack_.empty(), "end_loop outside loop");
+  const LoopKind k = tree().stmt(loop_stack_.back().loop).loop_kind;
+  HLS_ASSERT(k == LoopKind::kForever || k == LoopKind::kCounted,
+             "use end_do_while for do-while loops");
+  LoopFrame f = std::move(loop_stack_.back());
+  loop_stack_.pop_back();
+  seq_stack_.pop_back();
+  for (const LoopFrame::Promoted& p : f.promoted) {
+    const OpId cur = vars_[p.var].def;
+    // Unchanged variable: make the mux a pass-through (init as carried).
+    dfg().set_carried(p.loop_mux, cur == p.loop_mux ? p.init : cur);
+    // After the loop the variable holds the last-iteration value.
+    // (For a pass-through that is simply the initial value.)
+    if (cur == p.loop_mux) vars_[p.var].def = p.init;
+  }
+}
+
+void Builder::end_do_while(Val continue_cond) {
+  HLS_ASSERT(!loop_stack_.empty(), "end_do_while outside loop");
+  LoopFrame f = std::move(loop_stack_.back());
+  HLS_ASSERT(tree().stmt(f.loop).loop_kind == LoopKind::kDoWhile,
+             "end_do_while on a non-do-while loop");
+  loop_stack_.pop_back();
+  seq_stack_.pop_back();
+  tree().stmt_mut(f.loop).cond = continue_cond.id;
+  for (const LoopFrame::Promoted& p : f.promoted) {
+    const OpId cur = vars_[p.var].def;
+    dfg().set_carried(p.loop_mux, cur == p.loop_mux ? p.init : cur);
+    if (cur == p.loop_mux) vars_[p.var].def = p.init;
+  }
+}
+
+void Builder::set_latency(StmtId loop, int min, int max) {
+  ir::Stmt& s = tree().stmt_mut(loop);
+  HLS_ASSERT(s.kind == StmtKind::kLoop, "set_latency on non-loop");
+  s.latency = {min, max};
+}
+
+void Builder::set_pipeline(StmtId loop, int ii) {
+  ir::Stmt& s = tree().stmt_mut(loop);
+  HLS_ASSERT(s.kind == StmtKind::kLoop, "set_pipeline on non-loop");
+  s.pipeline = {true, ii};
+}
+
+ir::Module Builder::finish() {
+  HLS_ASSERT(!finished_, "Builder::finish called twice");
+  HLS_ASSERT(loop_stack_.empty(), "finish with open loops");
+  HLS_ASSERT(if_stack_.empty(), "finish with open ifs");
+  finished_ = true;
+  ir::validate_or_throw(m_);
+  return std::move(m_);
+}
+
+}  // namespace hls::frontend

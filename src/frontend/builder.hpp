@@ -1,0 +1,156 @@
+// Fluent construction API for behavioral modules — the library's stand-in
+// for the paper's SystemC elaborator. It performs the elaboration work:
+// variables become SSA values, loops get loop-carried muxes (the paper's
+// loopMux), conditional assignments become DFG muxes at the if-join, and
+// waits become control steps.
+//
+// Usage (the paper's Figure 1 example):
+//   Builder b("example1");
+//   auto mask = b.in("mask", int_ty(32));   ...
+//   auto pixel = b.out("pixel", int_ty(32));
+//   auto aver = b.var("aver", int_ty(32));
+//   b.begin_forever();
+//     b.set(aver, b.c(0));
+//     b.wait("s0");
+//     StmtId loop = b.begin_do_while();
+//       auto m = b.read(mask); ...
+//     b.end_do_while(b.ne(delta, b.c(0)));
+//   b.end_loop();
+//   Module mod = b.finish();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace hls::frontend {
+
+using ir::OpId;
+using ir::StmtId;
+using ir::Type;
+
+struct PortHandle {
+  std::uint32_t index = ir::kNoPort;
+};
+struct Val {
+  OpId id = ir::kNoOp;
+};
+struct VarHandle {
+  std::uint32_t index = static_cast<std::uint32_t>(-1);
+};
+
+class Builder {
+ public:
+  explicit Builder(std::string module_name);
+
+  // ---- Ports ---------------------------------------------------------------
+  PortHandle in(std::string name, Type t);
+  PortHandle out(std::string name, Type t);
+
+  // ---- Values --------------------------------------------------------------
+  Val c(std::int64_t value, Type t = ir::int_ty(32));
+  Val read(PortHandle p, std::string name = {});
+  void write(PortHandle p, Val v);
+
+  Val add(Val a, Val b, std::string name = {});
+  Val sub(Val a, Val b, std::string name = {});
+  Val mul(Val a, Val b, std::string name = {});
+  Val div(Val a, Val b, std::string name = {});
+  Val mod(Val a, Val b, std::string name = {});
+  Val band(Val a, Val b, std::string name = {});
+  Val bor(Val a, Val b, std::string name = {});
+  Val bxor(Val a, Val b, std::string name = {});
+  Val shl(Val a, Val b, std::string name = {});
+  Val shr(Val a, Val b, std::string name = {});
+  Val neg(Val a, std::string name = {});
+  Val bnot(Val a, std::string name = {});
+
+  Val eq(Val a, Val b, std::string name = {});
+  Val ne(Val a, Val b, std::string name = {});
+  Val lt(Val a, Val b, std::string name = {});
+  Val le(Val a, Val b, std::string name = {});
+  Val gt(Val a, Val b, std::string name = {});
+  Val ge(Val a, Val b, std::string name = {});
+
+  Val mux(Val sel, Val if_true, Val if_false, std::string name = {});
+  Val sext(Val a, std::uint8_t width, std::string name = {});
+  Val zext(Val a, std::uint8_t width, std::string name = {});
+  Val trunc(Val a, std::uint8_t width, std::string name = {});
+  Val bits(Val a, std::uint8_t hi, std::uint8_t lo, std::string name = {});
+
+  // ---- Variables (SSA-managed) ----------------------------------------------
+  VarHandle var(std::string name, Type t);
+  void set(VarHandle v, Val x);
+  Val get(VarHandle v);
+
+  // ---- Control structure -----------------------------------------------------
+  void wait(std::string label = {});
+  void begin_if(Val cond);
+  void begin_else();
+  void end_if();
+
+  /// All loops return the loop StmtId so constraints can be attached.
+  StmtId begin_forever();
+  StmtId begin_do_while();
+  StmtId begin_counted(std::int64_t trip);
+  void end_loop();                  ///< closes forever / counted loops
+  void end_do_while(Val continue_cond);
+
+  void set_latency(StmtId loop, int min, int max);
+  void set_pipeline(StmtId loop, int ii);
+
+  // ---- Finish ----------------------------------------------------------------
+  /// Validates and returns the module. The builder must not be reused.
+  ir::Module finish();
+
+  /// Access to the module under construction (e.g. for workload tweaks).
+  ir::Module& module() { return m_; }
+
+ private:
+  ir::Dfg& dfg() { return m_.thread.dfg; }
+  ir::RegionTree& tree() { return m_.thread.tree; }
+
+  /// Appends an OpStmt for `op` at the current insertion point.
+  void emit(OpId op);
+  Val binary_common(ir::OpKind k, Val a, Val b, std::string name);
+  Val compare_common(ir::OpKind k, Val a, Val b, std::string name);
+  Type common_type(Val a, Val b) const;
+
+  struct VarState {
+    std::string name;
+    Type type;
+    OpId def = ir::kNoOp;
+  };
+
+  struct LoopFrame {
+    StmtId loop = ir::kNoStmt;
+    StmtId header = ir::kNoStmt;  ///< seq holding the loop muxes
+    /// Per promoted variable: (var index, loop mux op, init def).
+    struct Promoted {
+      std::uint32_t var;
+      OpId loop_mux;
+      OpId init;
+    };
+    std::vector<Promoted> promoted;
+  };
+
+  struct IfFrame {
+    StmtId if_stmt = ir::kNoStmt;
+    OpId cond = ir::kNoOp;
+    std::vector<OpId> snapshot;  ///< defs at begin_if, indexed by var
+    std::vector<OpId> then_defs; ///< defs at begin_else
+    bool in_else = false;
+  };
+
+  void open_loop_common(ir::LoopKind kind, OpId cond);
+
+  ir::Module m_;
+  std::vector<StmtId> seq_stack_;    ///< open insertion sequences
+  std::vector<LoopFrame> loop_stack_;
+  std::vector<IfFrame> if_stack_;
+  std::vector<VarState> vars_;
+  bool finished_ = false;
+};
+
+}  // namespace hls::frontend

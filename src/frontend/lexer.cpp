@@ -1,0 +1,131 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+namespace hls::frontend {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, DiagEngine& diags) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  // Multi-character operators, longest first.
+  static const char* kOps[] = {"<<", ">>", "<=", ">=", "==", "!=",
+                               "&&", "||"};
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    Token t;
+    t.line = line;
+    t.column = col;
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      int base = 10;
+      if (c == '0' && j + 1 < src.size() &&
+          (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+      }
+      std::uint64_t v = 0;
+      bool any = false;
+      while (j < src.size()) {
+        const char d = src[j];
+        int dv;
+        if (d >= '0' && d <= '9') {
+          dv = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          dv = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          dv = d - 'A' + 10;
+        } else {
+          break;
+        }
+        v = v * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(dv);
+        any = true;
+        ++j;
+      }
+      if (!any) {
+        diags.error("malformed number literal", line, col);
+      }
+      t.kind = TokKind::kNumber;
+      t.text = std::string(src.substr(i, j - i));
+      t.number = static_cast<std::int64_t>(v);
+      advance(j - i);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation.
+    bool matched = false;
+    for (const char* op : kOps) {
+      const std::size_t n = std::string_view(op).size();
+      if (src.substr(i, n) == op) {
+        t.kind = TokKind::kPunct;
+        t.text = op;
+        advance(n);
+        out.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string_view kSingles = "{}()[]:;,=+-*/%&|^~!<>";
+    if (kSingles.find(c) != std::string_view::npos) {
+      t.kind = TokKind::kPunct;
+      t.text = std::string(1, c);
+      advance(1);
+      out.push_back(std::move(t));
+      continue;
+    }
+    diags.error(strf("unexpected character '", c, "'"), line, col);
+    advance(1);
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace hls::frontend

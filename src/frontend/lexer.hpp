@@ -1,0 +1,40 @@
+// Lexer for the `.hls` behavioral text format — the library's stand-in for
+// the paper's SystemC input (see frontend/parser.hpp for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::frontend {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kPunct,  ///< operators and delimiters, text holds the spelling
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+  int column = 1;
+
+  bool is(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  bool is_ident(std::string_view name) const {
+    return kind == TokKind::kIdent && text == name;
+  }
+};
+
+/// Tokenizes the source; reports malformed input into `diags` and
+/// recovers. Comments: `//` to end of line. Numbers: decimal and 0x hex.
+std::vector<Token> lex(std::string_view source, DiagEngine& diags);
+
+}  // namespace hls::frontend

@@ -1,0 +1,415 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+
+#include "frontend/builder.hpp"
+#include "frontend/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace hls::frontend {
+
+namespace {
+
+/// Thrown internally to abort parsing after a fatal diagnostic.
+struct ParseAbort {};
+
+class Parser {
+ public:
+  Parser(std::string_view source, DiagEngine& diags)
+      : diags_(diags), toks_(lex(source, diags)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    try {
+      parse_module_decl();
+      result.module = builder_->finish();
+      result.loops = loops_;
+      result.ok = !diags_.has_errors();
+    } catch (const ParseAbort&) {
+      result.ok = false;
+    }
+    return result;
+  }
+
+ private:
+  // ---- Token helpers ---------------------------------------------------------
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Token take() {
+    Token t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    diags_.error(msg, peek().line, peek().column);
+    throw ParseAbort{};
+  }
+  void expect_punct(std::string_view p) {
+    if (!peek().is(p)) fail(strf("expected '", p, "'"));
+    take();
+  }
+  void expect_keyword(std::string_view k) {
+    if (!peek().is_ident(k)) fail(strf("expected '", k, "'"));
+    take();
+  }
+  std::string expect_ident() {
+    if (peek().kind != TokKind::kIdent) fail("expected identifier");
+    return take().text;
+  }
+  std::int64_t expect_number() {
+    if (peek().kind != TokKind::kNumber) fail("expected number");
+    return take().number;
+  }
+
+  // ---- Declarations -----------------------------------------------------------
+
+  ir::Type parse_type() {
+    const Token t = peek();
+    if (t.kind != TokKind::kIdent || t.text.size() < 2 ||
+        (t.text[0] != 'i' && t.text[0] != 'u')) {
+      fail("expected type (iN or uN)");
+    }
+    take();
+    int width = 0;
+    for (std::size_t i = 1; i < t.text.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(t.text[i])) == 0) {
+        fail(strf("malformed type '", t.text, "'"));
+      }
+      width = width * 10 + (t.text[i] - '0');
+    }
+    if (width < 1 || width > 64) fail(strf("unsupported width ", width));
+    return ir::Type{static_cast<std::uint8_t>(width), t.text[0] == 'i'};
+  }
+
+  void parse_module_decl() {
+    expect_keyword("module");
+    const std::string name = expect_ident();
+    builder_.emplace(name);
+    expect_punct("{");
+    while (peek().is_ident("in") || peek().is_ident("out")) {
+      const bool is_in = take().text == "in";
+      const std::string pname = expect_ident();
+      expect_punct(":");
+      const ir::Type ty = parse_type();
+      expect_punct(";");
+      if (ports_.count(pname) != 0 || vars_.count(pname) != 0) {
+        fail(strf("duplicate name '", pname, "'"));
+      }
+      ports_[pname] = is_in ? builder_->in(pname, ty)
+                            : builder_->out(pname, ty);
+      port_is_in_[pname] = is_in;
+    }
+    expect_keyword("thread");
+    parse_block();
+    expect_punct("}");
+    if (peek().kind != TokKind::kEnd) fail("trailing input after module");
+  }
+
+  // ---- Statements ---------------------------------------------------------------
+
+  void parse_block() {
+    expect_punct("{");
+    while (!peek().is("}")) parse_stmt();
+    expect_punct("}");
+  }
+
+  void parse_stmt() {
+    const Token& t = peek();
+    if (t.is_ident("var")) {
+      take();
+      const std::string name = expect_ident();
+      expect_punct(":");
+      const ir::Type ty = parse_type();
+      expect_punct("=");
+      const Val v = parse_expr();
+      expect_punct(";");
+      if (ports_.count(name) != 0) fail(strf("'", name, "' is a port"));
+      if (vars_.count(name) == 0) vars_[name] = builder_->var(name, ty);
+      builder_->set(vars_[name], coerce(v, ty));
+      return;
+    }
+    if (t.is_ident("wait")) {
+      take();
+      expect_punct(";");
+      builder_->wait();
+      return;
+    }
+    if (t.is_ident("if")) {
+      take();
+      expect_punct("(");
+      const Val cond = parse_expr();
+      expect_punct(")");
+      builder_->begin_if(to_bool(cond));
+      parse_block();
+      if (peek().is_ident("else")) {
+        take();
+        builder_->begin_else();
+        parse_block();
+      }
+      builder_->end_if();
+      return;
+    }
+    if (t.is_ident("forever")) {
+      take();
+      const ir::StmtId loop = builder_->begin_forever();
+      loops_.push_back(loop);
+      parse_block();
+      builder_->end_loop();
+      parse_loop_attrs(loop);
+      return;
+    }
+    if (t.is_ident("repeat")) {
+      take();
+      expect_punct("(");
+      const std::int64_t trips = expect_number();
+      expect_punct(")");
+      if (trips < 1) fail("repeat count must be positive");
+      const ir::StmtId loop = builder_->begin_counted(trips);
+      loops_.push_back(loop);
+      parse_block();
+      builder_->end_loop();
+      parse_loop_attrs(loop);
+      return;
+    }
+    if (t.is_ident("do")) {
+      take();
+      const ir::StmtId loop = builder_->begin_do_while();
+      loops_.push_back(loop);
+      parse_block();
+      expect_keyword("while");
+      expect_punct("(");
+      // The continue condition elaborates inside the still-open loop body.
+      const Val cond = parse_expr();
+      expect_punct(")");
+      builder_->end_do_while(to_bool(cond));
+      parse_loop_attrs(loop);
+      expect_punct(";");
+      return;
+    }
+    if (t.kind == TokKind::kIdent) {
+      // Assignment to a variable or an output port.
+      const std::string name = take().text;
+      expect_punct("=");
+      const Val v = parse_expr();
+      expect_punct(";");
+      if (auto it = vars_.find(name); it != vars_.end()) {
+        builder_->set(it->second, v);
+        return;
+      }
+      if (auto it = ports_.find(name); it != ports_.end()) {
+        if (port_is_in_[name]) fail(strf("cannot assign input port '", name,
+                                         "'"));
+        builder_->write(it->second, v);
+        return;
+      }
+      fail(strf("unknown name '", name, "'"));
+    }
+    fail("expected statement");
+  }
+
+  void parse_loop_attrs(ir::StmtId loop) {
+    while (true) {
+      if (peek().is_ident("latency")) {
+        take();
+        expect_punct("(");
+        const auto lo = expect_number();
+        expect_punct(",");
+        const auto hi = expect_number();
+        expect_punct(")");
+        builder_->set_latency(loop, static_cast<int>(lo),
+                              static_cast<int>(hi));
+      } else if (peek().is_ident("pipeline")) {
+        take();
+        expect_punct("(");
+        const auto ii = expect_number();
+        expect_punct(")");
+        builder_->set_pipeline(loop, static_cast<int>(ii));
+      } else {
+        return;
+      }
+    }
+  }
+
+  // ---- Expressions -----------------------------------------------------------------
+
+  Val to_bool(Val v) {
+    if (builder_->module().thread.dfg.op(v.id).type.width == 1) return v;
+    return builder_->ne(v, builder_->c(0, value_type(v)));
+  }
+  ir::Type value_type(Val v) {
+    return builder_->module().thread.dfg.op(v.id).type;
+  }
+  Val coerce(Val v, ir::Type ty) {
+    const ir::Type have = value_type(v);
+    if (have == ty) return v;
+    if (have.width == ty.width) return v;  // reinterpretation is implicit
+    if (ty.width < have.width) return builder_->trunc(v, ty.width);
+    return have.is_signed ? builder_->sext(v, ty.width)
+                          : builder_->zext(v, ty.width);
+  }
+
+  Val parse_expr() { return parse_logic_or(); }
+
+  Val parse_logic_or() {
+    Val v = parse_logic_and();
+    while (peek().is("||")) {
+      take();
+      v = builder_->bor(to_bool(v), to_bool(parse_logic_and()));
+    }
+    return v;
+  }
+  Val parse_logic_and() {
+    Val v = parse_bit_or();
+    while (peek().is("&&")) {
+      take();
+      v = builder_->band(to_bool(v), to_bool(parse_bit_or()));
+    }
+    return v;
+  }
+  Val parse_bit_or() {
+    Val v = parse_bit_xor();
+    while (peek().is("|")) {
+      take();
+      v = builder_->bor(v, parse_bit_xor());
+    }
+    return v;
+  }
+  Val parse_bit_xor() {
+    Val v = parse_bit_and();
+    while (peek().is("^")) {
+      take();
+      v = builder_->bxor(v, parse_bit_and());
+    }
+    return v;
+  }
+  Val parse_bit_and() {
+    Val v = parse_equality();
+    while (peek().is("&")) {
+      take();
+      v = builder_->band(v, parse_equality());
+    }
+    return v;
+  }
+  Val parse_equality() {
+    Val v = parse_relational();
+    while (peek().is("==") || peek().is("!=")) {
+      const bool eq = take().text == "==";
+      const Val rhs = parse_relational();
+      v = eq ? builder_->eq(v, rhs) : builder_->ne(v, rhs);
+    }
+    return v;
+  }
+  Val parse_relational() {
+    Val v = parse_shift();
+    while (peek().is("<") || peek().is("<=") || peek().is(">") ||
+           peek().is(">=")) {
+      const std::string op = take().text;
+      const Val rhs = parse_shift();
+      if (op == "<") v = builder_->lt(v, rhs);
+      else if (op == "<=") v = builder_->le(v, rhs);
+      else if (op == ">") v = builder_->gt(v, rhs);
+      else v = builder_->ge(v, rhs);
+    }
+    return v;
+  }
+  Val parse_shift() {
+    Val v = parse_additive();
+    while (peek().is("<<") || peek().is(">>")) {
+      const bool left = take().text == "<<";
+      const Val rhs = parse_additive();
+      v = left ? builder_->shl(v, rhs) : builder_->shr(v, rhs);
+    }
+    return v;
+  }
+  Val parse_additive() {
+    Val v = parse_multiplicative();
+    while (peek().is("+") || peek().is("-")) {
+      const bool add = take().text == "+";
+      const Val rhs = parse_multiplicative();
+      v = add ? builder_->add(v, rhs) : builder_->sub(v, rhs);
+    }
+    return v;
+  }
+  Val parse_multiplicative() {
+    Val v = parse_unary();
+    while (peek().is("*") || peek().is("/") || peek().is("%")) {
+      const std::string op = take().text;
+      const Val rhs = parse_unary();
+      if (op == "*") v = builder_->mul(v, rhs);
+      else if (op == "/") v = builder_->div(v, rhs);
+      else v = builder_->mod(v, rhs);
+    }
+    return v;
+  }
+  Val parse_unary() {
+    if (peek().is("-")) {
+      take();
+      return builder_->neg(parse_unary());
+    }
+    if (peek().is("~")) {
+      take();
+      return builder_->bnot(parse_unary());
+    }
+    if (peek().is("!")) {
+      take();
+      return builder_->eq(to_bool(parse_unary()),
+                          builder_->c(0, ir::bool_ty()));
+    }
+    return parse_primary();
+  }
+  Val parse_primary() {
+    if (peek().is("(")) {
+      take();
+      const Val v = parse_expr();
+      expect_punct(")");
+      return v;
+    }
+    if (peek().kind == TokKind::kNumber) {
+      const Token t = take();
+      const int w = std::max(32, ir::min_width_for(t.number, true));
+      return builder_->c(t.number, ir::int_ty(static_cast<std::uint8_t>(w)));
+    }
+    if (peek().kind == TokKind::kIdent) {
+      const std::string name = take().text;
+      if (auto it = vars_.find(name); it != vars_.end()) {
+        return builder_->get(it->second);
+      }
+      if (auto it = ports_.find(name); it != ports_.end()) {
+        if (!port_is_in_[name]) fail(strf("cannot read output port '", name,
+                                          "'"));
+        return builder_->read(it->second);
+      }
+      fail(strf("unknown name '", name, "'"));
+    }
+    fail("expected expression");
+  }
+
+  DiagEngine& diags_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::optional<Builder> builder_;
+  std::map<std::string, PortHandle> ports_;
+  std::map<std::string, bool> port_is_in_;
+  std::map<std::string, VarHandle> vars_;
+  std::vector<ir::StmtId> loops_;
+};
+
+}  // namespace
+
+ParseResult parse_module(std::string_view source, DiagEngine& diags) {
+  return Parser(source, diags).run();
+}
+
+ParseResult parse_module_or_throw(std::string_view source) {
+  DiagEngine diags;
+  ParseResult r = parse_module(source, diags);
+  if (!r.ok) {
+    throw UserError(strf("failed to parse .hls module:\n", diags.to_string()));
+  }
+  return r;
+}
+
+}  // namespace hls::frontend

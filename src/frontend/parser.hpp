@@ -1,0 +1,51 @@
+// Parser / elaborator for the `.hls` behavioral text format — a compact
+// substitute for the paper's SystemC front end. Parsing elaborates
+// directly through frontend::Builder, so the result is the same CDFG the
+// builder API produces (SSA variables, loop-carried muxes, if-join muxes).
+//
+// Grammar (informal):
+//
+//   module   := 'module' IDENT '{' port* thread '}'
+//   port     := ('in'|'out') IDENT ':' type ';'
+//   type     := 'i' N | 'u' N                      (1 <= N <= 64)
+//   thread   := 'thread' '{' stmt* '}'
+//   stmt     := 'var' IDENT ':' type '=' expr ';'
+//            |  IDENT '=' expr ';'                 (variable or out port)
+//            |  'wait' ';'
+//            |  'if' '(' expr ')' block ('else' block)?
+//            |  'forever' block attrs?
+//            |  'repeat' '(' NUMBER ')' block attrs?
+//            |  'do' block 'while' '(' expr ')' attrs? ';'
+//   attrs    := ('latency' '(' NUMBER ',' NUMBER ')')? ('pipeline' '(' NUMBER ')')?
+//   expr     := ternary-free C expressions with precedence:
+//               || && | ^ & ==,!= <,<=,>,>= <<,>> +,- *,/,% unary -,~,! ( )
+//               operands: NUMBER, IDENT (variable or input port)
+//
+// Reads of input ports follow the library's per-iteration stream
+// semantics; each mention of an input port inside a loop iteration sees
+// the same value (duplicate reads unify in the CSE pass).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ir/module.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::frontend {
+
+struct ParseResult {
+  bool ok = false;
+  ir::Module module;
+  /// Loops in source order (outermost first); usable as scheduling targets.
+  std::vector<ir::StmtId> loops;
+};
+
+/// Parses and elaborates a module. On error, `diags` holds line/column
+/// messages and `ok` is false.
+ParseResult parse_module(std::string_view source, DiagEngine& diags);
+
+/// Convenience: parse or throw UserError with all diagnostics.
+ParseResult parse_module_or_throw(std::string_view source);
+
+}  // namespace hls::frontend

@@ -1,0 +1,166 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::ir {
+
+namespace {
+
+/// Adjacency including loop-carried edges (producer -> consumer).
+std::vector<std::vector<OpId>> full_adjacency(const Dfg& dfg) {
+  std::vector<std::vector<OpId>> adj(dfg.size());
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    const Op& o = dfg.op(id);
+    for (OpId operand : o.operands) {
+      if (operand != kNoOp) adj[operand].push_back(id);
+    }
+    if (o.pred != kNoOp) adj[o.pred].push_back(id);
+  }
+  return adj;
+}
+
+struct TarjanState {
+  const std::vector<std::vector<OpId>>& adj;
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<OpId> stack;
+  int counter = 0;
+  std::vector<std::vector<OpId>> sccs;
+
+  explicit TarjanState(const std::vector<std::vector<OpId>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        lowlink(a.size(), -1),
+        on_stack(a.size(), false) {}
+};
+
+// Iterative Tarjan to survive deep graphs (designs with 6000+ ops).
+void tarjan_from(TarjanState& st, OpId root) {
+  struct Frame {
+    OpId v;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> frames;
+  frames.push_back({root});
+  st.index[root] = st.lowlink[root] = st.counter++;
+  st.stack.push_back(root);
+  st.on_stack[root] = true;
+
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    const OpId v = f.v;
+    if (f.child < st.adj[v].size()) {
+      const OpId w = st.adj[v][f.child++];
+      if (st.index[w] < 0) {
+        st.index[w] = st.lowlink[w] = st.counter++;
+        st.stack.push_back(w);
+        st.on_stack[w] = true;
+        frames.push_back({w});
+      } else if (st.on_stack[w]) {
+        st.lowlink[v] = std::min(st.lowlink[v], st.index[w]);
+      }
+      continue;
+    }
+    // All children done; close the node.
+    if (st.lowlink[v] == st.index[v]) {
+      std::vector<OpId> comp;
+      while (true) {
+        const OpId w = st.stack.back();
+        st.stack.pop_back();
+        st.on_stack[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      st.sccs.push_back(std::move(comp));
+    }
+    frames.pop_back();
+    if (!frames.empty()) {
+      const OpId parent = frames.back().v;
+      st.lowlink[parent] = std::min(st.lowlink[parent], st.lowlink[v]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<OpId>> nontrivial_sccs(const Dfg& dfg) {
+  const auto adj = full_adjacency(dfg);
+  TarjanState st(adj);
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (st.index[id] < 0) tarjan_from(st, id);
+  }
+  std::vector<std::vector<OpId>> out;
+  for (auto& comp : st.sccs) {
+    bool nontrivial = comp.size() > 1;
+    if (comp.size() == 1) {
+      const OpId v = comp[0];
+      for (OpId w : adj[v]) {
+        if (w == v) nontrivial = true;  // self loop
+      }
+    }
+    if (nontrivial) {
+      std::sort(comp.begin(), comp.end());
+      out.push_back(std::move(comp));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return out;
+}
+
+std::vector<int> fanout_cone_sizes(const Dfg& dfg) {
+  // Process in reverse topological order; cone(v) = union of cones of users.
+  // Exact union via bitsets would be O(N^2/64); designs reach ~6000 ops so
+  // that is ~500k words — fine, and exactness keeps the priority stable.
+  const auto order = dfg.topo_order();
+  const std::size_t n = dfg.size();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> bits(n * words, 0);
+  auto users = direct_users(dfg);
+  std::vector<int> sizes(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpId v = *it;
+    std::uint64_t* row = &bits[v * words];
+    for (OpId u : users[v]) {
+      row[u / 64] |= std::uint64_t{1} << (u % 64);
+      const std::uint64_t* urow = &bits[u * words];
+      for (std::size_t w = 0; w < words; ++w) row[w] |= urow[w];
+    }
+    int count = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      count += static_cast<int>(__builtin_popcountll(row[w]));
+    }
+    sizes[v] = count;
+  }
+  return sizes;
+}
+
+std::vector<std::vector<OpId>> direct_deps(const Dfg& dfg) {
+  std::vector<std::vector<OpId>> deps(dfg.size());
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    const Op& o = dfg.op(id);
+    auto& d = deps[id];
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == OpKind::kLoopMux && i == 1) continue;  // distance 1
+      if (o.operands[i] != kNoOp) d.push_back(o.operands[i]);
+    }
+    if (o.pred != kNoOp) d.push_back(o.pred);
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+  return deps;
+}
+
+std::vector<std::vector<OpId>> direct_users(const Dfg& dfg) {
+  auto deps = direct_deps(dfg);
+  std::vector<std::vector<OpId>> users(dfg.size());
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    for (OpId d : deps[id]) users[d].push_back(id);
+  }
+  return users;
+}
+
+}  // namespace hls::ir

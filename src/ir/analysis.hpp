@@ -1,0 +1,33 @@
+// Graph analyses on the DFG used by scheduling and pipelining:
+//  * Tarjan strongly connected components over the full dependence graph
+//    (including loop-carried edges) — the paper's Section V(a): every SCC
+//    must be scheduled within II states to preserve inter-iteration
+//    causality;
+//  * transitive fanout cone sizes (a term of the list-scheduling priority);
+//  * dependence closure helpers.
+#pragma once
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls::ir {
+
+/// Strongly connected components over distance-0 *and* loop-carried edges.
+/// Only components with >= 2 ops (or a self-edge) are returned: those are
+/// exactly the inter-iteration dependency cycles of the paper.
+/// Each component is sorted by OpId; components are sorted by smallest id.
+std::vector<std::vector<OpId>> nontrivial_sccs(const Dfg& dfg);
+
+/// For every op, the number of ops in its transitive fanout (distance-0
+/// edges only, excluding the op itself).
+std::vector<int> fanout_cone_sizes(const Dfg& dfg);
+
+/// For every op, the set of direct distance-0 dependences (operands and
+/// predicate), deduplicated.
+std::vector<std::vector<OpId>> direct_deps(const Dfg& dfg);
+
+/// For every op, its direct consumers over distance-0 edges.
+std::vector<std::vector<OpId>> direct_users(const Dfg& dfg);
+
+}  // namespace hls::ir

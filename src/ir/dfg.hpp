@@ -1,0 +1,75 @@
+// The data-flow graph: a flat, id-indexed operation store with typed
+// construction helpers, use lists, and evaluation of single operations
+// (shared by the constant folder, the interpreter and the RTL simulator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/op.hpp"
+
+namespace hls::ir {
+
+class Dfg {
+ public:
+  // ---- Construction -------------------------------------------------------
+
+  /// Adds a fully formed operation; returns its id.
+  OpId add(Op op);
+
+  /// Rebuilds a DFG from a complete op vector. Unlike repeated add() calls,
+  /// forward operand references are allowed (they arise transiently during
+  /// rewriting); all ids are range-checked against the final size.
+  static Dfg from_ops(std::vector<Op> ops);
+
+  OpId constant(std::int64_t value, Type t, std::string name = {});
+  OpId read(std::uint32_t port, Type t, std::string name = {});
+  OpId write(std::uint32_t port, OpId value, std::string name = {});
+  OpId binary(OpKind k, OpId a, OpId b, Type result, std::string name = {});
+  OpId compare(OpKind k, OpId a, OpId b, std::string name = {});
+  OpId unary(OpKind k, OpId a, Type result, std::string name = {});
+  OpId mux(OpId sel, OpId if_true, OpId if_false, std::string name = {});
+  /// Creates a loop-carried mux whose carried operand is initially unset;
+  /// call set_carried once the end-of-iteration value exists.
+  OpId loop_mux(OpId init, Type t, std::string name = {});
+  void set_carried(OpId loop_mux_id, OpId carried);
+  OpId bit_range(OpId a, std::uint8_t hi, std::uint8_t lo,
+                 std::string name = {});
+  /// Concatenation {high, low}; result width is the sum of operand widths.
+  OpId concat(OpId high, OpId low, std::string name = {});
+  OpId zext(OpId a, std::uint8_t width, std::string name = {});
+  OpId sext(OpId a, std::uint8_t width, std::string name = {});
+  OpId trunc(OpId a, std::uint8_t width, std::string name = {});
+
+  /// Attaches a predicate: `op` executes iff value(pred) == pred_value.
+  void set_pred(OpId op, OpId pred, bool pred_value = true);
+
+  // ---- Access --------------------------------------------------------------
+
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(OpId id) const;
+  Op& op_mut(OpId id);
+
+  bool is_const(OpId id) const { return op(id).kind == OpKind::kConst; }
+
+  /// All consumers of each op's value. Computed on demand; O(E).
+  std::vector<std::vector<OpId>> use_lists() const;
+
+  /// Topological order over distance-0 edges (loop-carried operands of
+  /// kLoopMux are excluded). Throws InternalError on a combinational cycle.
+  std::vector<OpId> topo_order() const;
+
+  /// Evaluates a single operation given canonical operand values.
+  /// kConst needs no inputs; kRead/kWrite must not be passed here.
+  static std::int64_t evaluate(const Op& op, const std::int64_t* args,
+                               std::size_t nargs);
+
+  /// Number of operations that occupy a scheduler slot (excludes nothing;
+  /// provided for statistics: counts non-const ops).
+  std::size_t num_real_ops() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace hls::ir

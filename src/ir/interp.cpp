@@ -1,0 +1,197 @@
+#include "ir/interp.hpp"
+
+#include <unordered_map>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::ir {
+
+namespace {
+
+/// Internal control-flow signal: an input stream ran out; finish cleanly.
+struct StreamEnd {};
+/// Internal control-flow signal: op-execution budget exhausted.
+struct BudgetEnd {};
+
+class Interp {
+ public:
+  Interp(const Module& m, const Stimulus& stim, const RunLimits& limits)
+      : m_(m), limits_(limits) {
+    values_.assign(m.thread.dfg.size(), 0);
+    // Pre-evaluate constants.
+    const Dfg& dfg = m.thread.dfg;
+    for (OpId id = 0; id < dfg.size(); ++id) {
+      if (dfg.op(id).kind == OpKind::kConst) values_[id] = dfg.op(id).imm;
+    }
+    // Map port indices to streams.
+    port_streams_.resize(m.ports.size(), nullptr);
+    for (std::uint32_t i = 0; i < m.ports.size(); ++i) {
+      auto it = stim.streams.find(m.ports[i].name);
+      if (it != stim.streams.end()) port_streams_[i] = &it->second;
+    }
+  }
+
+  InterpResult run() {
+    try {
+      exec_stmt(m_.thread.tree.root());
+    } catch (const StreamEnd&) {
+      result_.stream_exhausted = true;
+    } catch (const BudgetEnd&) {
+    }
+    result_.ops_executed = ops_executed_;
+    return std::move(result_);
+  }
+
+ private:
+  std::int64_t value(OpId id) const { return values_[id]; }
+
+  void exec_op(OpId id) {
+    const Dfg& dfg = m_.thread.dfg;
+    const Op& o = dfg.op(id);
+    if (++ops_executed_ > limits_.max_op_executions) throw BudgetEnd{};
+
+    bool pred_ok = true;
+    if (o.pred != kNoOp) pred_ok = (value(o.pred) != 0) == o.pred_value;
+
+    switch (o.kind) {
+      case OpKind::kConst:
+        return;  // pre-evaluated
+      case OpKind::kRead: {
+        const std::int64_t idx = current_iteration_index();
+        const std::vector<std::int64_t>* stream = port_streams_[o.port];
+        if (stream == nullptr || idx >= static_cast<std::int64_t>(stream->size())) {
+          throw StreamEnd{};
+        }
+        values_[id] = canonicalize((*stream)[static_cast<std::size_t>(idx)],
+                                   o.type);
+        return;
+      }
+      case OpKind::kWrite:
+        if (pred_ok) {
+          result_.writes.push_back(
+              {o.port, canonicalize(value(o.operands[0]),
+                                    m_.ports[o.port].type)});
+        }
+        return;
+      case OpKind::kLoopMux:
+        // Value was latched by the enclosing loop at iteration start.
+        return;
+      default:
+        break;
+    }
+    if (!pred_ok && o.no_speculate) {
+      values_[id] = 0;  // guarded op did not execute; value is undefined
+      return;
+    }
+    // Pure op: evaluate (safe to execute even when the predicate is false —
+    // that is exactly what hardware speculation does).
+    std::int64_t args[3] = {0, 0, 0};
+    HLS_ASSERT(o.operands.size() <= 3, "too many operands");
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      args[i] = value(o.operands[i]);
+    }
+    values_[id] = Dfg::evaluate(o, args, o.operands.size());
+  }
+
+  /// Iteration index of the innermost enclosing loop (0 outside loops).
+  std::int64_t current_iteration_index() const {
+    return loop_stack_.empty() ? 0 : loop_stack_.back().second;
+  }
+
+  void exec_stmt(StmtId sid) {
+    const RegionTree& tree = m_.thread.tree;
+    const Stmt& s = tree.stmt(sid);
+    switch (s.kind) {
+      case StmtKind::kSeq:
+        for (StmtId c : s.items) exec_stmt(c);
+        return;
+      case StmtKind::kWait:
+        return;  // untimed semantics: waits have no effect
+      case StmtKind::kOp:
+        exec_op(s.op);
+        return;
+      case StmtKind::kIf: {
+        const bool taken = value(s.cond) != 0;
+        if (taken) {
+          exec_stmt(s.then_body);
+        } else if (s.else_body != kNoStmt) {
+          exec_stmt(s.else_body);
+        }
+        return;
+      }
+      case StmtKind::kLoop:
+        exec_loop(sid, s);
+        return;
+    }
+  }
+
+  void exec_loop(StmtId sid, const Stmt& s) {
+    if (s.loop_kind == LoopKind::kStall) {
+      // Untimed semantics: the stall condition is eventually true; no-op.
+      return;
+    }
+    const Dfg& dfg = m_.thread.dfg;
+    // Collect this loop's loop-carried muxes (directly in its body,
+    // not in nested loops).
+    std::vector<OpId> lmuxes;
+    for (OpId op : m_.thread.tree.ops_in(sid, /*into_nested_loops=*/false)) {
+      if (dfg.op(op).kind == OpKind::kLoopMux) lmuxes.push_back(op);
+    }
+    // Initialize carried values.
+    for (OpId lm : lmuxes) values_[lm] = value(dfg.op(lm).operands[0]);
+
+    auto& iter_counter = loop_counters_[sid];
+    loop_stack_.emplace_back(sid, iter_counter);
+    std::int64_t executed = 0;
+    while (true) {
+      loop_stack_.back().second = iter_counter;
+      exec_stmt(s.body);
+      ++iter_counter;
+      ++executed;
+      result_.loop_iterations[sid] = loop_counters_[sid];
+      // Latch carried values for the next iteration.
+      std::vector<std::int64_t> next;
+      next.reserve(lmuxes.size());
+      for (OpId lm : lmuxes) next.push_back(value(dfg.op(lm).operands[1]));
+      for (std::size_t i = 0; i < lmuxes.size(); ++i) {
+        values_[lmuxes[i]] = next[i];
+      }
+      if (s.loop_kind == LoopKind::kDoWhile) {
+        if (value(s.cond) == 0) break;
+      } else if (s.loop_kind == LoopKind::kCounted) {
+        if (executed >= s.trip_count) break;
+      }
+      // kForever: runs until a stream ends or the budget is exhausted.
+    }
+    loop_stack_.pop_back();
+  }
+
+  const Module& m_;
+  RunLimits limits_;
+  std::vector<std::int64_t> values_;
+  std::vector<const std::vector<std::int64_t>*> port_streams_;
+  /// (loop stmt, current iteration index) innermost last.
+  std::vector<std::pair<StmtId, std::int64_t>> loop_stack_;
+  std::unordered_map<StmtId, std::int64_t> loop_counters_;
+  InterpResult result_;
+  std::int64_t ops_executed_ = 0;
+};
+
+}  // namespace
+
+InterpResult interpret(const Module& m, const Stimulus& stimulus,
+                       const RunLimits& limits) {
+  return Interp(m, stimulus, limits).run();
+}
+
+std::map<std::string, std::vector<std::int64_t>> writes_by_port(
+    const Module& m, const std::vector<TraceEvent>& trace) {
+  std::map<std::string, std::vector<std::int64_t>> out;
+  for (const TraceEvent& e : trace) {
+    out[m.ports[e.port].name].push_back(e.value);
+  }
+  return out;
+}
+
+}  // namespace hls::ir

@@ -1,0 +1,62 @@
+// Reference interpreter for the untimed CDFG semantics.
+//
+// Used as the golden model: optimizer passes and the scheduled/pipelined
+// RTL must produce the same I/O behaviour as this interpreter.
+//
+// I/O convention (the library's substitution for SystemC signal timing,
+// documented in DESIGN.md): input ports carry one value per iteration of
+// the innermost loop enclosing each read, indexed by that loop's global
+// iteration counter. Reads of the same port in the same iteration see the
+// same value, matching SystemC signal reads within one reaction. Output
+// writes are recorded in program order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace hls::ir {
+
+/// Per-iteration input values, keyed by port name.
+struct Stimulus {
+  std::map<std::string, std::vector<std::int64_t>> streams;
+
+  /// Convenience: sets the stream for `port`.
+  void set(const std::string& port, std::vector<std::int64_t> values) {
+    streams[port] = std::move(values);
+  }
+};
+
+struct TraceEvent {
+  std::uint32_t port = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct InterpResult {
+  std::vector<TraceEvent> writes;
+  /// Iterations executed per loop StmtId.
+  std::map<StmtId, std::int64_t> loop_iterations;
+  /// True if execution stopped because an input stream ran out.
+  bool stream_exhausted = false;
+  std::int64_t ops_executed = 0;
+};
+
+struct RunLimits {
+  std::int64_t max_op_executions = 10'000'000;
+};
+
+/// Executes the module against `stimulus` and returns the trace.
+/// Throws UserError on invalid IR encountered during execution.
+InterpResult interpret(const Module& m, const Stimulus& stimulus,
+                       const RunLimits& limits = {});
+
+/// Extracts per-port value sequences from a trace.
+std::map<std::string, std::vector<std::int64_t>> writes_by_port(
+    const Module& m, const std::vector<TraceEvent>& trace);
+
+}  // namespace hls::ir

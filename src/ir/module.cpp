@@ -1,0 +1,34 @@
+#include "ir/module.hpp"
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::ir {
+
+std::uint32_t Module::port_index(std::string_view port_name) const {
+  for (std::uint32_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].name == port_name) return i;
+  }
+  throw UserError(strf("module '", name, "' has no port '", port_name, "'"));
+}
+
+const Port& Module::port(std::uint32_t index) const {
+  HLS_ASSERT(index < ports.size(), "port index out of range");
+  return ports[index];
+}
+
+Module& Design::add_module(std::string module_name) {
+  modules.push_back(Module{});
+  modules.back().name = std::move(module_name);
+  return modules.back();
+}
+
+const Module& Design::module(std::string_view module_name) const {
+  for (const Module& m : modules) {
+    if (m.name == module_name) return m;
+  }
+  throw UserError(strf("design '", name, "' has no module '", module_name,
+                       "'"));
+}
+
+}  // namespace hls::ir

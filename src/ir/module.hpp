@@ -1,0 +1,47 @@
+// Design containers: a Design holds Modules; a Module holds ports and one
+// synthesizable thread (region tree + DFG), mirroring the paper's SystemC
+// input of "modules containing one or more threads".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "ir/region.hpp"
+
+namespace hls::ir {
+
+enum class PortDir : std::uint8_t { kIn, kOut };
+
+struct Port {
+  std::string name;
+  Type type;
+  PortDir dir = PortDir::kIn;
+};
+
+/// One synthesizable SystemC-like thread.
+struct Thread {
+  Dfg dfg;
+  RegionTree tree;
+};
+
+struct Module {
+  std::string name;
+  std::vector<Port> ports;
+  Thread thread;
+
+  /// Returns the index of the port called `name`; throws UserError if absent.
+  std::uint32_t port_index(std::string_view name) const;
+  const Port& port(std::uint32_t index) const;
+};
+
+struct Design {
+  std::string name;
+  std::vector<Module> modules;
+
+  Module& add_module(std::string name);
+  const Module& module(std::string_view name) const;
+};
+
+}  // namespace hls::ir

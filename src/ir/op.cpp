@@ -1,0 +1,103 @@
+#include "ir/op.hpp"
+
+namespace hls::ir {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kConst: return "const";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kMod: return "mod";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kAnd: return "and";
+    case OpKind::kOr: return "or";
+    case OpKind::kXor: return "xor";
+    case OpKind::kNot: return "not";
+    case OpKind::kShl: return "shl";
+    case OpKind::kShr: return "shr";
+    case OpKind::kEq: return "eq";
+    case OpKind::kNe: return "ne";
+    case OpKind::kLt: return "lt";
+    case OpKind::kLe: return "le";
+    case OpKind::kGt: return "gt";
+    case OpKind::kGe: return "ge";
+    case OpKind::kMux: return "mux";
+    case OpKind::kLoopMux: return "loop_mux";
+    case OpKind::kZExt: return "zext";
+    case OpKind::kSExt: return "sext";
+    case OpKind::kTrunc: return "trunc";
+    case OpKind::kBitRange: return "bitrange";
+    case OpKind::kConcat: return "concat";
+  }
+  return "?";
+}
+
+bool is_binary_arith(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kMod:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_compare(OpKind k) {
+  switch (k) {
+    case OpKind::kEq:
+    case OpKind::kNe:
+    case OpKind::kLt:
+    case OpKind::kLe:
+    case OpKind::kGt:
+    case OpKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_io(OpKind k) { return k == OpKind::kRead || k == OpKind::kWrite; }
+
+bool is_free_kind(OpKind k) {
+  switch (k) {
+    case OpKind::kConst:
+    case OpKind::kLoopMux:
+    case OpKind::kZExt:
+    case OpKind::kSExt:
+    case OpKind::kTrunc:
+    case OpKind::kBitRange:
+    case OpKind::kConcat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_commutative(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kEq:
+    case OpKind::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hls::ir

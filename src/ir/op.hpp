@@ -1,0 +1,85 @@
+// Data-flow graph operations.
+//
+// Every operation produces at most one value; DFG edges are the operand
+// references. `kLoopMux` is the paper's loop-carried multiplexer (Figure 3):
+// operand 0 is the initial value, operand 1 the value carried from the
+// previous loop iteration (dependence distance 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace hls::ir {
+
+using OpId = std::uint32_t;
+inline constexpr OpId kNoOp = static_cast<OpId>(-1);
+inline constexpr std::uint32_t kNoPort = static_cast<std::uint32_t>(-1);
+
+enum class OpKind : std::uint8_t {
+  kConst,
+  kRead,   ///< input-port read
+  kWrite,  ///< output-port write (side effect; produces no value)
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  // Bitwise.
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+  // Comparison (1-bit result).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Selection.
+  kMux,      ///< mux(sel, a, b) == sel ? a : b
+  kLoopMux,  ///< loop_mux(init, carried)
+  // Free (pure wiring) conversions.
+  kZExt,
+  kSExt,
+  kTrunc,
+  kBitRange,  ///< x.range(hi, lo)
+  kConcat,    ///< {a, b}
+};
+
+const char* op_kind_name(OpKind k);
+
+bool is_binary_arith(OpKind k);
+bool is_compare(OpKind k);
+bool is_io(OpKind k);
+/// True for operations that are pure wiring: zero delay, no function unit.
+/// Shifts by a constant are also free but that depends on the operand, so it
+/// is decided by resource mapping, not here.
+bool is_free_kind(OpKind k);
+bool is_commutative(OpKind k);
+
+/// A single DFG operation.
+struct Op {
+  OpKind kind = OpKind::kConst;
+  Type type{};                  ///< result type (ignored for kWrite)
+  std::vector<OpId> operands;   ///< producer op ids
+  OpId pred = kNoOp;            ///< optional 1-bit guard; see pred_value
+  bool pred_value = true;       ///< execute iff value(pred) == pred_value
+  std::int64_t imm = 0;         ///< kConst payload
+  std::uint8_t hi = 0, lo = 0;  ///< kBitRange bounds (inclusive)
+  std::uint8_t aux = 0;         ///< kConcat: width of the low operand
+  std::uint32_t port = kNoPort; ///< kRead / kWrite port index
+  bool no_speculate = false;    ///< must not execute when predicate is false
+  std::string name;             ///< optional debug name
+
+  bool has_pred() const { return pred != kNoOp; }
+};
+
+}  // namespace hls::ir

@@ -1,0 +1,215 @@
+#include "ir/print.hpp"
+
+#include "support/dot.hpp"
+#include "support/strings.hpp"
+
+namespace hls::ir {
+
+namespace {
+
+std::string op_ref(const Dfg& dfg, OpId id) {
+  if (id == kNoOp) return "<unset>";
+  const Op& o = dfg.op(id);
+  if (!o.name.empty()) return o.name;
+  return strf("%", id);
+}
+
+std::string op_def_line(const Module& m, OpId id) {
+  const Dfg& dfg = m.thread.dfg;
+  const Op& o = dfg.op(id);
+  std::string s = strf(op_ref(dfg, id), ": ", type_name(o.type), " = ",
+                       op_kind_name(o.kind));
+  if (o.kind == OpKind::kConst) {
+    s += strf(" ", o.imm);
+  } else if (is_io(o.kind)) {
+    s += strf(" @", m.ports[o.port].name);
+  }
+  for (OpId x : o.operands) s += strf(" ", op_ref(dfg, x));
+  if (o.kind == OpKind::kBitRange) {
+    s += strf(" [", int(o.hi), ":", int(o.lo), "]");
+  }
+  if (o.pred != kNoOp) {
+    s += strf(" if ", o.pred_value ? "" : "!", op_ref(dfg, o.pred));
+  }
+  return s;
+}
+
+void print_stmt(const Module& m, StmtId id, int indent, std::string& out) {
+  const RegionTree& tree = m.thread.tree;
+  const Stmt& s = tree.stmt(id);
+  const std::string margin(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kSeq:
+      for (StmtId c : s.items) print_stmt(m, c, indent, out);
+      break;
+    case StmtKind::kWait:
+      out += strf(margin, "wait;", s.label.empty() ? "" : "  // " + s.label,
+                  "\n");
+      break;
+    case StmtKind::kOp:
+      out += strf(margin, op_def_line(m, s.op), "\n");
+      break;
+    case StmtKind::kIf:
+      out += strf(margin, "if ", op_ref(m.thread.dfg, s.cond), " {\n");
+      print_stmt(m, s.then_body, indent + 1, out);
+      if (s.else_body != kNoStmt &&
+          !tree.stmt(s.else_body).items.empty()) {
+        out += strf(margin, "} else {\n");
+        print_stmt(m, s.else_body, indent + 1, out);
+      }
+      out += strf(margin, "}\n");
+      break;
+    case StmtKind::kLoop: {
+      const char* kind = s.loop_kind == LoopKind::kForever   ? "forever"
+                         : s.loop_kind == LoopKind::kDoWhile ? "do_while"
+                         : s.loop_kind == LoopKind::kCounted ? "counted"
+                                                             : "stall";
+      out += strf(margin, kind, " loop");
+      if (s.loop_kind == LoopKind::kCounted) out += strf(" x", s.trip_count);
+      if (s.pipeline.enabled) out += strf(" pipeline(II=", s.pipeline.ii, ")");
+      out += strf(" latency[", s.latency.min, ",", s.latency.max, "] {\n");
+      print_stmt(m, s.body, indent + 1, out);
+      if (s.loop_kind == LoopKind::kDoWhile) {
+        out += strf(margin, "} while ", op_ref(m.thread.dfg, s.cond), "\n");
+      } else {
+        out += strf(margin, "}\n");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string print_module(const Module& m) {
+  std::string out = strf("module ", m.name, " {\n");
+  for (const Port& p : m.ports) {
+    out += strf("  ", p.dir == PortDir::kIn ? "in " : "out ", p.name, ": ",
+                type_name(p.type), ";\n");
+  }
+  out += "  thread {\n";
+  print_stmt(m, m.thread.tree.root(), 2, out);
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string dfg_to_dot(const Module& m) {
+  const Dfg& dfg = m.thread.dfg;
+  DotWriter w(strf(m.name, "_dfg"));
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    const Op& o = dfg.op(id);
+    std::string label = op_ref(dfg, id);
+    if (o.kind == OpKind::kConst) {
+      label = strf(o.imm);
+    } else {
+      label += strf("\n", op_kind_name(o.kind), " ", type_name(o.type));
+    }
+    const char* shape = o.kind == OpKind::kConst ? "shape=plaintext"
+                        : is_io(o.kind)          ? "shape=house"
+                        : o.kind == OpKind::kMux || o.kind == OpKind::kLoopMux
+                            ? "shape=trapezium"
+                            : "shape=ellipse";
+    w.node(strf("n", id), label, shape);
+  }
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    const Op& o = dfg.op(id);
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.operands[i] == kNoOp) continue;
+      const bool carried = o.kind == OpKind::kLoopMux && i == 1;
+      w.edge(strf("n", o.operands[i]), strf("n", id), {},
+             carried ? "style=dashed" : "");
+    }
+    if (o.pred != kNoOp) {
+      w.edge(strf("n", o.pred), strf("n", id), o.pred_value ? "p" : "!p",
+             "style=dotted");
+    }
+  }
+  return w.finish();
+}
+
+namespace {
+
+struct CfgBuilder {
+  const Module& m;
+  DotWriter w;
+  int next_node = 0;
+  int next_wait = 0;
+
+  explicit CfgBuilder(const Module& mod)
+      : m(mod), w(strf(mod.name, "_cfg")) {}
+
+  std::string fresh(std::string_view label, std::string_view attrs) {
+    std::string id = strf("c", next_node++);
+    w.node(id, label, attrs);
+    return id;
+  }
+
+  /// Emits the subtree, connecting from `entry`; returns the exit node id.
+  /// `pending` accumulates ops to be shown on the next emitted edge label.
+  std::string emit(StmtId sid, std::string entry, std::string* pending) {
+    const RegionTree& tree = m.thread.tree;
+    const Stmt& s = tree.stmt(sid);
+    switch (s.kind) {
+      case StmtKind::kSeq: {
+        std::string cur = std::move(entry);
+        for (StmtId c : s.items) cur = emit(c, std::move(cur), pending);
+        return cur;
+      }
+      case StmtKind::kOp: {
+        if (!pending->empty()) *pending += "\n";
+        *pending += op_ref(m.thread.dfg, s.op);
+        return entry;
+      }
+      case StmtKind::kWait: {
+        std::string n = fresh(
+            s.label.empty() ? strf("s", ++next_wait) : s.label,
+            "shape=circle");
+        w.edge(entry, n, *pending);
+        pending->clear();
+        return n;
+      }
+      case StmtKind::kIf: {
+        std::string fork = fresh("If_top", "shape=diamond");
+        w.edge(entry, fork, *pending);
+        pending->clear();
+        std::string tp, ep;
+        std::string t_exit = emit(s.then_body, fork, &tp);
+        std::string join = fresh("If_bottom", "shape=diamond");
+        w.edge(t_exit, join, tp.empty() ? "T" : strf("T\n", tp));
+        if (s.else_body != kNoStmt) {
+          std::string e_exit = emit(s.else_body, fork, &ep);
+          w.edge(e_exit, join, ep.empty() ? "F" : strf("F\n", ep));
+        } else {
+          w.edge(fork, join, "F");
+        }
+        return join;
+      }
+      case StmtKind::kLoop: {
+        std::string top = fresh("Loop_top", "shape=box");
+        w.edge(entry, top, *pending);
+        pending->clear();
+        std::string bp;
+        std::string bottom_in = emit(s.body, top, &bp);
+        std::string bottom = fresh("Loop_bottom", "shape=box");
+        w.edge(bottom_in, bottom, bp);
+        w.edge(bottom, top, "back", "style=dashed");
+        return bottom;
+      }
+    }
+    return entry;
+  }
+};
+
+}  // namespace
+
+std::string cfg_to_dot(const Module& m) {
+  CfgBuilder b(m);
+  std::string entry = b.fresh("entry", "shape=point");
+  std::string pending;
+  std::string exit_node = b.emit(m.thread.tree.root(), entry, &pending);
+  std::string final_node = b.fresh("exit", "shape=point");
+  b.w.edge(exit_node, final_node, pending);
+  return b.w.finish();
+}
+
+}  // namespace hls::ir

@@ -1,0 +1,22 @@
+// Textual and Graphviz dumps of the CDFG (the forms shown in the paper's
+// Figure 3: the CFG with fork/join/wait nodes, and the DFG).
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace hls::ir {
+
+/// Human-readable dump of the region tree with inline op definitions.
+std::string print_module(const Module& m);
+
+/// DOT graph of the DFG (operations and data edges; loop-carried edges
+/// are dashed, predicates dotted).
+std::string dfg_to_dot(const Module& m);
+
+/// DOT graph of the flattened CFG: wait states, fork/join and loop nodes,
+/// with each edge labelled by the ops homed on it.
+std::string cfg_to_dot(const Module& m);
+
+}  // namespace hls::ir

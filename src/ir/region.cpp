@@ -1,0 +1,188 @@
+#include "ir/region.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace hls::ir {
+
+RegionTree::RegionTree() {
+  stmts_.push_back(Stmt{});  // root kSeq
+}
+
+const Stmt& RegionTree::stmt(StmtId id) const {
+  HLS_ASSERT(id < stmts_.size(), "stmt id out of range");
+  return stmts_[id];
+}
+
+Stmt& RegionTree::stmt_mut(StmtId id) {
+  HLS_ASSERT(id < stmts_.size(), "stmt id out of range");
+  return stmts_[id];
+}
+
+StmtId RegionTree::make_seq() {
+  stmts_.push_back(Stmt{});
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+StmtId RegionTree::make_wait(std::string label) {
+  Stmt s;
+  s.kind = StmtKind::kWait;
+  s.label = std::move(label);
+  stmts_.push_back(std::move(s));
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+StmtId RegionTree::make_op(OpId op) {
+  Stmt s;
+  s.kind = StmtKind::kOp;
+  s.op = op;
+  stmts_.push_back(std::move(s));
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+StmtId RegionTree::make_if(OpId cond, StmtId then_body, StmtId else_body) {
+  Stmt s;
+  s.kind = StmtKind::kIf;
+  s.cond = cond;
+  s.then_body = then_body;
+  s.else_body = else_body;
+  stmts_.push_back(std::move(s));
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+StmtId RegionTree::make_loop(LoopKind kind, StmtId body) {
+  Stmt s;
+  s.kind = StmtKind::kLoop;
+  s.loop_kind = kind;
+  s.body = body;
+  stmts_.push_back(std::move(s));
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+void RegionTree::append(StmtId seq, StmtId child) {
+  Stmt& s = stmt_mut(seq);
+  HLS_ASSERT(s.kind == StmtKind::kSeq, "append target is not a kSeq");
+  s.items.push_back(child);
+}
+
+void RegionTree::set_items(StmtId seq, std::vector<StmtId> items) {
+  Stmt& s = stmt_mut(seq);
+  HLS_ASSERT(s.kind == StmtKind::kSeq, "set_items target is not a kSeq");
+  s.items = std::move(items);
+}
+
+namespace {
+
+template <typename Fn>
+void walk(const RegionTree& tree, StmtId id, bool into_nested_loops,
+          const Fn& fn) {
+  const Stmt& s = tree.stmt(id);
+  fn(id, s);
+  switch (s.kind) {
+    case StmtKind::kSeq:
+      for (StmtId c : s.items) walk(tree, c, into_nested_loops, fn);
+      break;
+    case StmtKind::kIf:
+      walk(tree, s.then_body, into_nested_loops, fn);
+      if (s.else_body != kNoStmt) {
+        walk(tree, s.else_body, into_nested_loops, fn);
+      }
+      break;
+    case StmtKind::kLoop:
+      if (into_nested_loops) walk(tree, s.body, into_nested_loops, fn);
+      break;
+    case StmtKind::kWait:
+    case StmtKind::kOp:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<OpId> RegionTree::ops_in(StmtId id, bool into_nested_loops) const {
+  std::vector<OpId> out;
+  // The walk always enters the given root, even when it is itself a loop.
+  const Stmt& s = stmt(id);
+  const StmtId start = s.kind == StmtKind::kLoop ? s.body : id;
+  walk(*this, start, into_nested_loops, [&](StmtId, const Stmt& st) {
+    if (st.kind == StmtKind::kOp) out.push_back(st.op);
+  });
+  return out;
+}
+
+std::vector<StmtId> RegionTree::loops_in(StmtId id) const {
+  std::vector<StmtId> out;
+  walk(*this, id, /*into_nested_loops=*/true, [&](StmtId sid, const Stmt& st) {
+    if (st.kind == StmtKind::kLoop) out.push_back(sid);
+  });
+  return out;
+}
+
+bool RegionTree::has_branches(StmtId id) const {
+  bool found = false;
+  walk(*this, id, /*into_nested_loops=*/true, [&](StmtId, const Stmt& st) {
+    if (st.kind == StmtKind::kIf) found = true;
+  });
+  return found;
+}
+
+int RegionTree::wait_count(StmtId id) const {
+  int n = 0;
+  walk(*this, id, /*into_nested_loops=*/false, [&](StmtId, const Stmt& st) {
+    if (st.kind == StmtKind::kWait) ++n;
+  });
+  return n;
+}
+
+std::vector<OpId> LinearRegion::all_ops() const {
+  std::vector<OpId> out;
+  for (const auto& s : steps) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+namespace {
+
+void linearize_into(const RegionTree& tree, StmtId id, LinearRegion& out) {
+  const Stmt& s = tree.stmt(id);
+  switch (s.kind) {
+    case StmtKind::kSeq:
+      for (StmtId c : s.items) linearize_into(tree, c, out);
+      break;
+    case StmtKind::kWait:
+      out.steps.emplace_back();
+      break;
+    case StmtKind::kOp:
+      HLS_ASSERT(!out.steps.empty(), "linearize: internal step list empty");
+      out.steps.back().push_back(s.op);
+      break;
+    case StmtKind::kIf:
+      throw InternalError(
+          "linearize: region still contains branches; run predication first");
+    case StmtKind::kLoop:
+      throw InternalError(
+          "linearize: region contains a nested loop; unroll it or schedule "
+          "it separately");
+  }
+}
+
+}  // namespace
+
+LinearRegion linearize(const RegionTree& tree, StmtId id) {
+  const Stmt& s = tree.stmt(id);
+  LinearRegion out;
+  out.steps.emplace_back();  // step 0 starts at region entry
+  if (s.kind == StmtKind::kLoop) {
+    out.timed = s.timed;
+    linearize_into(tree, s.body, out);
+  } else {
+    out.timed = s.timed;
+    linearize_into(tree, id, out);
+  }
+  // A wait as the very last statement produces an empty trailing step;
+  // keep it only if it holds ops (the final step otherwise ends the region).
+  if (out.steps.size() > 1 && out.steps.back().empty()) {
+    out.steps.pop_back();
+  }
+  return out;
+}
+
+}  // namespace hls::ir

@@ -1,0 +1,135 @@
+// The structured control representation (the "CFG" side of the CDFG).
+//
+// The paper's elaborator produces a CFG whose nodes fork/join control or
+// correspond to wait() calls, with every DFG operation attached to a CFG
+// edge (control step). We keep the control flow *structured* — a region
+// tree of sequences, waits, ifs and loops — which is the form the
+// optimizer's CDFG transformations (predication, balancing, pipelining)
+// want to manipulate; a flat node/edge CFG view is derivable for export
+// (ir/print.hpp) and the scheduler consumes linearized step lists
+// (LinearRegion below) exactly as the paper's pass scheduler walks
+// "combinational paths in the CFG".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/op.hpp"
+
+namespace hls::ir {
+
+using StmtId = std::uint32_t;
+inline constexpr StmtId kNoStmt = static_cast<StmtId>(-1);
+
+enum class StmtKind : std::uint8_t {
+  kSeq,   ///< ordered list of child statements
+  kWait,  ///< clock boundary ("wait()" in SystemC)
+  kOp,    ///< a DFG operation at this program point
+  kIf,    ///< structured conditional (removed by predication)
+  kLoop,  ///< structured loop
+};
+
+enum class LoopKind : std::uint8_t {
+  kForever,  ///< while(true); exits only with the thread
+  kDoWhile,  ///< body first, continue while `cond` is true
+  kCounted,  ///< fixed trip count, known at compile time
+  kStall,    ///< wait until `cond` is true (pipeline stall loop)
+};
+
+/// User pipelining directive for a loop (paper Section V: the designer
+/// specifies II; the tool chooses LI within bounds).
+struct PipelineSpec {
+  bool enabled = false;
+  int ii = 1;  ///< initiation interval in clock cycles
+};
+
+/// States-per-iteration bounds for a loop or block (paper: "1 <= latency
+/// <= 3 for the do-while loop").
+struct LatencyBound {
+  int min = 1;
+  int max = 64;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kSeq;
+  // kSeq
+  std::vector<StmtId> items;
+  // kWait
+  std::string label;
+  // kOp
+  OpId op = kNoOp;
+  // kIf: condition plus two kSeq bodies (else may be empty kSeq)
+  OpId cond = kNoOp;  // also: kLoop kDoWhile continue-condition / kStall go
+  StmtId then_body = kNoStmt;
+  StmtId else_body = kNoStmt;
+  // kLoop
+  StmtId body = kNoStmt;
+  LoopKind loop_kind = LoopKind::kForever;
+  std::int64_t trip_count = 0;  ///< kCounted only
+  LatencyBound latency;
+  PipelineSpec pipeline;
+  bool timed = false;  ///< if true, waits in this region are protocol-exact
+};
+
+/// Statement store for one thread. Statement 0 is always the root kSeq.
+class RegionTree {
+ public:
+  RegionTree();
+
+  StmtId root() const { return 0; }
+  const Stmt& stmt(StmtId id) const;
+  Stmt& stmt_mut(StmtId id);
+  std::size_t size() const { return stmts_.size(); }
+
+  StmtId make_seq();
+  StmtId make_wait(std::string label = {});
+  StmtId make_op(OpId op);
+  StmtId make_if(OpId cond, StmtId then_body, StmtId else_body);
+  StmtId make_loop(LoopKind kind, StmtId body);
+
+  /// Appends `child` to sequence `seq`.
+  void append(StmtId seq, StmtId child);
+  /// Replaces the items of sequence `seq`.
+  void set_items(StmtId seq, std::vector<StmtId> items);
+
+  /// All OpIds referenced in the subtree rooted at `id`, in program order.
+  /// If `into_nested_loops` is false, bodies of nested kLoop statements are
+  /// skipped (their ops are scheduled with the nested loop, not the parent).
+  std::vector<OpId> ops_in(StmtId id, bool into_nested_loops = true) const;
+
+  /// All loop statements in the subtree of `id`, outermost first.
+  std::vector<StmtId> loops_in(StmtId id) const;
+
+  /// True if the subtree contains a kIf statement (i.e. predication has not
+  /// run yet / is required before linearization).
+  bool has_branches(StmtId id) const;
+
+  /// Number of wait statements in the subtree (nested loops excluded).
+  int wait_count(StmtId id) const;
+
+ private:
+  std::vector<Stmt> stmts_;
+};
+
+/// A linearized schedulable region: `steps[k]` lists the operations whose
+/// program-order home is control step k. Step k corresponds to the CFG edge
+/// entering state k+1. Produced by `linearize`.
+struct LinearRegion {
+  /// Ops homed to each step, program order preserved.
+  std::vector<std::vector<OpId>> steps;
+  /// True if the region came from a timed (protocol) block: I/O must stay
+  /// at its home step.
+  bool timed = false;
+
+  int num_steps() const { return static_cast<int>(steps.size()); }
+  std::vector<OpId> all_ops() const;
+};
+
+/// Flattens a branch-free subtree (kSeq of kOp/kWait, nested loops
+/// disallowed) into control steps. A trailing wait is implied: ops after
+/// the last wait form the final step. Throws InternalError if the subtree
+/// still has kIf or kLoop statements.
+LinearRegion linearize(const RegionTree& tree, StmtId id);
+
+}  // namespace hls::ir

@@ -1,0 +1,55 @@
+#include "ir/type.hpp"
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::ir {
+
+std::string type_name(Type t) {
+  return strf(t.is_signed ? "i" : "u", static_cast<int>(t.width));
+}
+
+std::int64_t canonicalize(std::int64_t v, Type t) {
+  HLS_ASSERT(t.width >= 1 && t.width <= 64, "bad type width ",
+             static_cast<int>(t.width));
+  if (t.width == 64) return v;
+  const std::uint64_t mask = (std::uint64_t{1} << t.width) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  if (t.is_signed && (u >> (t.width - 1)) != 0) {
+    u |= ~mask;  // sign-extend
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+std::int64_t type_min(Type t) {
+  if (!t.is_signed) return 0;
+  if (t.width == 64) return INT64_MIN;
+  return -(std::int64_t{1} << (t.width - 1));
+}
+
+std::int64_t type_max(Type t) {
+  if (t.is_signed) {
+    if (t.width == 64) return INT64_MAX;
+    return (std::int64_t{1} << (t.width - 1)) - 1;
+  }
+  if (t.width >= 64) return INT64_MAX;  // saturates at int64 max for u64
+  return (std::int64_t{1} << t.width) - 1;
+}
+
+int min_width_for(std::int64_t v, bool is_signed) {
+  if (is_signed) {
+    for (int w = 1; w <= 63; ++w) {
+      const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+      const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+      if (v >= lo && v <= hi) return w;
+    }
+    return 64;
+  }
+  if (v < 0) return 64;  // negative values are not representable unsigned
+  for (int w = 1; w <= 63; ++w) {
+    if (v <= (std::int64_t{1} << w) - 1) return w;
+  }
+  return 64;
+}
+
+}  // namespace hls::ir

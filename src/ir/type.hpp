@@ -1,0 +1,37 @@
+// Bit-accurate integer types, mirroring SystemC's sc_int/sc_uint that the
+// paper's tool elaborates (Figure 1 uses sc_int<16>/sc_int<32>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hls::ir {
+
+/// A bit-accurate integer type: 1..64 bits, signed or unsigned.
+struct Type {
+  std::uint8_t width = 32;
+  bool is_signed = true;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+/// Canonical type constructors.
+constexpr Type int_ty(std::uint8_t width) { return Type{width, true}; }
+constexpr Type uint_ty(std::uint8_t width) { return Type{width, false}; }
+constexpr Type bool_ty() { return Type{1, false}; }
+
+/// Human-readable name, e.g. "i32", "u1".
+std::string type_name(Type t);
+
+/// Wraps `v` to the range of `t`: truncates to t.width bits and then
+/// sign- or zero-extends, producing the canonical 64-bit representation.
+std::int64_t canonicalize(std::int64_t v, Type t);
+
+/// Smallest / largest representable value of `t` (canonical form).
+std::int64_t type_min(Type t);
+std::int64_t type_max(Type t);
+
+/// Number of bits needed to represent constant `v` in signed/unsigned form.
+int min_width_for(std::int64_t v, bool is_signed);
+
+}  // namespace hls::ir

@@ -1,0 +1,224 @@
+#include "ir/validate.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace hls::ir {
+
+namespace {
+
+int expected_arity(OpKind k) {
+  switch (k) {
+    case OpKind::kConst:
+    case OpKind::kRead:
+      return 0;
+    case OpKind::kWrite:
+    case OpKind::kNeg:
+    case OpKind::kNot:
+    case OpKind::kZExt:
+    case OpKind::kSExt:
+    case OpKind::kTrunc:
+    case OpKind::kBitRange:
+      return 1;
+    case OpKind::kMux:
+      return 3;
+    case OpKind::kLoopMux:
+      return 2;
+    default:
+      return 2;
+  }
+}
+
+class Validator {
+ public:
+  Validator(const Module& m, DiagEngine& diags) : m_(m), diags_(diags) {}
+
+  bool run() {
+    check_ops();
+    check_tree();
+    check_program_order();
+    return !diags_.has_errors();
+  }
+
+ private:
+  void error(std::string msg) { diags_.error(std::move(msg)); }
+
+  void check_ops() {
+    const Dfg& dfg = m_.thread.dfg;
+    for (OpId id = 0; id < dfg.size(); ++id) {
+      const Op& o = dfg.op(id);
+      const std::string where = strf("op %", id, " (", op_kind_name(o.kind),
+                                     o.name.empty() ? "" : " '" + o.name + "'",
+                                     ")");
+      if (static_cast<int>(o.operands.size()) != expected_arity(o.kind)) {
+        error(strf(where, ": expected ", expected_arity(o.kind),
+                   " operands, got ", o.operands.size()));
+        continue;
+      }
+      for (std::size_t i = 0; i < o.operands.size(); ++i) {
+        const OpId x = o.operands[i];
+        if (x == kNoOp) {
+          error(strf(where, ": operand ", i, " unset",
+                     o.kind == OpKind::kLoopMux && i == 1
+                         ? " (carried value never set)"
+                         : ""));
+        } else if (x >= dfg.size()) {
+          error(strf(where, ": operand ", i, " id out of range"));
+        }
+      }
+      if (o.pred != kNoOp) {
+        if (o.pred >= dfg.size()) {
+          error(strf(where, ": predicate id out of range"));
+        } else if (dfg.op(o.pred).type.width != 1) {
+          error(strf(where, ": predicate is not 1 bit"));
+        }
+      }
+      if (o.type.width < 1 || o.type.width > 64) {
+        error(strf(where, ": bad result width ",
+                   static_cast<int>(o.type.width)));
+      }
+      if (is_compare(o.kind) && o.type.width != 1) {
+        error(strf(where, ": comparison result must be 1 bit"));
+      }
+      if (is_io(o.kind)) {
+        if (o.port == kNoPort || o.port >= m_.ports.size()) {
+          error(strf(where, ": bad port index"));
+        } else {
+          const Port& p = m_.ports[o.port];
+          const bool want_in = o.kind == OpKind::kRead;
+          if (want_in != (p.dir == PortDir::kIn)) {
+            error(strf(where, ": direction mismatch with port '", p.name,
+                       "'"));
+          }
+        }
+      }
+      if (o.kind == OpKind::kBitRange && !o.operands.empty() &&
+          o.operands[0] != kNoOp && o.operands[0] < dfg.size()) {
+        if (o.hi < o.lo || o.hi >= dfg.op(o.operands[0]).type.width) {
+          error(strf(where, ": bit range [", int(o.hi), ":", int(o.lo),
+                     "] out of operand width"));
+        }
+      }
+    }
+  }
+
+  void check_tree() {
+    const RegionTree& tree = m_.thread.tree;
+    const Dfg& dfg = m_.thread.dfg;
+    std::vector<int> ref_count(dfg.size(), 0);
+    for (StmtId id = 0; id < tree.size(); ++id) {
+      const Stmt& s = tree.stmt(id);
+      switch (s.kind) {
+        case StmtKind::kOp:
+          if (s.op >= dfg.size()) {
+            error(strf("stmt ", id, ": op id out of range"));
+          } else {
+            ++ref_count[s.op];
+          }
+          break;
+        case StmtKind::kIf:
+          if (s.cond == kNoOp || s.cond >= dfg.size()) {
+            error(strf("stmt ", id, ": if condition unset"));
+          } else if (dfg.op(s.cond).type.width != 1) {
+            error(strf("stmt ", id, ": if condition is not 1 bit"));
+          }
+          if (s.then_body == kNoStmt || s.then_body >= tree.size()) {
+            error(strf("stmt ", id, ": missing then body"));
+          }
+          break;
+        case StmtKind::kLoop:
+          if (s.body == kNoStmt || s.body >= tree.size()) {
+            error(strf("stmt ", id, ": missing loop body"));
+          }
+          if (s.loop_kind == LoopKind::kCounted && s.trip_count <= 0) {
+            error(strf("stmt ", id, ": counted loop with trip ",
+                       s.trip_count));
+          }
+          if ((s.loop_kind == LoopKind::kDoWhile ||
+               s.loop_kind == LoopKind::kStall)) {
+            if (s.cond == kNoOp || s.cond >= dfg.size()) {
+              error(strf("stmt ", id, ": loop condition unset"));
+            } else if (dfg.op(s.cond).type.width != 1) {
+              error(strf("stmt ", id, ": loop condition is not 1 bit"));
+            }
+          }
+          if (s.pipeline.enabled && s.pipeline.ii < 1) {
+            error(strf("stmt ", id, ": pipeline II must be >= 1"));
+          }
+          if (s.latency.min < 1 || s.latency.max < s.latency.min) {
+            error(strf("stmt ", id, ": bad latency bound [", s.latency.min,
+                       ",", s.latency.max, "]"));
+          }
+          break;
+        case StmtKind::kSeq:
+          for (StmtId c : s.items) {
+            if (c >= tree.size()) {
+              error(strf("stmt ", id, ": child id out of range"));
+            }
+          }
+          break;
+        case StmtKind::kWait:
+          break;
+      }
+    }
+    for (OpId id = 0; id < dfg.size(); ++id) {
+      // Constants may be shared without appearing in the tree.
+      if (dfg.op(id).kind == OpKind::kConst) continue;
+      if (ref_count[id] == 0) {
+        error(strf("op %", id, " (", op_kind_name(dfg.op(id).kind),
+                   ") is not referenced by the region tree"));
+      } else if (ref_count[id] > 1) {
+        error(strf("op %", id, " referenced ", ref_count[id],
+                   " times in the region tree"));
+      }
+    }
+  }
+
+  // Defs must appear before uses in program order (except carried edges).
+  void check_program_order() {
+    const RegionTree& tree = m_.thread.tree;
+    const Dfg& dfg = m_.thread.dfg;
+    std::vector<int> position(dfg.size(), -1);
+    int counter = 0;
+    const auto ops = tree.ops_in(tree.root(), /*into_nested_loops=*/true);
+    for (OpId op : ops) {
+      if (op < dfg.size()) position[op] = counter++;
+    }
+    for (OpId id = 0; id < dfg.size(); ++id) {
+      const Op& o = dfg.op(id);
+      if (position[id] < 0 && o.kind != OpKind::kConst) continue;  // reported
+      for (std::size_t i = 0; i < o.operands.size(); ++i) {
+        if (o.kind == OpKind::kLoopMux && i == 1) continue;
+        const OpId d = o.operands[i];
+        if (d == kNoOp || d >= dfg.size()) continue;
+        if (dfg.op(d).kind == OpKind::kConst) continue;
+        if (position[d] < 0) continue;
+        if (o.kind != OpKind::kConst && position[id] >= 0 &&
+            position[d] > position[id]) {
+          error(strf("op %", id, " uses op %", d,
+                     " before it is defined in program order"));
+        }
+      }
+    }
+  }
+
+  const Module& m_;
+  DiagEngine& diags_;
+};
+
+}  // namespace
+
+bool validate(const Module& m, DiagEngine& diags) {
+  return Validator(m, diags).run();
+}
+
+void validate_or_throw(const Module& m) {
+  DiagEngine diags;
+  if (!validate(m, diags)) {
+    throw UserError(strf("module '", m.name, "' failed validation:\n",
+                         diags.to_string()));
+  }
+}
+
+}  // namespace hls::ir

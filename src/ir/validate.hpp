@@ -1,0 +1,25 @@
+// Structural validation of a module's CDFG. Run after construction and
+// after every transformation pass; all passes must preserve validity.
+#pragma once
+
+#include "ir/module.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::ir {
+
+/// Checks structural invariants of `m` and reports problems into `diags`:
+///  * operand / port / statement ids in range;
+///  * operand arity and width rules per op kind;
+///  * predicates are 1-bit;
+///  * every loop-carried mux has its carried operand set;
+///  * each DFG op is referenced exactly once in the region tree;
+///  * program order respects data dependences (defs before uses, except
+///    loop-carried edges);
+///  * kIf conditions are 1-bit, counted loops have positive trip counts.
+/// Returns true when no errors were found.
+bool validate(const Module& m, DiagEngine& diags);
+
+/// Convenience wrapper that throws UserError listing all problems.
+void validate_or_throw(const Module& m);
+
+}  // namespace hls::ir

@@ -1,0 +1,74 @@
+// Fork/join latency balancing (paper Section V, step I.1): pads the
+// shorter branch of each conditional with waits so both branches span the
+// same number of states. Predication also balances implicitly; this
+// standalone pass makes the balanced CFG inspectable and testable.
+#include "opt/pass.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+using ir::kNoStmt;
+using ir::RegionTree;
+using ir::Stmt;
+using ir::StmtId;
+using ir::StmtKind;
+
+class BalanceBranches : public Pass {
+ public:
+  std::string_view name() const override { return "balance-branches"; }
+
+  bool run(ir::Module& m) override {
+    return balance(m.thread.tree, m.thread.tree.root());
+  }
+
+ private:
+  bool balance(RegionTree& tree, StmtId sid) {
+    const Stmt snapshot = tree.stmt(sid);
+    bool changed = false;
+    switch (snapshot.kind) {
+      case StmtKind::kSeq:
+        for (StmtId c : snapshot.items) changed |= balance(tree, c);
+        break;
+      case StmtKind::kLoop:
+        changed |= balance(tree, snapshot.body);
+        break;
+      case StmtKind::kIf: {
+        changed |= balance(tree, snapshot.then_body);
+        if (snapshot.else_body != kNoStmt) {
+          changed |= balance(tree, snapshot.else_body);
+        }
+        const int then_waits = tree.wait_count(snapshot.then_body);
+        const int else_waits = snapshot.else_body == kNoStmt
+                                   ? 0
+                                   : tree.wait_count(snapshot.else_body);
+        if (then_waits == else_waits) break;
+        const StmtId shorter = then_waits < else_waits
+                                   ? snapshot.then_body
+                                   : (snapshot.else_body != kNoStmt
+                                          ? snapshot.else_body
+                                          : kNoStmt);
+        HLS_ASSERT(shorter != kNoStmt,
+                   "if without else cannot be longer than zero states");
+        for (int i = 0; i < std::abs(then_waits - else_waits); ++i) {
+          tree.append(shorter, tree.make_wait());
+        }
+        changed = true;
+        break;
+      }
+      default:
+        break;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_balance_branches() {
+  return std::make_unique<BalanceBranches>();
+}
+
+}  // namespace hls::opt

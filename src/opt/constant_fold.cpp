@@ -1,0 +1,142 @@
+// Constant folding / propagation plus algebraic identities, including the
+// loop-mux pass-through simplification (loop_mux whose carried value equals
+// its initial value is the value itself).
+#include "opt/pass.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+class ConstantFold : public Pass {
+ public:
+  std::string_view name() const override { return "constant-fold"; }
+
+  bool run(ir::Module& m) override {
+    bool changed = false;
+    Dfg& dfg = m.thread.dfg;
+    // Iterate in topological order so folded operands are seen folded.
+    for (OpId id : dfg.topo_order()) {
+      const Op& o = dfg.op(id);
+      const OpId repl = simplify(dfg, id, o);
+      if (repl != kNoOp && repl != id) {
+        replace_uses(m, id, repl);
+        changed = true;
+      }
+    }
+    if (changed) compact(m);
+    return changed;
+  }
+
+ private:
+  static bool all_const(const Dfg& dfg, const Op& o) {
+    if (o.operands.empty()) return false;
+    for (OpId x : o.operands) {
+      if (x == kNoOp || !dfg.is_const(x)) return false;
+    }
+    return true;
+  }
+
+  /// Returns a replacement op id, or kNoOp when nothing applies.
+  OpId simplify(Dfg& dfg, OpId id, const Op& o) {
+    switch (o.kind) {
+      case OpKind::kConst:
+      case OpKind::kRead:
+      case OpKind::kWrite:
+        return kNoOp;
+      case OpKind::kLoopMux:
+        // Pass-through loop mux: carried value equals initial value.
+        if (o.operands[1] == o.operands[0]) return o.operands[0];
+        if (o.operands[1] == id) return o.operands[0];  // self carry
+        return kNoOp;
+      case OpKind::kMux: {
+        if (dfg.is_const(o.operands[0])) {
+          return dfg.op(o.operands[0]).imm != 0 ? o.operands[1]
+                                                : o.operands[2];
+        }
+        if (o.operands[1] == o.operands[2]) return o.operands[1];
+        return kNoOp;
+      }
+      default:
+        break;
+    }
+    if (all_const(dfg, o)) {
+      std::int64_t args[3];
+      for (std::size_t i = 0; i < o.operands.size(); ++i) {
+        args[i] = dfg.op(o.operands[i]).imm;
+      }
+      const std::int64_t v = Dfg::evaluate(o, args, o.operands.size());
+      return dfg.constant(v, o.type, o.name);
+    }
+    return algebraic(dfg, o);
+  }
+
+  /// x+0, x-0, x*1, x*0, x&0, x|0, x^0, x<<0, x>>0, x==x and friends.
+  OpId algebraic(Dfg& dfg, const Op& o) {
+    auto const_val = [&](OpId x, std::int64_t* out) {
+      if (x != kNoOp && dfg.is_const(x)) {
+        *out = dfg.op(x).imm;
+        return true;
+      }
+      return false;
+    };
+    if (o.operands.size() != 2) return kNoOp;
+    const OpId a = o.operands[0];
+    const OpId b = o.operands[1];
+    std::int64_t ca = 0;
+    std::int64_t cb = 0;
+    const bool a_const = const_val(a, &ca);
+    const bool b_const = const_val(b, &cb);
+    // Only rewrites that keep the result type are performed here; width
+    // adjustment belongs to the width-reduction pass.
+    auto same_type = [&](OpId x) { return dfg.op(x).type == o.type; };
+    switch (o.kind) {
+      case OpKind::kAdd:
+        if (b_const && cb == 0 && same_type(a)) return a;
+        if (a_const && ca == 0 && same_type(b)) return b;
+        break;
+      case OpKind::kSub:
+        if (b_const && cb == 0 && same_type(a)) return a;
+        break;
+      case OpKind::kMul:
+        if (b_const && cb == 1 && same_type(a)) return a;
+        if (a_const && ca == 1 && same_type(b)) return b;
+        if ((a_const && ca == 0) || (b_const && cb == 0)) {
+          return dfg.constant(0, o.type);
+        }
+        break;
+      case OpKind::kAnd:
+        if ((a_const && ca == 0) || (b_const && cb == 0)) {
+          return dfg.constant(0, o.type);
+        }
+        break;
+      case OpKind::kOr:
+      case OpKind::kXor:
+        if (b_const && cb == 0 && same_type(a)) return a;
+        if (a_const && ca == 0 && same_type(b)) return b;
+        break;
+      case OpKind::kShl:
+      case OpKind::kShr:
+        if (b_const && cb == 0 && same_type(a)) return a;
+        break;
+      default:
+        break;
+    }
+    return kNoOp;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_constant_fold() {
+  return std::make_unique<ConstantFold>();
+}
+
+}  // namespace hls::opt

@@ -1,0 +1,132 @@
+// Common subexpression elimination.
+//
+// Scope rule: two ops may be unified only when their defining statements
+// live in the same sequence (same straight-line block) — the earlier one is
+// then guaranteed to execute whenever the later would. After predication
+// flattens the control structure this degenerates to full-block CSE.
+// Port reads are CSE-able within the same block because the library's read
+// semantics are per-iteration (two reads of one port in one iteration see
+// the same value, like SystemC signal reads).
+#include "opt/pass.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace hls::opt {
+
+namespace {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+using ir::StmtId;
+using ir::StmtKind;
+
+using Key = std::tuple<int,            // kind
+                       std::uint32_t,  // operand 0
+                       std::uint32_t,  // operand 1
+                       std::uint32_t,  // operand 2
+                       std::int64_t,   // imm
+                       int, int, int,  // hi, lo, aux
+                       std::uint32_t,  // port
+                       std::uint32_t,  // pred
+                       bool,           // pred_value
+                       int, bool>;     // type width, signedness
+
+Key make_key(const Op& o) {
+  OpId a = o.operands.size() > 0 ? o.operands[0] : kNoOp;
+  OpId b = o.operands.size() > 1 ? o.operands[1] : kNoOp;
+  const OpId c = o.operands.size() > 2 ? o.operands[2] : kNoOp;
+  if (is_commutative(o.kind) && b < a) std::swap(a, b);
+  return {static_cast<int>(o.kind), a,    b,
+          c,                        o.imm, o.hi,
+          o.lo,                     o.aux, o.port,
+          o.pred,                   o.pred_value,
+          o.type.width,             o.type.is_signed};
+}
+
+bool cse_able(const Op& o) {
+  switch (o.kind) {
+    case OpKind::kWrite:
+      return false;  // side effect
+    case OpKind::kLoopMux:
+      return false;  // carried state; identity matters
+    case OpKind::kConst:
+      return true;
+    case OpKind::kRead:
+      return true;  // per-iteration semantics; see header comment
+    default:
+      return true;
+  }
+}
+
+class Cse : public Pass {
+ public:
+  std::string_view name() const override { return "cse"; }
+
+  bool run(ir::Module& m) override {
+    const ir::RegionTree& tree = m.thread.tree;
+    bool changed = false;
+    // For every sequence, unify equal ops defined directly under it.
+    // Iterate a few times so chains (a+b then (a+b)+c twice) collapse.
+    for (int round = 0; round < 4; ++round) {
+      bool round_changed = false;
+      for (StmtId sid = 0; sid < tree.size(); ++sid) {
+        if (tree.stmt(sid).kind != StmtKind::kSeq) continue;
+        round_changed |= run_on_seq(m, sid);
+      }
+      // Constants live outside the tree; unify them globally.
+      round_changed |= unify_constants(m);
+      if (!round_changed) break;
+      changed = true;
+    }
+    if (changed) compact(m);
+    return changed;
+  }
+
+ private:
+  bool run_on_seq(ir::Module& m, StmtId seq) {
+    const ir::RegionTree& tree = m.thread.tree;
+    const Dfg& dfg = m.thread.dfg;
+    std::map<Key, OpId> seen;
+    bool changed = false;
+    for (StmtId child : tree.stmt(seq).items) {
+      const ir::Stmt& s = tree.stmt(child);
+      if (s.kind != StmtKind::kOp) continue;
+      const Op& o = dfg.op(s.op);
+      if (!cse_able(o)) continue;
+      const Key k = make_key(o);
+      auto [it, inserted] = seen.emplace(k, s.op);
+      if (!inserted && it->second != s.op) {
+        replace_uses(m, s.op, it->second);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool unify_constants(ir::Module& m) {
+    const Dfg& dfg = m.thread.dfg;
+    std::map<Key, OpId> seen;
+    bool changed = false;
+    for (OpId id = 0; id < dfg.size(); ++id) {
+      const Op& o = dfg.op(id);
+      if (o.kind != OpKind::kConst) continue;
+      const Key k = make_key(o);
+      auto [it, inserted] = seen.emplace(k, id);
+      if (!inserted && it->second != id) {
+        replace_uses(m, id, it->second);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_cse() { return std::make_unique<Cse>(); }
+
+}  // namespace hls::opt

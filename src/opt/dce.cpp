@@ -1,0 +1,19 @@
+// Dead code elimination: drops operations not transitively required by
+// port writes, branch/loop conditions, or predicates of live operations.
+#include "opt/pass.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+class Dce : public Pass {
+ public:
+  std::string_view name() const override { return "dce"; }
+  bool run(ir::Module& m) override { return compact(m) > 0; }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dce() { return std::make_unique<Dce>(); }
+
+}  // namespace hls::opt

@@ -1,0 +1,192 @@
+#include "opt/pass.hpp"
+
+#include <algorithm>
+
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::opt {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::kNoStmt;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+using ir::RegionTree;
+using ir::Stmt;
+using ir::StmtId;
+using ir::StmtKind;
+
+void PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+bool PassManager::run(ir::Module& m) {
+  bool changed = false;
+  for (auto& p : passes_) {
+    PassStats st;
+    st.pass = std::string(p->name());
+    st.ops_before = m.thread.dfg.size();
+    st.changed = p->run(m);
+    st.ops_after = m.thread.dfg.size();
+    changed |= st.changed;
+    stats_.push_back(std::move(st));
+  }
+  return changed;
+}
+
+bool PassManager::run_to_fixpoint(ir::Module& m, int max_rounds) {
+  bool ever = false;
+  for (int round = 0; round < max_rounds; ++round) {
+    if (!run(m)) break;
+    ever = true;
+  }
+  return ever;
+}
+
+PassManager PassManager::standard_pipeline() {
+  PassManager pm;
+  pm.add(make_constant_fold());
+  pm.add(make_strength_reduce());
+  pm.add(make_cse());
+  pm.add(make_width_reduce());
+  pm.add(make_dce());
+  return pm;
+}
+
+void replace_uses(ir::Module& m, OpId from, OpId to) {
+  HLS_ASSERT(from != to, "replace_uses: from == to");
+  Dfg& dfg = m.thread.dfg;
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (id == to) continue;  // avoid creating trivial self references
+    Op& o = dfg.op_mut(id);
+    for (OpId& x : o.operands) {
+      if (x == from) x = to;
+    }
+    if (o.pred == from) o.pred = to;
+  }
+  RegionTree& tree = m.thread.tree;
+  for (StmtId sid = 0; sid < tree.size(); ++sid) {
+    Stmt& s = tree.stmt_mut(sid);
+    if ((s.kind == StmtKind::kIf || s.kind == StmtKind::kLoop) &&
+        s.cond == from) {
+      s.cond = to;
+    }
+  }
+}
+
+namespace {
+
+/// Live ops: transitively required by writes, conditions, and predicates.
+std::vector<bool> live_ops(const ir::Module& m) {
+  const Dfg& dfg = m.thread.dfg;
+  const RegionTree& tree = m.thread.tree;
+  std::vector<bool> live(dfg.size(), false);
+  std::vector<OpId> work;
+  auto mark = [&](OpId id) {
+    if (id != kNoOp && id < dfg.size() && !live[id]) {
+      live[id] = true;
+      work.push_back(id);
+    }
+  };
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (dfg.op(id).kind == OpKind::kWrite) mark(id);
+  }
+  for (StmtId sid = 0; sid < tree.size(); ++sid) {
+    const Stmt& s = tree.stmt(sid);
+    if (s.kind == StmtKind::kIf || s.kind == StmtKind::kLoop) mark(s.cond);
+  }
+  while (!work.empty()) {
+    const OpId id = work.back();
+    work.pop_back();
+    const Op& o = dfg.op(id);
+    for (OpId x : o.operands) mark(x);
+    mark(o.pred);
+  }
+  return live;
+}
+
+}  // namespace
+
+std::size_t compact(ir::Module& m) {
+  Dfg& dfg = m.thread.dfg;
+  RegionTree& tree = m.thread.tree;
+  const auto live = live_ops(m);
+
+  // Two-phase renumbering: rewriting can leave earlier ops referencing
+  // later-created constants, so the remap must exist before ops are copied.
+  std::size_t removed = 0;
+  std::vector<OpId> remap(dfg.size(), kNoOp);
+  OpId next = 0;
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (live[id]) {
+      remap[id] = next++;
+    } else {
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  std::vector<Op> kept;
+  kept.reserve(next);
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (!live[id]) continue;
+    Op copy = dfg.op(id);
+    for (OpId& x : copy.operands) {
+      if (x != kNoOp) {
+        HLS_ASSERT(live[x], "live op depends on dead op");
+        x = remap[x];
+      }
+    }
+    if (copy.pred != kNoOp) copy.pred = remap[copy.pred];
+    kept.push_back(std::move(copy));
+  }
+  Dfg fresh = Dfg::from_ops(std::move(kept));
+
+  // Rewrite the tree in place: statement ids stay stable, op references are
+  // remapped, statements whose op died become empty sequences (tombstones),
+  // and dead entries are dropped from sequence item lists.
+  std::vector<StmtId> dead_stmts;
+  for (StmtId sid = 0; sid < tree.size(); ++sid) {
+    Stmt& s = tree.stmt_mut(sid);
+    switch (s.kind) {
+      case StmtKind::kOp:
+        if (s.op != kNoOp && live[s.op]) {
+          s.op = remap[s.op];
+        } else {
+          s.kind = StmtKind::kSeq;
+          s.op = kNoOp;
+          s.items.clear();
+          dead_stmts.push_back(sid);
+        }
+        break;
+      case StmtKind::kIf:
+      case StmtKind::kLoop:
+        if (s.cond != kNoOp) {
+          HLS_ASSERT(live[s.cond], "condition op was removed");
+          s.cond = remap[s.cond];
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Drop tombstones from their parents' item lists to keep dumps tidy.
+  if (!dead_stmts.empty()) {
+    std::vector<bool> is_dead(tree.size(), false);
+    for (StmtId d : dead_stmts) is_dead[d] = true;
+    for (StmtId sid = 0; sid < tree.size(); ++sid) {
+      Stmt& s = tree.stmt_mut(sid);
+      if (s.kind != StmtKind::kSeq) continue;
+      if (is_dead[sid]) continue;
+      auto& items = s.items;
+      items.erase(std::remove_if(items.begin(), items.end(),
+                                 [&](StmtId c) { return is_dead[c]; }),
+                  items.end());
+    }
+  }
+  dfg = std::move(fresh);
+  return removed;
+}
+
+}  // namespace hls::opt

@@ -1,0 +1,71 @@
+// Optimizer pass infrastructure plus the CDFG rewrite utilities shared by
+// all passes (use replacement, dead-op compaction with stable statement
+// ids). Mirrors the paper's "optimizer" box: constant propagation, operand
+// width reduction, strength reduction, CSE, and branch predication.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace hls::opt {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns true if the module was changed.
+  virtual bool run(ir::Module& m) = 0;
+};
+
+struct PassStats {
+  std::string pass;
+  bool changed = false;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass);
+
+  /// Runs all passes once, in order. Returns true if anything changed.
+  bool run(ir::Module& m);
+
+  /// Repeats `run` until a fixpoint (or `max_rounds`).
+  bool run_to_fixpoint(ir::Module& m, int max_rounds = 8);
+
+  const std::vector<PassStats>& stats() const { return stats_; }
+
+  /// The standard optimization pipeline described in the paper's Section II
+  /// (without predication, which the flow applies separately).
+  static PassManager standard_pipeline();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassStats> stats_;
+};
+
+std::unique_ptr<Pass> make_constant_fold();
+std::unique_ptr<Pass> make_dce();
+std::unique_ptr<Pass> make_cse();
+std::unique_ptr<Pass> make_strength_reduce();
+std::unique_ptr<Pass> make_width_reduce();
+std::unique_ptr<Pass> make_predicate_conversion();
+std::unique_ptr<Pass> make_balance_branches();
+
+// ---- Rewrite utilities -------------------------------------------------
+
+/// Replaces every use of `from` (operands, predicates, statement
+/// conditions) with `to`. Does not touch `from`'s own operands.
+void replace_uses(ir::Module& m, ir::OpId from, ir::OpId to);
+
+/// Removes operations that are dead (not transitively required by writes,
+/// branch/loop conditions, or predicates of live ops), renumbering op ids.
+/// Statement ids remain stable: emptied op statements become empty
+/// sequences. Returns the number of removed ops.
+std::size_t compact(ir::Module& m);
+
+}  // namespace hls::opt

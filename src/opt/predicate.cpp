@@ -1,0 +1,221 @@
+// Branch predication (paper Figure 4): replaces fork-join structures in
+// the CFG by a straight-line segment with predicates enabling operations.
+//
+// The data merges (muxes) already exist in the DFG — the elaborator placed
+// them at the if-join (paper Figure 3 shows the MUX in the DFG while the
+// CFG still has If_top/If_bottom). This pass removes the control structure:
+//  * branch steps are interleaved (step k of then with step k of else),
+//    implicitly balancing latency to max(then, else) states;
+//  * every branch op is annotated with the branch predicate; nested
+//    predicates are combined with 1-bit AND/NOT logic;
+//  * side-effecting ops (writes) keep `no_speculate`, so they only execute
+//    when their predicate holds; pure ops may be speculated freely, and
+//    their predicate doubles as the mutual-exclusivity hint the allocator
+//    uses (paper Section IV.A).
+#include "opt/pass.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::kNoStmt;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+using ir::RegionTree;
+using ir::Stmt;
+using ir::StmtId;
+using ir::StmtKind;
+
+class PredicateConversion : public Pass {
+ public:
+  std::string_view name() const override { return "predicate-conversion"; }
+
+  bool run(ir::Module& m) override {
+    bool changed = false;
+    // Process post-order so inner ifs flatten before their parents.
+    changed |= process_children(m, m.thread.tree.root());
+    return changed;
+  }
+
+ private:
+  bool process_children(ir::Module& m, StmtId sid) {
+    RegionTree& tree = m.thread.tree;
+    bool changed = false;
+    // Copy the shape before mutation; child lists may be rewritten.
+    const Stmt snapshot = tree.stmt(sid);
+    switch (snapshot.kind) {
+      case StmtKind::kSeq:
+        for (StmtId c : snapshot.items) changed |= process_children(m, c);
+        break;
+      case StmtKind::kLoop:
+        changed |= process_children(m, snapshot.body);
+        break;
+      case StmtKind::kIf:
+        changed |= process_children(m, snapshot.then_body);
+        if (snapshot.else_body != kNoStmt) {
+          changed |= process_children(m, snapshot.else_body);
+        }
+        convert_if(m, sid);
+        changed = true;
+        break;
+      default:
+        break;
+    }
+    return changed;
+  }
+
+  /// One control step of a flattened branch: op statements in order.
+  using Segment = std::vector<StmtId>;
+
+  /// Splits an already if-free subtree into wait-separated segments of
+  /// op-statement ids.
+  void collect_segments(const RegionTree& tree, StmtId sid,
+                        std::vector<Segment>& segs) {
+    const Stmt& s = tree.stmt(sid);
+    switch (s.kind) {
+      case StmtKind::kSeq:
+        for (StmtId c : s.items) collect_segments(tree, c, segs);
+        break;
+      case StmtKind::kOp:
+        segs.back().push_back(sid);
+        break;
+      case StmtKind::kWait:
+        segs.emplace_back();
+        break;
+      case StmtKind::kIf:
+        throw InternalError("predication: nested if not yet flattened");
+      case StmtKind::kLoop:
+        throw UserError(
+            "predication: loops inside conditional branches are not "
+            "supported; unroll or restructure the loop");
+    }
+  }
+
+  void convert_if(ir::Module& m, StmtId if_id) {
+    RegionTree& tree = m.thread.tree;
+    Dfg& dfg = m.thread.dfg;
+    const Stmt snapshot = tree.stmt(if_id);
+    const OpId cond = snapshot.cond;
+
+    std::vector<Segment> then_segs{Segment{}};
+    std::vector<Segment> else_segs{Segment{}};
+    collect_segments(tree, snapshot.then_body, then_segs);
+    if (snapshot.else_body != kNoStmt) {
+      collect_segments(tree, snapshot.else_body, else_segs);
+    }
+
+    // Interleave step-wise; the shorter branch is implicitly padded, which
+    // balances the fork/join latency (paper Section V step I.1).
+    const std::size_t steps = std::max(then_segs.size(), else_segs.size());
+    std::vector<StmtId> merged;
+    pred_cache_.clear();
+    for (std::size_t k = 0; k < steps; ++k) {
+      if (k < then_segs.size()) {
+        for (StmtId os : then_segs[k]) {
+          apply_pred(m, os, cond, /*value=*/true, merged);
+          merged.push_back(os);
+        }
+      }
+      if (k < else_segs.size()) {
+        for (StmtId os : else_segs[k]) {
+          apply_pred(m, os, cond, /*value=*/false, merged);
+          merged.push_back(os);
+        }
+      }
+      if (k + 1 < steps) merged.push_back(tree.make_wait());
+    }
+
+    // The if statement becomes the merged straight-line sequence (stable
+    // statement id); the old branch sequences are emptied recursively so no
+    // statement outside the merged list still references the moved ops.
+    clear_subtree(tree, snapshot.then_body);
+    if (snapshot.else_body != kNoStmt) clear_subtree(tree, snapshot.else_body);
+    Stmt& s = tree.stmt_mut(if_id);
+    s.kind = StmtKind::kSeq;
+    s.items = std::move(merged);
+    s.cond = kNoOp;
+    s.then_body = kNoStmt;
+    s.else_body = kNoStmt;
+    (void)dfg;
+  }
+
+  /// Recursively empties every sequence in the subtree, detaching its op
+  /// statements (which now live in the merged list).
+  void clear_subtree(RegionTree& tree, StmtId sid) {
+    Stmt& s = tree.stmt_mut(sid);
+    if (s.kind == StmtKind::kSeq) {
+      const std::vector<StmtId> items = std::move(s.items);
+      s.items.clear();
+      for (StmtId c : items) clear_subtree(tree, c);
+    }
+  }
+
+  /// Sets or strengthens the predicate of the op behind `op_stmt`:
+  /// new predicate = old predicate AND (cond == value). Materialized 1-bit
+  /// NOT/AND ops are appended to `merged` right before their first use.
+  void apply_pred(ir::Module& m, StmtId op_stmt, OpId cond, bool value,
+                  std::vector<StmtId>& merged) {
+    RegionTree& tree = m.thread.tree;
+    Dfg& dfg = m.thread.dfg;
+    const OpId op = tree.stmt(op_stmt).op;
+    if (!dfg.op(op).has_pred()) {
+      Op& o = dfg.op_mut(op);
+      o.pred = cond;
+      o.pred_value = value;
+      return;
+    }
+    // Note: materialize() grows the DFG, so Op references must be re-fetched
+    // after each call.
+    const OpId pm =
+        materialize(m, dfg.op(op).pred, dfg.op(op).pred_value, merged);
+    const OpId cm = materialize(m, cond, value, merged);
+    const std::pair<OpId, OpId> key =
+        pm < cm ? std::pair{pm, cm} : std::pair{cm, pm};
+    OpId and_op;
+    if (auto it = and_cache_.find(key); it != and_cache_.end()) {
+      and_op = it->second;
+    } else {
+      and_op = dfg.binary(OpKind::kAnd, key.first, key.second, ir::bool_ty(),
+                          "pred_and");
+      merged.push_back(tree.make_op(and_op));
+      and_cache_.emplace(key, and_op);
+    }
+    Op& o = dfg.op_mut(op);  // re-fetch: the DFG may have reallocated
+    o.pred = and_op;
+    o.pred_value = true;
+  }
+
+  /// Returns an op equal to (p == value); inserts a NOT when value==false.
+  OpId materialize(ir::Module& m, OpId p, bool value,
+                   std::vector<StmtId>& merged) {
+    if (value) return p;
+    if (auto it = pred_cache_.find(p); it != pred_cache_.end()) {
+      return it->second;
+    }
+    Dfg& dfg = m.thread.dfg;
+    const OpId n =
+        dfg.unary(OpKind::kNot, p, ir::bool_ty(), "pred_not");
+    merged.push_back(m.thread.tree.make_op(n));
+    pred_cache_.emplace(p, n);
+    return n;
+  }
+
+  std::map<OpId, OpId> pred_cache_;
+  std::map<std::pair<OpId, OpId>, OpId> and_cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_predicate_conversion() {
+  return std::make_unique<PredicateConversion>();
+}
+
+}  // namespace hls::opt

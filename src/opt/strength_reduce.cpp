@@ -1,0 +1,146 @@
+// Operation strength reduction (paper Section II): multiplications by
+// power-of-two (or two-term) constants become shifts (free wiring / adds),
+// unsigned division and modulo by powers of two become shifts and masks.
+//
+// All rewrites are exact in the library's wrapping 2's-complement
+// semantics: x * 2^k == x << k modulo 2^w for signed and unsigned alike.
+#include "opt/pass.hpp"
+
+#include <bit>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+bool positive_pow2(std::int64_t v) {
+  return v > 0 && std::has_single_bit(static_cast<std::uint64_t>(v));
+}
+
+int log2_of(std::int64_t v) {
+  return std::countr_zero(static_cast<std::uint64_t>(v));
+}
+
+class StrengthReduce : public Pass {
+ public:
+  std::string_view name() const override { return "strength-reduce"; }
+
+  bool run(ir::Module& m) override {
+    Dfg& dfg = m.thread.dfg;
+    bool changed = false;
+    const std::size_t n = dfg.size();  // do not revisit ops added below
+    for (OpId id = 0; id < n; ++id) {
+      const Op o = dfg.op(id);  // copy: dfg grows during rewriting
+      OpId repl = kNoOp;
+      switch (o.kind) {
+        case OpKind::kMul: repl = reduce_mul(dfg, o); break;
+        case OpKind::kDiv: repl = reduce_div(dfg, o); break;
+        case OpKind::kMod: repl = reduce_mod(dfg, o); break;
+        default: break;
+      }
+      if (repl != kNoOp) {
+        attach_after(m, id, repl);
+        replace_uses(m, id, repl);
+        changed = true;
+      }
+    }
+    if (changed) compact(m);
+    return changed;
+  }
+
+ private:
+  /// New ops must appear in the region tree; insert them right where the
+  /// original op's statement lives so program order stays valid.
+  void attach_after(ir::Module& m, OpId original, OpId last_new) {
+    ir::RegionTree& tree = m.thread.tree;
+    // Create the new statements first: make_op may reallocate statement
+    // storage, so no Stmt reference may be held across these calls.
+    std::vector<ir::StmtId> inserted;
+    for (OpId nid = pending_first_; nid <= last_new; ++nid) {
+      inserted.push_back(tree.make_op(nid));
+    }
+    for (ir::StmtId sid = 0; sid < tree.size(); ++sid) {
+      if (tree.stmt(sid).kind != ir::StmtKind::kSeq) continue;
+      const auto& items = tree.stmt(sid).items;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const ir::Stmt& c = tree.stmt(items[i]);
+        if (c.kind == ir::StmtKind::kOp && c.op == original) {
+          auto& mut_items = tree.stmt_mut(sid).items;
+          mut_items.insert(
+              mut_items.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+              inserted.begin(), inserted.end());
+          return;
+        }
+      }
+    }
+    throw UserError("strength-reduce: original op not found in tree");
+  }
+
+  OpId reduce_mul(Dfg& dfg, const Op& o) {
+    OpId x = o.operands[0];
+    OpId c = o.operands[1];
+    if (dfg.is_const(x)) std::swap(x, c);
+    if (!dfg.is_const(c) || dfg.is_const(x)) return kNoOp;
+    const std::int64_t v = dfg.op(c).imm;
+    pending_first_ = static_cast<OpId>(dfg.size());
+    if (positive_pow2(v)) {
+      const OpId sh = dfg.constant(log2_of(v), ir::uint_ty(7));
+      return dfg.binary(OpKind::kShl, x, sh, o.type, o.name);
+    }
+    // Two-term decomposition: v = 2^a + 2^b  ->  (x<<a) + (x<<b).
+    const std::uint64_t uv = static_cast<std::uint64_t>(v);
+    if (v > 0 && std::popcount(uv) == 2) {
+      const int a = std::countr_zero(uv);
+      const int b = 63 - std::countl_zero(uv);
+      const OpId sa = dfg.constant(a, ir::uint_ty(7));
+      const OpId sb = dfg.constant(b, ir::uint_ty(7));
+      const OpId xa = dfg.binary(OpKind::kShl, x, sa, o.type);
+      const OpId xb = dfg.binary(OpKind::kShl, x, sb, o.type);
+      return dfg.binary(OpKind::kAdd, xa, xb, o.type, o.name);
+    }
+    return kNoOp;
+  }
+
+  OpId reduce_div(Dfg& dfg, const Op& o) {
+    const OpId x = o.operands[0];
+    const OpId c = o.operands[1];
+    if (!dfg.is_const(c)) return kNoOp;
+    const std::int64_t v = dfg.op(c).imm;
+    // Signed division by 2^k rounds toward zero, a shift rounds toward
+    // -inf; only the unsigned rewrite is exact.
+    if (o.type.is_signed || dfg.op(x).type.is_signed) return kNoOp;
+    if (!positive_pow2(v)) return kNoOp;
+    pending_first_ = static_cast<OpId>(dfg.size());
+    const OpId sh = dfg.constant(log2_of(v), ir::uint_ty(7));
+    return dfg.binary(OpKind::kShr, x, sh, o.type, o.name);
+  }
+
+  OpId reduce_mod(Dfg& dfg, const Op& o) {
+    const OpId x = o.operands[0];
+    const OpId c = o.operands[1];
+    if (!dfg.is_const(c)) return kNoOp;
+    const std::int64_t v = dfg.op(c).imm;
+    if (o.type.is_signed || dfg.op(x).type.is_signed) return kNoOp;
+    if (!positive_pow2(v)) return kNoOp;
+    pending_first_ = static_cast<OpId>(dfg.size());
+    const OpId mask = dfg.constant(v - 1, o.type);
+    return dfg.binary(OpKind::kAnd, x, mask, o.type, o.name);
+  }
+
+  OpId pending_first_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_strength_reduce() {
+  return std::make_unique<StrengthReduce>();
+}
+
+}  // namespace hls::opt

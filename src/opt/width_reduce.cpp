@@ -1,0 +1,148 @@
+// Operand width reduction (paper Section II).
+//
+// A backward demanded-bits analysis: each consumer demands a number of low
+// bits from its operands; an op whose demanded width is smaller than its
+// declared width is narrowed. Comparisons, divisions and right shifts
+// demand full operand width (their result depends on high bits);
+// truncations and bit-range extractions cut demand.
+#include "opt/pass.hpp"
+
+#include <algorithm>
+
+#include "ir/analysis.hpp"
+
+namespace hls::opt {
+
+namespace {
+
+using ir::Dfg;
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+class WidthReduce : public Pass {
+ public:
+  std::string_view name() const override { return "width-reduce"; }
+
+  bool run(ir::Module& m) override {
+    Dfg& dfg = m.thread.dfg;
+    const std::size_t n = dfg.size();
+    // demand[i] = how many low bits of op i's value consumers need.
+    std::vector<int> demand(n, 0);
+
+    auto demand_all = [&](OpId x) {
+      if (x != kNoOp) demand[x] = dfg.op(x).type.width;
+    };
+
+    // Seed and propagate in reverse topological order.
+    const auto order = dfg.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const OpId id = *it;
+      const Op& o = dfg.op(id);
+      int d = demand[id];
+      switch (o.kind) {
+        case OpKind::kWrite:
+          // Port width is what the environment observes.
+          demand[o.operands[0]] =
+              std::max(demand[o.operands[0]],
+                       static_cast<int>(dfg.op(o.operands[0]).type.width));
+          continue;
+        case OpKind::kTrunc:
+          demand[o.operands[0]] =
+              std::max(demand[o.operands[0]],
+                       std::min<int>(d, o.type.width));
+          continue;
+        case OpKind::kBitRange:
+          demand[o.operands[0]] =
+              std::max(demand[o.operands[0]], o.hi + 1);
+          continue;
+        default:
+          break;
+      }
+      if (d == 0) continue;  // dead or write-rooted only
+      switch (o.kind) {
+        // Bit i of the result depends only on bits 0..i of the inputs.
+        case OpKind::kAdd:
+        case OpKind::kSub:
+        case OpKind::kMul:
+        case OpKind::kAnd:
+        case OpKind::kOr:
+        case OpKind::kXor:
+        case OpKind::kNot:
+        case OpKind::kNeg:
+          for (OpId x : o.operands) {
+            if (x != kNoOp) demand[x] = std::max(demand[x], d);
+          }
+          break;
+        case OpKind::kMux:
+          demand[o.operands[0]] = std::max(demand[o.operands[0]], 1);
+          demand[o.operands[1]] = std::max(demand[o.operands[1]], d);
+          demand[o.operands[2]] = std::max(demand[o.operands[2]], d);
+          break;
+        case OpKind::kLoopMux:
+          demand[o.operands[0]] = std::max(demand[o.operands[0]], d);
+          // The carried operand is visited in a later (cyclic) iteration;
+          // be conservative and demand the full carried width.
+          demand_all(o.operands[1]);
+          break;
+        case OpKind::kZExt:
+        case OpKind::kSExt:
+          // Extension consumers may demand more than the operand has.
+          demand[o.operands[0]] = std::max(
+              demand[o.operands[0]],
+              std::min<int>(d, dfg.op(o.operands[0]).type.width));
+          break;
+        case OpKind::kShl: {
+          // Result bit i depends on operand bits <= i; shift amount known
+          // only dynamically, demand full width minus nothing: conservative.
+          demand_all(o.operands[0]);
+          demand_all(o.operands[1]);
+          break;
+        }
+        default:
+          // Comparisons, divisions, shifts right, concat, reads: demand
+          // everything from every operand.
+          for (OpId x : o.operands) demand_all(x);
+          if (o.pred != kNoOp) demand[o.pred] = 1;
+          break;
+      }
+      if (o.pred != kNoOp) demand[o.pred] = std::max(demand[o.pred], 1);
+    }
+
+    // Narrow ops whose declared width exceeds demand. Only pure wrapping
+    // kinds are narrowed; the op keeps its id, so uses need no rewriting —
+    // consumers already only look at the low bits we keep.
+    bool changed = false;
+    for (OpId id = 0; id < n; ++id) {
+      Op& o = dfg.op_mut(id);
+      const int d = demand[id];
+      if (d == 0 || d >= o.type.width) continue;
+      switch (o.kind) {
+        case OpKind::kAdd:
+        case OpKind::kSub:
+        case OpKind::kMul:
+        case OpKind::kAnd:
+        case OpKind::kOr:
+        case OpKind::kXor:
+        case OpKind::kNot:
+        case OpKind::kNeg:
+        case OpKind::kMux:
+          o.type.width = static_cast<std::uint8_t>(d);
+          changed = true;
+          break;
+        default:
+          break;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_width_reduce() {
+  return std::make_unique<WidthReduce>();
+}
+
+}  // namespace hls::opt

@@ -1,0 +1,46 @@
+#include "pipeline/equivalence.hpp"
+
+#include <map>
+
+#include "alloc/estimate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::pipeline {
+
+std::vector<std::vector<int>> equivalence_classes(int num_steps, int ii) {
+  HLS_ASSERT(ii >= 1, "II must be >= 1");
+  std::vector<std::vector<int>> classes(
+      static_cast<std::size_t>(std::min(ii, num_steps)));
+  for (int s = 0; s < num_steps; ++s) {
+    classes[static_cast<std::size_t>(s % ii)].push_back(s);
+  }
+  return classes;
+}
+
+bool respects_equivalent_edges(const ir::Dfg& dfg, const sched::Schedule& s,
+                               const std::vector<ir::OpId>& region_ops,
+                               std::pair<ir::OpId, ir::OpId>* out) {
+  std::map<std::tuple<int, int, int>, std::vector<ir::OpId>> occupancy;
+  for (ir::OpId id : region_ops) {
+    const auto& pl = s.placement[id];
+    if (!pl.scheduled || pl.pool < 0) continue;
+    const int lat =
+        s.resources.pools[static_cast<std::size_t>(pl.pool)].latency_cycles;
+    for (int t = pl.step - lat; t < pl.step - lat + std::max(1, lat); ++t) {
+      occupancy[{pl.pool, pl.instance, s.kernel_step(t)}].push_back(id);
+    }
+  }
+  for (const auto& [key, ops] : occupancy) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (!alloc::mutually_exclusive(dfg, ops[i], ops[j])) {
+          if (out != nullptr) *out = {ops[i], ops[j]};
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hls::pipeline

@@ -1,0 +1,24 @@
+// Edge equivalence for pipelining (paper Section V, step I.2): control
+// steps that are II states apart fold onto a single kernel edge; operations
+// scheduled on equivalent edges cannot share a resource instance (unless
+// they depend on orthogonal predicates).
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hls::pipeline {
+
+/// Partition of steps 0..num_steps-1 into equivalence classes modulo II.
+/// Class k lists the steps folding onto kernel edge k.
+std::vector<std::vector<int>> equivalence_classes(int num_steps, int ii);
+
+/// Verifies the equivalent-edge resource exclusion on a schedule: no two
+/// non-exclusive ops share an instance on equivalent steps. Returns the
+/// offending op pair via `out` (if non-null) and false on violation.
+bool respects_equivalent_edges(const ir::Dfg& dfg, const sched::Schedule& s,
+                               const std::vector<ir::OpId>& region_ops,
+                               std::pair<ir::OpId, ir::OpId>* out = nullptr);
+
+}  // namespace hls::pipeline

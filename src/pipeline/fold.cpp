@@ -1,0 +1,99 @@
+#include "pipeline/fold.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::pipeline {
+
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+int FoldedKernel::pipe_register_bits() const {
+  int bits = 0;
+  for (const PipeReg& r : pipe_regs) bits += r.chain_length() * r.width;
+  return bits;
+}
+
+FoldedKernel fold_schedule(const ir::Dfg& dfg, const sched::Schedule& s,
+                           const std::vector<OpId>& region_ops) {
+  FoldedKernel k;
+  k.li = s.num_steps;
+  k.ii = s.pipeline.enabled ? s.pipeline.ii : s.num_steps;
+  if (k.ii < 1) k.ii = 1;
+  k.stages = (k.li + k.ii - 1) / k.ii;
+  k.slots.assign(static_cast<std::size_t>(std::min(k.ii, k.li)), {});
+
+  std::vector<bool> in_region(dfg.size(), false);
+  for (OpId id : region_ops) in_region[id] = true;
+
+  // Fold each op onto its kernel edge.
+  for (OpId id : region_ops) {
+    const auto& pl = s.placement[id];
+    HLS_ASSERT(pl.scheduled, "fold: unscheduled op %", id);
+    SlotOp so;
+    so.op = id;
+    so.orig_step = pl.step;
+    so.stage = pl.step / k.ii;
+    k.slots[static_cast<std::size_t>(pl.step % k.ii)].push_back(so);
+  }
+  for (auto& slot : k.slots) {
+    std::sort(slot.begin(), slot.end(), [](const SlotOp& a, const SlotOp& b) {
+      if (a.stage != b.stage) return a.stage < b.stage;
+      if (a.orig_step != b.orig_step) return a.orig_step < b.orig_step;
+      return a.op < b.op;
+    });
+  }
+
+  // Pipeline registers: a value produced in stage sp and consumed in stage
+  // sc > sp needs a chain of (sc - sp) registers.
+  std::map<OpId, int> max_to_stage;
+  for (OpId id : region_ops) {
+    const Op& o = dfg.op(id);
+    const int my_stage = s.placement[id].step / k.ii;
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      const OpId d = o.operands[i];
+      if (d == kNoOp || !in_region[d]) continue;
+      if (o.kind == OpKind::kLoopMux && i == 1) continue;  // carried
+      const int d_stage = s.placement[d].step / k.ii;
+      if (my_stage > d_stage) {
+        auto [it, inserted] = max_to_stage.emplace(d, my_stage);
+        if (!inserted) it->second = std::max(it->second, my_stage);
+      }
+    }
+    if (o.pred != kNoOp && in_region[o.pred]) {
+      const int p_stage = s.placement[o.pred].step / k.ii;
+      if (my_stage > p_stage) {
+        auto [it, inserted] = max_to_stage.emplace(o.pred, my_stage);
+        if (!inserted) it->second = std::max(it->second, my_stage);
+      }
+    }
+  }
+  for (const auto& [value, to_stage] : max_to_stage) {
+    PipeReg r;
+    r.value = value;
+    r.from_stage = s.placement[value].step / k.ii;
+    r.to_stage = to_stage;
+    r.width = dfg.op(value).type.width;
+    k.pipe_regs.push_back(r);
+  }
+
+  // Loop-carried registers.
+  for (OpId id : region_ops) {
+    const Op& o = dfg.op(id);
+    if (o.kind != OpKind::kLoopMux) continue;
+    const OpId carried = o.operands[1];
+    if (carried == kNoOp || !in_region[carried]) continue;
+    CarriedReg r;
+    r.loop_mux = id;
+    r.producer = carried;
+    r.width = o.type.width;
+    k.carried_regs.push_back(r);
+  }
+  return k;
+}
+
+}  // namespace hls::pipeline

@@ -1,0 +1,67 @@
+// Folding (paper Section V, step II): "Once the loop is successfully
+// scheduled in LI states, it needs to be folded to reduce the number of
+// states in the body to II. This is done by folding equivalent edges onto
+// a single edge, whose scheduled set of operations is the union of the
+// operations from the folded edges. Additional control is added to
+// represent the pipeline stage that is being executed. ... all loop
+// operations are predicated by the corresponding stage signals."
+//
+// FoldedKernel is that folded representation: per kernel edge, the ops of
+// each stage; plus the pipeline register chains for values that cross
+// stage boundaries and the loop-carried registers.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hls::pipeline {
+
+struct SlotOp {
+  ir::OpId op = ir::kNoOp;
+  int stage = 0;      ///< pipeline stage executing the op
+  int orig_step = 0;  ///< state in the unfolded LI-state schedule
+};
+
+/// A value that must survive across stage boundaries: the producer's
+/// result is carried through `chain_length` pipeline registers so each
+/// in-flight iteration reads its own copy.
+struct PipeReg {
+  ir::OpId value = ir::kNoOp;
+  int from_stage = 0;
+  int to_stage = 0;
+  int width = 0;
+
+  int chain_length() const { return to_stage - from_stage; }
+};
+
+/// A loop-carried register (written once per iteration by the carried
+/// producer, read by the loop mux of the next iteration).
+struct CarriedReg {
+  ir::OpId loop_mux = ir::kNoOp;
+  ir::OpId producer = ir::kNoOp;
+  int width = 0;
+};
+
+struct FoldedKernel {
+  int ii = 1;
+  int li = 1;
+  int stages = 1;
+  /// slots[k]: ops folded onto kernel edge k, ordered by stage then step.
+  std::vector<std::vector<SlotOp>> slots;
+  std::vector<PipeReg> pipe_regs;
+  std::vector<CarriedReg> carried_regs;
+
+  /// Cycles before the pipeline reaches steady state (first iteration
+  /// finishing): (stages - 1) * II.
+  int prologue_cycles() const { return (stages - 1) * ii; }
+  /// Total pipeline register bits (a cost of pipelining).
+  int pipe_register_bits() const;
+};
+
+/// Folds a validated pipelined schedule. For non-pipelined schedules this
+/// degenerates to II = LI (one stage, no pipe registers).
+FoldedKernel fold_schedule(const ir::Dfg& dfg, const sched::Schedule& s,
+                           const std::vector<ir::OpId>& region_ops);
+
+}  // namespace hls::pipeline

@@ -1,0 +1,41 @@
+#include "pipeline/scc.hpp"
+
+#include <algorithm>
+
+#include "sched/schedule.hpp"
+
+namespace hls::pipeline {
+
+std::vector<std::vector<ir::OpId>> region_sccs(
+    const ir::Dfg& dfg, const std::vector<ir::OpId>& region_ops) {
+  std::vector<bool> in_region(dfg.size(), false);
+  for (ir::OpId id : region_ops) in_region[id] = true;
+  std::vector<std::vector<ir::OpId>> out;
+  for (auto& comp : ir::nontrivial_sccs(dfg)) {
+    if (std::all_of(comp.begin(), comp.end(),
+                    [&](ir::OpId id) { return in_region[id]; })) {
+      out.push_back(std::move(comp));
+    }
+  }
+  return out;
+}
+
+int first_scc_window_violation(const ir::Dfg& dfg,
+                               const std::vector<ir::OpId>& region_ops,
+                               const sched::Schedule& s) {
+  if (!s.pipeline.enabled) return -1;
+  const auto sccs = region_sccs(dfg, region_ops);
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    int lo = s.num_steps;
+    int hi = -1;
+    for (ir::OpId id : sccs[i]) {
+      if (!s.placement[id].scheduled) continue;
+      lo = std::min(lo, s.placement[id].step);
+      hi = std::max(hi, s.placement[id].step);
+    }
+    if (hi >= lo && hi - lo > s.pipeline.ii - 1) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace hls::pipeline

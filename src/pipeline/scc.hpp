@@ -1,0 +1,25 @@
+// SCC utilities for pipelining (paper Section V, requirement a):
+// "preserving causality requires all operations from each strongly
+// connected component of the DFG to be scheduled within II states."
+#pragma once
+
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "sched/schedule.hpp"
+
+namespace hls::pipeline {
+
+/// SCCs of the dependence graph (including loop-carried edges) restricted
+/// to the given region: only components whose members all belong to the
+/// region are returned (those are this loop's inter-iteration cycles).
+std::vector<std::vector<ir::OpId>> region_sccs(
+    const ir::Dfg& dfg, const std::vector<ir::OpId>& region_ops);
+
+/// Checks the II-window invariant on a schedule: every SCC spans at most
+/// II states. Returns the index of the first violating SCC or -1.
+int first_scc_window_violation(const ir::Dfg& dfg,
+                               const std::vector<ir::OpId>& region_ops,
+                               const sched::Schedule& s);
+
+}  // namespace hls::pipeline

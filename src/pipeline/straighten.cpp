@@ -1,0 +1,23 @@
+#include "pipeline/straighten.hpp"
+
+#include "opt/pass.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::pipeline {
+
+bool straighten(ir::Module& m) {
+  bool changed = false;
+  auto balance = opt::make_balance_branches();
+  changed |= balance->run(m);
+  auto pred = opt::make_predicate_conversion();
+  changed |= pred->run(m);
+  return changed;
+}
+
+bool is_straight(const ir::Module& m, ir::StmtId loop) {
+  const ir::Stmt& s = m.thread.tree.stmt(loop);
+  HLS_ASSERT(s.kind == ir::StmtKind::kLoop, "is_straight: not a loop");
+  return !m.thread.tree.has_branches(s.body);
+}
+
+}  // namespace hls::pipeline

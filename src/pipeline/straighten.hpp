@@ -1,0 +1,24 @@
+// Loop straightening (paper Section V, step I.1): "Converting the loop
+// into a straight-line sequence of nodes in the CFG ... by first balancing
+// the latency of all fork/join regions of the loop body ... and then
+// applying full predicate conversion."
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace hls::ir {
+class Module;
+}
+
+namespace hls::pipeline {
+
+/// Balances branches and fully predicates the module's control structure.
+/// After this, every loop body is linearizable. Returns true if anything
+/// changed. Throws UserError on constructs predication cannot remove
+/// (loops nested inside conditionals).
+bool straighten(ir::Module& m);
+
+/// True if the given loop body is already a straight line (no branches).
+bool is_straight(const ir::Module& m, ir::StmtId loop);
+
+}  // namespace hls::pipeline

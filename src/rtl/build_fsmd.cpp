@@ -1,0 +1,116 @@
+#include <algorithm>
+
+#include "rtl/fsmd.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::rtl {
+
+using ir::kNoOp;
+using ir::kNoStmt;
+using ir::OpId;
+using ir::Stmt;
+using ir::StmtId;
+using ir::StmtKind;
+
+namespace {
+
+/// Collects straight-line ops of a subtree into `out`; rejects control.
+void collect_straight(const ir::RegionTree& tree, StmtId sid,
+                      std::vector<OpId>& out) {
+  const Stmt& s = tree.stmt(sid);
+  switch (s.kind) {
+    case StmtKind::kSeq:
+      for (StmtId c : s.items) collect_straight(tree, c, out);
+      break;
+    case StmtKind::kOp:
+      out.push_back(s.op);
+      break;
+    case StmtKind::kWait:
+      break;  // pre/post segments execute in as many cycles as needed
+    case StmtKind::kIf:
+      throw UserError(
+          "RTL generation requires predicated control flow; run "
+          "predicate conversion first");
+    case StmtKind::kLoop:
+      throw UserError(
+          "RTL generation supports one scheduled loop per thread; found an "
+          "additional loop outside the scheduled region");
+  }
+}
+
+}  // namespace
+
+ModuleMachine build_machine(const ir::Module& m, StmtId loop,
+                            sched::Schedule schedule) {
+  const ir::RegionTree& tree = m.thread.tree;
+  const Stmt& loop_stmt = tree.stmt(loop);
+  HLS_ASSERT(loop_stmt.kind == StmtKind::kLoop, "build_machine: not a loop");
+
+  ModuleMachine mm;
+  mm.module = &m;
+
+  // Identify the thread shape: root items, possibly one forever loop
+  // containing [pre..., loop, post...].
+  StmtId context_seq = tree.root();
+  const Stmt* root = &tree.stmt(tree.root());
+  // Find a forever wrapper: a single kLoop(kForever) somewhere in the root
+  // sequence that contains our loop.
+  for (StmtId item : root->items) {
+    const Stmt& s = tree.stmt(item);
+    if (s.kind == StmtKind::kLoop && s.loop_kind == ir::LoopKind::kForever &&
+        item != loop) {
+      // The scheduled loop must be inside it.
+      const auto loops = tree.loops_in(item);
+      if (std::find(loops.begin(), loops.end(), loop) != loops.end()) {
+        mm.has_forever = true;
+        context_seq = s.body;
+        break;
+      }
+    }
+  }
+
+  // Split the context sequence into pre / loop / post.
+  bool seen_loop = false;
+  const Stmt& ctx = tree.stmt(context_seq);
+  HLS_ASSERT(ctx.kind == StmtKind::kSeq, "loop context is not a sequence");
+  for (StmtId item : ctx.items) {
+    if (item == loop) {
+      seen_loop = true;
+      continue;
+    }
+    const Stmt& s = tree.stmt(item);
+    if (s.kind == StmtKind::kLoop) {
+      throw UserError(
+          "RTL generation supports one scheduled loop per thread");
+    }
+    collect_straight(tree, item, seen_loop ? mm.post_ops : mm.pre_ops);
+  }
+  HLS_ASSERT(seen_loop, "scheduled loop not found in its context sequence");
+
+  // Loop machine.
+  LoopMachine& lm = mm.loop;
+  lm.loop = loop;
+  lm.kind = loop_stmt.loop_kind;
+  lm.trip_count = loop_stmt.trip_count;
+  lm.exit_cond = loop_stmt.cond;
+  lm.region_ops = tree.ops_in(loop, /*into_nested_loops=*/false);
+  lm.schedule = std::move(schedule);
+
+  // Intra-step execution order: global topological order filtered by step.
+  const auto order = m.thread.dfg.topo_order();
+  lm.step_ops.assign(static_cast<std::size_t>(lm.schedule.num_steps), {});
+  std::vector<bool> in_region(m.thread.dfg.size(), false);
+  for (OpId id : lm.region_ops) in_region[id] = true;
+  for (OpId id : order) {
+    if (!in_region[id]) continue;
+    const auto& pl = lm.schedule.placement[id];
+    HLS_ASSERT(pl.scheduled, "build_machine: op %", id, " unscheduled");
+    lm.step_ops[static_cast<std::size_t>(pl.step)].push_back(id);
+  }
+  lm.folded =
+      pipeline::fold_schedule(m.thread.dfg, lm.schedule, lm.region_ops);
+  return mm;
+}
+
+}  // namespace hls::rtl

@@ -1,0 +1,52 @@
+// The FSM+datapath machine generated from a scheduled module — the output
+// generator's RTL-level model (paper Section II / Figure 2).
+//
+// Supported thread shape (covers the paper's examples and all bundled
+// workloads): an optional while(true) wrapper around
+//   [straight-line pre ops]  loop(scheduled region)  [straight-line post].
+//
+// The machine is executed by the cycle-accurate simulator (sim.hpp), which
+// models pipelined execution with one context per in-flight iteration —
+// the behavioural equivalent of the folded kernel's stage-valid signals
+// and pipeline register chains — including prologue/epilogue behaviour and
+// squashing of speculatively initiated iterations on loop exit.
+#pragma once
+
+#include "ir/module.hpp"
+#include "pipeline/fold.hpp"
+#include "sched/schedule.hpp"
+
+namespace hls::rtl {
+
+struct LoopMachine {
+  ir::StmtId loop = ir::kNoStmt;
+  ir::LoopKind kind = ir::LoopKind::kCounted;
+  std::int64_t trip_count = 0;       ///< kCounted
+  ir::OpId exit_cond = ir::kNoOp;    ///< kDoWhile: continue while != 0
+  sched::Schedule schedule;
+  std::vector<ir::OpId> region_ops;
+  /// Ops of each step in intra-step topological (chaining) order.
+  std::vector<std::vector<ir::OpId>> step_ops;
+  pipeline::FoldedKernel folded;
+
+  /// Initiation interval in cycles: II when pipelined, LI otherwise.
+  int initiation_interval() const {
+    return schedule.pipeline.enabled ? schedule.pipeline.ii
+                                     : schedule.num_steps;
+  }
+};
+
+struct ModuleMachine {
+  const ir::Module* module = nullptr;
+  bool has_forever = false;          ///< thread wrapped in while(true)
+  std::vector<ir::OpId> pre_ops;     ///< before the loop, program order
+  std::vector<ir::OpId> post_ops;    ///< after the loop, program order
+  LoopMachine loop;
+};
+
+/// Builds the machine from a module whose loop `loop` was scheduled with
+/// `schedule`. Throws UserError if the thread shape is unsupported.
+ModuleMachine build_machine(const ir::Module& m, ir::StmtId loop,
+                            sched::Schedule schedule);
+
+}  // namespace hls::rtl

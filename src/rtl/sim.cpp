@@ -1,0 +1,328 @@
+#include "rtl/sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::rtl {
+
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+double SimResult::measured_ii() const {
+  if (initiation_cycles.size() < 2) return 0;
+  return static_cast<double>(initiation_cycles.back() -
+                             initiation_cycles.front()) /
+         static_cast<double>(initiation_cycles.size() - 1);
+}
+
+namespace {
+
+/// Internal control-flow signal: an input stream ran out.
+struct StreamEnd {};
+
+class Simulator {
+ public:
+  Simulator(const ModuleMachine& mm, const ir::Stimulus& stim,
+            const SimOptions& opts)
+      : mm_(mm), dfg_(mm.module->thread.dfg), opts_(opts) {
+    outer_vals_.assign(dfg_.size(), 0);
+    for (OpId id = 0; id < dfg_.size(); ++id) {
+      if (dfg_.op(id).kind == OpKind::kConst) {
+        outer_vals_[id] = dfg_.op(id).imm;
+      }
+    }
+    port_streams_.resize(mm.module->ports.size(), nullptr);
+    for (std::uint32_t i = 0; i < mm.module->ports.size(); ++i) {
+      auto it = stim.streams.find(mm.module->ports[i].name);
+      if (it != stim.streams.end()) port_streams_[i] = &it->second;
+    }
+    in_region_.assign(dfg_.size(), false);
+    for (OpId id : mm.loop.region_ops) in_region_[id] = true;
+  }
+
+  SimResult run() {
+    try {
+      std::int64_t outer = 0;
+      do {
+        eval_straight(mm_.pre_ops, outer);
+        run_loop();
+        eval_straight(mm_.post_ops, outer);
+        ++outer;
+      } while (mm_.has_forever && result_.cycles < opts_.max_cycles);
+    } catch (const StreamEnd&) {
+      result_.stream_exhausted = true;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Ctx {
+    std::int64_t global_iter = 0;  ///< stream index
+    std::int64_t local_index = 0;  ///< iteration within this loop entry
+    int next_step = 0;
+    bool squashed = false;
+    std::vector<std::int64_t> vals;
+  };
+
+  std::int64_t stream_value(std::uint32_t port, std::int64_t index) {
+    const auto* stream = port_streams_[port];
+    if (stream == nullptr ||
+        index >= static_cast<std::int64_t>(stream->size())) {
+      throw StreamEnd{};
+    }
+    return (*stream)[static_cast<std::size_t>(index)];
+  }
+
+  // ---- Straight-line pre/post segments ---------------------------------------
+
+  void eval_straight(const std::vector<OpId>& ops, std::int64_t index) {
+    for (OpId id : ops) {
+      const Op& o = dfg_.op(id);
+      bool pred_ok = true;
+      if (o.pred != kNoOp) {
+        pred_ok = (outer_lookup(o.pred) != 0) == o.pred_value;
+      }
+      switch (o.kind) {
+        case OpKind::kConst:
+          break;
+        case OpKind::kRead:
+          outer_vals_[id] =
+              ir::canonicalize(stream_value(o.port, index), o.type);
+          break;
+        case OpKind::kWrite:
+          if (pred_ok) {
+            result_.writes.push_back(
+                {o.port, ir::canonicalize(outer_lookup(o.operands[0]),
+                                          mm_.module->ports[o.port].type)});
+          }
+          break;
+        case OpKind::kLoopMux:
+          break;  // not expected outside loops; value stays 0
+        default: {
+          if (!pred_ok && o.no_speculate) {
+            outer_vals_[id] = 0;
+            break;
+          }
+          std::int64_t args[3] = {0, 0, 0};
+          for (std::size_t i = 0; i < o.operands.size(); ++i) {
+            args[i] = outer_lookup(o.operands[i]);
+          }
+          outer_vals_[id] = ir::Dfg::evaluate(o, args, o.operands.size());
+        }
+      }
+    }
+  }
+
+  /// Value of an op as seen from outside the loop: region ops resolve to
+  /// the last committed iteration's value (reading results after the loop).
+  std::int64_t outer_lookup(OpId id) {
+    if (in_region_[id] && !last_committed_vals_.empty()) {
+      return last_committed_vals_[id];
+    }
+    return outer_vals_[id];
+  }
+
+  // ---- The scheduled loop -------------------------------------------------------
+
+  void run_loop() {
+    const LoopMachine& lm = mm_.loop;
+    const int ii = lm.initiation_interval();
+    const int li = lm.schedule.num_steps;
+
+    std::deque<Ctx> ctxs;
+    std::vector<std::int64_t> prev_done_vals;  // last completed iteration
+    bool prev_done_valid = false;
+    bool stop_initiating = false;
+    bool stream_ended = false;
+    std::int64_t initiated_local = 0;
+    int since_last_init = ii;  // initiate on the first cycle
+    std::vector<std::pair<std::int64_t, ir::TraceEvent>> batch;
+
+    auto squash_from = [&](std::int64_t local) {
+      for (Ctx& c : ctxs) {
+        if (c.local_index >= local) c.squashed = true;
+      }
+      stop_initiating = true;
+    };
+
+    while (result_.cycles < opts_.max_cycles) {
+      // Initiation.
+      const bool may_initiate =
+          !stop_initiating &&
+          (lm.kind != ir::LoopKind::kCounted ||
+           initiated_local < lm.trip_count) &&
+          since_last_init >= ii &&
+          static_cast<int>(ctxs.size()) < lm.folded.stages + 1;
+      if (may_initiate) {
+        Ctx c;
+        c.global_iter = loop_counter_;
+        c.local_index = initiated_local++;
+        c.vals.assign(dfg_.size(), 0);
+        ++loop_counter_;
+        ctxs.push_back(std::move(c));
+        pending_initiations_.push_back(result_.cycles);
+        since_last_init = 0;
+      }
+
+      // Execute one cycle: every live context advances one step, oldest
+      // first. A context whose read runs off its stream is squashed along
+      // with everything younger; older iterations keep draining, exactly
+      // like hardware that stops receiving input.
+      for (Ctx& c : ctxs) {
+        if (c.next_step >= li) continue;
+        if (!c.squashed) {
+          try {
+            exec_step(lm, c, ctxs, prev_done_vals, prev_done_valid, batch,
+                      squash_from);
+          } catch (const StreamEnd&) {
+            stream_ended = true;
+            squash_from(c.local_index);
+          }
+        }
+        ++c.next_step;
+      }
+      ++result_.cycles;
+      ++since_last_init;
+
+      // Retire completed contexts (in order).
+      while (!ctxs.empty() && ctxs.front().next_step >= li) {
+        Ctx& c = ctxs.front();
+        if (!c.squashed) {
+          prev_done_vals = std::move(c.vals);
+          prev_done_valid = true;
+          last_committed_vals_ = prev_done_vals;
+          ++result_.iterations_committed;
+          result_.initiation_cycles.push_back(
+              pending_initiations_[static_cast<std::size_t>(c.local_index)]);
+        }
+        ctxs.pop_front();
+      }
+
+      if (ctxs.empty()) {
+        const bool more =
+            !stop_initiating &&
+            (lm.kind != ir::LoopKind::kCounted ||
+             initiated_local < lm.trip_count);
+        if (!more) break;
+      }
+    }
+
+    // Loop writes are appended in iteration order (matching the untimed
+    // reference); the pipeline may have produced them out of order in time.
+    std::sort(batch.begin(), batch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [key, ev] : batch) result_.writes.push_back(ev);
+    pending_initiations_.clear();
+    if (stream_ended) throw StreamEnd{};  // abort like the interpreter
+  }
+
+  template <typename SquashFn>
+  void exec_step(const LoopMachine& lm, Ctx& c, std::deque<Ctx>& ctxs,
+                 std::vector<std::int64_t>& prev_done_vals,
+                 bool prev_done_valid,
+                 std::vector<std::pair<std::int64_t, ir::TraceEvent>>& batch,
+                 const SquashFn& squash_from) {
+    const auto& ops = lm.step_ops[static_cast<std::size_t>(c.next_step)];
+    for (OpId id : ops) {
+      const Op& o = dfg_.op(id);
+      auto lookup = [&](OpId d) -> std::int64_t {
+        return in_region_[d] ? c.vals[d] : outer_vals_[d];
+      };
+      bool pred_ok = true;
+      if (o.pred != kNoOp) pred_ok = (lookup(o.pred) != 0) == o.pred_value;
+      switch (o.kind) {
+        case OpKind::kRead:
+          c.vals[id] =
+              ir::canonicalize(stream_value(o.port, c.global_iter), o.type);
+          break;
+        case OpKind::kWrite:
+          if (pred_ok) {
+            const std::int64_t key =
+                c.global_iter * 1'000'000 + c.next_step;
+            batch.push_back(
+                {key,
+                 ir::TraceEvent{o.port,
+                                ir::canonicalize(
+                                    lookup(o.operands[0]),
+                                    mm_.module->ports[o.port].type)}});
+          }
+          break;
+        case OpKind::kLoopMux: {
+          if (c.local_index == 0) {
+            c.vals[id] = ir::canonicalize(
+                in_region_[o.operands[0]] ? c.vals[o.operands[0]]
+                                          : outer_vals_[o.operands[0]],
+                o.type);
+          } else {
+            // Value of the carried producer from the previous iteration.
+            const OpId carried = o.operands[1];
+            const Ctx* prev = nullptr;
+            for (const Ctx& other : ctxs) {
+              if (other.local_index == c.local_index - 1) prev = &other;
+            }
+            if (prev != nullptr) {
+              // The previous iteration must already have computed it —
+              // this is exactly the paper's SCC-within-II-states condition.
+              HLS_ASSERT(
+                  prev->next_step > lm.schedule.placement[carried].step,
+                  "loop-carried value read before the previous iteration "
+                  "produced it: SCC window violated for op %", id);
+              c.vals[id] = ir::canonicalize(prev->vals[carried], o.type);
+            } else {
+              HLS_ASSERT(prev_done_valid,
+                         "loop-carried predecessor context missing");
+              c.vals[id] = ir::canonicalize(prev_done_vals[carried], o.type);
+            }
+          }
+          break;
+        }
+        case OpKind::kConst:
+          c.vals[id] = o.imm;
+          break;
+        default: {
+          if (!pred_ok && o.no_speculate) {
+            c.vals[id] = 0;
+            break;
+          }
+          std::int64_t args[3] = {0, 0, 0};
+          for (std::size_t i = 0; i < o.operands.size(); ++i) {
+            args[i] = lookup(o.operands[i]);
+          }
+          c.vals[id] = ir::Dfg::evaluate(o, args, o.operands.size());
+        }
+      }
+      // Do-while exit: as soon as the oldest non-squashed iteration
+      // computes a false continue condition, younger iterations die.
+      if (lm.kind == ir::LoopKind::kDoWhile && id == lm.exit_cond &&
+          !c.squashed) {
+        if (c.vals[id] == 0) squash_from(c.local_index + 1);
+      }
+    }
+  }
+
+  const ModuleMachine& mm_;
+  const ir::Dfg& dfg_;
+  SimOptions opts_;
+  SimResult result_;
+  std::vector<std::int64_t> outer_vals_;
+  std::vector<std::int64_t> last_committed_vals_;
+  std::vector<const std::vector<std::int64_t>*> port_streams_;
+  std::vector<bool> in_region_;
+  std::vector<std::int64_t> pending_initiations_;
+  std::int64_t loop_counter_ = 0;
+};
+
+}  // namespace
+
+SimResult simulate(const ModuleMachine& mm, const ir::Stimulus& stimulus,
+                   const SimOptions& options) {
+  Simulator sim(mm, stimulus, options);
+  return sim.run();
+}
+
+}  // namespace hls::rtl

@@ -1,0 +1,43 @@
+// Cycle-accurate simulation of the generated FSM+datapath machine.
+//
+// Pipelined loops are executed with one context per in-flight iteration —
+// the behavioural equivalent of the folded kernel's stage-valid bits and
+// pipeline register chains. The simulator reproduces:
+//  * initiation every II cycles (prologue ramp-up, steady state),
+//  * epilogue draining,
+//  * speculative initiation of data-dependent (do-while) loops with
+//    squashing of younger iterations once the exit fires,
+//  * loop-carried value forwarding (checked against the SCC window),
+//  * predicated write suppression.
+//
+// I/O follows the library's per-iteration stream convention (ir/interp.hpp)
+// so simulation traces are directly comparable to the reference
+// interpreter.
+#pragma once
+
+#include "ir/interp.hpp"
+#include "rtl/fsmd.hpp"
+
+namespace hls::rtl {
+
+struct SimOptions {
+  std::int64_t max_cycles = 1'000'000;
+};
+
+struct SimResult {
+  std::vector<ir::TraceEvent> writes;  ///< program order (per iteration)
+  std::int64_t cycles = 0;
+  std::int64_t iterations_committed = 0;
+  /// Absolute cycle at which each committed iteration entered its first
+  /// state; steady-state deltas measure the achieved II.
+  std::vector<std::int64_t> initiation_cycles;
+  bool stream_exhausted = false;
+
+  /// Average initiation distance in steady state (0 if < 2 initiations).
+  double measured_ii() const;
+};
+
+SimResult simulate(const ModuleMachine& mm, const ir::Stimulus& stimulus,
+                   const SimOptions& options = {});
+
+}  // namespace hls::rtl

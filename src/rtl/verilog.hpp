@@ -1,0 +1,16 @@
+// Structural Verilog emission for the scheduled (and optionally folded)
+// machine: FSM with kernel states and stage-valid bits, shared function
+// units with input sharing muxes selected by state, step-crossing
+// registers, pipeline register chains, and predicated output writes.
+#pragma once
+
+#include <string>
+
+#include "rtl/fsmd.hpp"
+
+namespace hls::rtl {
+
+/// Emits synthesizable-style Verilog for the machine's scheduled loop.
+std::string emit_verilog(const ModuleMachine& mm);
+
+}  // namespace hls::rtl

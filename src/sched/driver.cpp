@@ -1,0 +1,123 @@
+#include "sched/driver.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "tech/library.hpp"
+
+namespace hls::sched {
+
+SchedulerResult schedule_region(const ir::Dfg& dfg,
+                                const ir::LinearRegion& region,
+                                ir::LatencyBound latency,
+                                std::size_t num_ports,
+                                const SchedulerOptions& options) {
+  const tech::Library& lib =
+      options.lib != nullptr ? *options.lib : tech::artisan90();
+  timing::TimingEngine eng(lib, options.tclk_ps);
+
+  Problem p = build_problem(dfg, region, latency, lib, options.tclk_ps,
+                            options.pipeline, num_ports, options.anchor_io,
+                            options.use_mutual_exclusivity);
+  p.enable_chaining = options.enable_chaining;
+  p.avoid_comb_cycles = options.avoid_comb_cycles;
+  p.exclusive_colocation = options.use_mutual_exclusivity;
+
+  // Recurrence bound: an SCC whose optimistic chain needs more states than
+  // II can never satisfy the window constraint, no matter where the window
+  // sits (the designer must raise II; the paper leaves II to the designer).
+  if (options.pipeline.enabled) {
+    for (std::size_t i = 0; i < p.sccs.size(); ++i) {
+      const int needed = scc_min_states(p, p.sccs[i]);
+      if (needed > options.pipeline.ii) {
+        SchedulerResult result;
+        result.failure_reason = strf(
+            "recurrence infeasible: an inter-iteration dependency cycle "
+            "(SCC #", i, ", ", p.sccs[i].size(), " ops) needs at least ",
+            needed, " states, more than II=", options.pipeline.ii,
+            "; increase the initiation interval or the clock period");
+        return result;
+      }
+    }
+  }
+
+  ExpertOptions eopts;
+  eopts.latency = latency;
+  if (options.pipeline.enabled) {
+    // LI may grow beyond the sequential bound as long as the designer's
+    // maximum allows; the minimum is II+1 (paper Section V, condition 2).
+    eopts.latency.min = std::max(latency.min, options.pipeline.ii + 1);
+    eopts.latency.max = std::max(latency.max, eopts.latency.min);
+  }
+  eopts.enable_move_scc = options.enable_move_scc;
+  eopts.allow_accept_slack = options.allow_accept_slack;
+
+  SchedulerResult result;
+  for (int pass = 1; pass <= options.max_passes; ++pass) {
+    // Fast-forward wide latency shortfalls: when the life spans prove the
+    // region cannot fit by a large margin, add the missing states at once.
+    // Near-feasible cases still go through the per-pass expert walk, so
+    // small designs keep the paper's restraint-by-restraint narrative.
+    if (!p.spans.feasible) {
+      int shortage = 0;
+      for (ir::OpId id : p.ops) {
+        if (p.spans.spans[id].in_region) {
+          shortage = std::max(shortage, p.spans.spans[id].asap -
+                                            p.spans.spans[id].alap);
+        }
+      }
+      if (shortage > 3 && p.num_steps + shortage - 2 <= eopts.latency.max) {
+        PassRecord rec;
+        rec.pass_number = pass;
+        rec.num_steps = p.num_steps;
+        rec.success = false;
+        rec.action = strf("fast-forward: +", shortage - 2,
+                          " states (life spans infeasible)");
+        result.history.push_back(std::move(rec));
+        p.num_steps += shortage - 2;
+        refresh_spans(p);
+        result.passes = pass;
+        continue;
+      }
+    }
+    PassOutcome outcome = run_pass(p, eng);
+    PassRecord rec;
+    rec.pass_number = pass;
+    rec.num_steps = p.num_steps;
+    rec.success = outcome.success;
+    for (const Restraint& r : outcome.restraints) {
+      rec.restraints.push_back(r.to_string(dfg));
+    }
+    result.passes = pass;
+
+    if (outcome.success) {
+      result.history.push_back(std::move(rec));
+      result.success = true;
+      result.schedule = std::move(outcome.schedule);
+      result.timing_queries = eng.queries();
+      check_schedule(p, result.schedule);
+      return result;
+    }
+
+    const ExpertDecision decision = choose_action(p, outcome, eopts, eng);
+    if (!decision.has_action) {
+      rec.action = decision.narration;
+      result.history.push_back(std::move(rec));
+      result.failure_reason = strf(
+          "no applicable relaxation after pass ", pass, " at ", p.num_steps,
+          " states (latency bound [", eopts.latency.min, ",",
+          eopts.latency.max, "])");
+      result.timing_queries = eng.queries();
+      return result;
+    }
+    rec.action = decision.action.to_string(p);
+    result.history.push_back(std::move(rec));
+    apply_action(p, decision.action);
+  }
+  result.failure_reason =
+      strf("pass budget (", options.max_passes, ") exhausted");
+  result.timing_queries = eng.queries();
+  return result;
+}
+
+}  // namespace hls::sched

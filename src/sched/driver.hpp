@@ -1,0 +1,55 @@
+// The iterative scheduling driver: runs constrained scheduling passes and
+// expert relaxations until the region schedules (paper Section IV: "we
+// perform iterative simultaneous scheduling and binding passes. ... If a
+// scheduling pass fails, an internal expert system is called to choose an
+// action to relax some of the constraints").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/expert.hpp"
+
+namespace hls::sched {
+
+struct SchedulerOptions {
+  double tclk_ps = 1600;
+  const tech::Library* lib = nullptr;  ///< defaults to artisan90
+  PipelineConfig pipeline;
+  bool anchor_io = false;
+
+  // Feature switches (for the paper's ablations).
+  bool enable_chaining = true;
+  bool avoid_comb_cycles = true;
+  bool enable_move_scc = true;      ///< Table 4 ablation
+  bool use_mutual_exclusivity = true;
+  bool allow_accept_slack = true;
+
+  int max_passes = 128;
+};
+
+struct PassRecord {
+  int pass_number = 0;
+  int num_steps = 0;
+  bool success = false;
+  std::vector<std::string> restraints;  ///< rendered for reporting
+  std::string action;                   ///< relaxation taken (if any)
+};
+
+struct SchedulerResult {
+  bool success = false;
+  Schedule schedule;
+  int passes = 0;
+  std::vector<PassRecord> history;
+  std::uint64_t timing_queries = 0;
+  std::string failure_reason;  ///< set when success == false
+};
+
+/// Schedules a linearized region under its latency bound.
+SchedulerResult schedule_region(const ir::Dfg& dfg,
+                                const ir::LinearRegion& region,
+                                ir::LatencyBound latency,
+                                std::size_t num_ports,
+                                const SchedulerOptions& options);
+
+}  // namespace hls::sched

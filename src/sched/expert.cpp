@@ -1,0 +1,328 @@
+#include "sched/expert.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls::sched {
+
+using ir::kNoOp;
+using ir::OpId;
+
+const char* action_kind_name(ActionKind k) {
+  switch (k) {
+    case ActionKind::kAddState: return "add-state";
+    case ActionKind::kAddResource: return "add-resource";
+    case ActionKind::kForbidBinding: return "forbid-binding";
+    case ActionKind::kMoveScc: return "move-scc";
+    case ActionKind::kAcceptSlack: return "accept-negative-slack";
+  }
+  return "?";
+}
+
+std::string Action::to_string(const Problem& p) const {
+  std::string s = action_kind_name(kind);
+  switch (kind) {
+    case ActionKind::kAddState:
+      s += strf(" -> ", p.num_steps + amount, " states");
+      break;
+    case ActionKind::kAddResource:
+      s += strf(" ", p.resources.pools[static_cast<std::size_t>(pool)].name,
+                " -> ",
+                p.resources.pools[static_cast<std::size_t>(pool)].count +
+                    amount,
+                " instances");
+      break;
+    case ActionKind::kForbidBinding:
+      s += strf(" op=%", op, " on ",
+                p.resources.pools[static_cast<std::size_t>(pool)].name, "[",
+                instance, "]");
+      break;
+    case ActionKind::kMoveScc:
+      s += strf(" scc=", scc, " window -> s", window_start + 1);
+      break;
+    case ActionKind::kAcceptSlack:
+      break;
+  }
+  s += strf(" (gain=", fmt_fixed(gain, 2), " cost=", fmt_fixed(cost, 2), ")");
+  return s;
+}
+
+namespace {
+
+/// Checks whether `op` would meet timing on a hypothetical instance of its
+/// pool at the restraint's step, after adding `extra` instances. Returns
+/// the hypothesis verdict. This is how the expert knows that "adding one
+/// more multiplier does not help because two multiplications cannot fit in
+/// the given clock cycle" (paper, Example 1, second pass).
+bool helps_timing_with_instances(const Problem& p, const PassOutcome& outcome,
+                                 OpId op, int step, int extra,
+                                 timing::TimingEngine& eng) {
+  const ir::Dfg& dfg = *p.dfg;
+  const int pool = p.resources.pool_of(op);
+  if (pool < 0) return false;
+  const auto& pdesc = p.resources.pools[static_cast<std::size_t>(pool)];
+  if (pdesc.latency_cycles > 0) return true;  // registered: timing is fixed
+  const ir::Op& o = dfg.op(op);
+  std::vector<double> arrivals;
+  for (std::size_t i = 0; i < o.operands.size(); ++i) {
+    if (o.kind == ir::OpKind::kLoopMux && i == 1) continue;
+    const OpId d = o.operands[i];
+    if (d == kNoOp) continue;
+    if (dfg.is_const(d)) {
+      arrivals.push_back(0);
+    } else if (!p.in_region(d) || !outcome.schedule.placement[d].scheduled ||
+               outcome.schedule.placement[d].step != step) {
+      arrivals.push_back(p.lib->reg_clk_to_q_ps());
+    } else {
+      arrivals.push_back(outcome.schedule.placement[d].arrival_ps);
+    }
+  }
+  int members = 0;
+  for (OpId id : p.ops) {
+    if (p.resources.pool_of(id) == pool) ++members;
+  }
+  const bool still_shared = members > pdesc.count + extra;
+  timing::PathQuery q;
+  q.operand_arrivals_ps = arrivals;
+  q.cls = pdesc.cls;
+  q.width = pdesc.width;
+  q.in_mux_inputs = still_shared ? 2 : 0;
+  q.out_mux_inputs = still_shared ? 2 : 0;
+  return eng.register_slack_ps(eng.output_arrival_ps(q)) >= -1e-9;
+}
+
+int pool_member_count(const Problem& p, int pool) {
+  int members = 0;
+  for (OpId id : p.ops) {
+    if (p.resources.pool_of(id) == pool) ++members;
+  }
+  return members;
+}
+
+}  // namespace
+
+ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
+                             const ExpertOptions& opts,
+                             timing::TimingEngine& eng) {
+  std::vector<Action> candidates;
+  std::string narration;
+
+  const bool can_add_state = p.num_steps < opts.latency.max;
+
+  // --- AddState: benefits essentially every restraint kind. ----------------
+  if (can_add_state) {
+    Action a;
+    a.kind = ActionKind::kAddState;
+    a.cost = 1.0;
+    // Scale the number of added states by the failure volume: each new
+    // state absorbs roughly one op per resource instance, so large designs
+    // converge in a few passes while Example-1-sized ones keep the paper's
+    // one-state-at-a-time narrative.
+    std::set<OpId> failed;
+    for (const Restraint& r : outcome.restraints) {
+      if (r.op != kNoOp) failed.insert(r.op);
+    }
+    const int capacity = std::max(1, p.resources.total_instances());
+    a.amount = std::clamp(
+        static_cast<int>(failed.size()) / capacity, 1,
+        std::max(1, opts.latency.max - p.num_steps));
+    for (const Restraint& r : outcome.restraints) {
+      switch (r.kind) {
+        case RestraintKind::kNoResource:
+        case RestraintKind::kNegativeSlack:
+        case RestraintKind::kNoStates:
+          // SCC members are capped by their II window, which extra states
+          // cannot widen; moving the window is the right lever for them.
+          a.gain += r.scc >= 0 ? 0.25 * r.weight : r.weight;
+          break;
+        case RestraintKind::kSccWindow:
+          // More states do not widen an II-bounded window.
+          break;
+        case RestraintKind::kCombCycle:
+          a.gain += 0.25 * r.weight;  // more room sometimes sidesteps it
+          break;
+      }
+    }
+    if (a.gain > 0) candidates.push_back(a);
+  }
+
+  // --- AddResource per pool. -------------------------------------------------
+  std::map<int, Action> add_resource;
+  for (const Restraint& r : outcome.restraints) {
+    if (r.pool < 0) continue;
+    const auto& pdesc = p.resources.pools[static_cast<std::size_t>(r.pool)];
+    auto& a = add_resource[r.pool];
+    a.kind = ActionKind::kAddResource;
+    a.pool = r.pool;
+    // Cost scales with silicon: a multiplier is much more expensive than a
+    // comparator (normalized so a 32-bit adder costs about 1).
+    a.cost = std::max(0.25, p.lib->fu_area(pdesc.cls, pdesc.width) /
+                                p.lib->fu_area(tech::FuClass::kAdder, 32));
+    // First hypothesis: one extra instance. If sharing muxes are the real
+    // problem, a bigger amount that fully unshares the pool may be the
+    // only fix; amortize its cost over the added instances.
+    const int unshare_amount =
+        std::max(1, pool_member_count(p, r.pool) - pdesc.count);
+    switch (r.kind) {
+      case RestraintKind::kNoResource:
+        if (helps_timing_with_instances(p, outcome, r.op, r.step, 1, eng)) {
+          a.gain += r.weight;
+        } else if (helps_timing_with_instances(p, outcome, r.op, r.step,
+                                               unshare_amount, eng)) {
+          a.amount = std::max(a.amount, unshare_amount);
+          a.gain += r.weight;
+        }
+        break;
+      case RestraintKind::kNegativeSlack:
+        // Extra instances reduce sharing-mux depth; credit only when the
+        // hypothetical timing works out.
+        if (helps_timing_with_instances(p, outcome, r.op, r.step, 1, eng)) {
+          a.gain += 0.5 * r.weight;
+        } else if (helps_timing_with_instances(p, outcome, r.op, r.step,
+                                               unshare_amount, eng)) {
+          a.amount = std::max(a.amount, unshare_amount);
+          a.gain += 0.5 * r.weight;
+        }
+        break;
+      case RestraintKind::kCombCycle:
+        a.gain += 0.5 * r.weight;
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [pool, a] : add_resource) {
+    a.cost *= a.amount;  // cost scales with the instances added
+  }
+  for (auto& [pool, a] : add_resource) {
+    if (a.gain > 0) candidates.push_back(a);
+  }
+
+  // --- ForbidBinding for combinational cycles. ---------------------------------
+  for (const Restraint& r : outcome.restraints) {
+    if (r.kind != RestraintKind::kCombCycle) continue;
+    Action a;
+    a.kind = ActionKind::kForbidBinding;
+    a.op = r.op;
+    a.pool = r.pool;
+    a.instance = r.instance;
+    a.cost = 0.3;
+    a.gain = r.weight;
+    candidates.push_back(a);
+  }
+
+  // --- MoveScc (the Section V relaxation; ablated in Table 4). ------------------
+  if (opts.enable_move_scc && p.pipeline.enabled) {
+    std::map<int, Action> move;
+    for (const Restraint& r : outcome.restraints) {
+      if (r.scc < 0) continue;
+      // Window alignments repeat modulo II; once a few full phases have
+      // been tried, sliding further cannot help and other levers (adding
+      // resources to break sharing-mux delays) must take over.
+      if (p.scc_move_count[static_cast<std::size_t>(r.scc)] >
+          p.pipeline.ii + 2) {
+        continue;
+      }
+      if (r.kind != RestraintKind::kNegativeSlack &&
+          r.kind != RestraintKind::kSccWindow &&
+          r.kind != RestraintKind::kNoStates) {
+        continue;
+      }
+      // Current effective window start: pinned value or the earliest
+      // placed member from the failed pass.
+      int cur = p.scc_window_start[static_cast<std::size_t>(r.scc)];
+      if (cur < 0) {
+        cur = p.num_steps;
+        for (OpId id : p.sccs[static_cast<std::size_t>(r.scc)]) {
+          const auto& pl = outcome.schedule.placement[id];
+          if (pl.scheduled) cur = std::min(cur, pl.step);
+        }
+        if (cur == p.num_steps) cur = 0;
+      }
+      // Jump far enough that the failed member fits at its chain-feasible
+      // step (ASAP), but always make progress by at least one step.
+      int target = cur + 1;
+      if (r.op != kNoOp && r.op < p.spans.spans.size()) {
+        target = std::max(target,
+                          p.spans.spans[r.op].asap - p.pipeline.ii + 1);
+      }
+      if (target + p.pipeline.ii - 1 > p.num_steps - 1) continue;  // no room
+      auto& a = move[r.scc];
+      a.kind = ActionKind::kMoveScc;
+      a.scc = r.scc;
+      a.window_start = std::max(a.window_start, target);
+      a.cost = 0.5;
+      a.gain += r.weight;
+    }
+    for (auto& [scc, a] : move) candidates.push_back(a);
+  }
+
+  // --- AcceptSlack: strictly a last resort. --------------------------------------
+  // Applicable when the remaining failures are timing-shaped: negative
+  // slack, SCC windows that only close with a slack compromise, and their
+  // downstream no-states cascade.
+  const bool slack_shaped = std::any_of(
+      outcome.restraints.begin(), outcome.restraints.end(),
+      [](const Restraint& r) {
+        return r.kind == RestraintKind::kNegativeSlack ||
+               r.kind == RestraintKind::kSccWindow;
+      });
+  if (opts.allow_accept_slack && !p.accept_negative_slack &&
+      candidates.empty() && slack_shaped && !outcome.restraints.empty()) {
+    Action a;
+    a.kind = ActionKind::kAcceptSlack;
+    a.cost = 100.0;
+    a.gain = 1.0;
+    candidates.push_back(a);
+  }
+
+  ExpertDecision d;
+  if (candidates.empty()) {
+    d.narration = "expert: no applicable relaxation (overconstrained)";
+    return d;
+  }
+  auto best = std::max_element(
+      candidates.begin(), candidates.end(), [](const Action& a,
+                                               const Action& b) {
+        if (a.score() != b.score()) return a.score() < b.score();
+        // Deterministic tie-break: prefer cheaper, then by kind order.
+        if (a.cost != b.cost) return a.cost > b.cost;
+        return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+      });
+  d.has_action = true;
+  d.action = *best;
+  narration = strf("expert: ", outcome.restraints.size(), " restraints; ",
+                   candidates.size(), " candidate actions; chose ",
+                   best->to_string(p));
+  d.narration = narration;
+  return d;
+}
+
+void apply_action(Problem& p, const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kAddState:
+      p.num_steps += std::max(1, a.amount);
+      refresh_spans(p);
+      break;
+    case ActionKind::kAddResource:
+      p.resources.pools[static_cast<std::size_t>(a.pool)].count +=
+          std::max(1, a.amount);
+      break;
+    case ActionKind::kForbidBinding:
+      p.forbidden.insert({a.op, a.pool, a.instance});
+      break;
+    case ActionKind::kMoveScc:
+      p.scc_window_start[static_cast<std::size_t>(a.scc)] = a.window_start;
+      ++p.scc_move_count[static_cast<std::size_t>(a.scc)];
+      break;
+    case ActionKind::kAcceptSlack:
+      p.accept_negative_slack = true;
+      break;
+  }
+}
+
+}  // namespace hls::sched

@@ -1,0 +1,68 @@
+// The expert system that relaxes constraints between scheduling passes
+// (paper Section IV): "Each restraint suggests a set of actions ... Every
+// action has an estimated cost, which is combined with the number of
+// restraints solved by this action and the restraint weight. The action
+// with the best estimated gain wins."
+//
+// Actions: add a state (where the latency bound permits), add a resource
+// instance, forbid a binding (combinational cycles), move a whole SCC to a
+// later pipeline window (Section V's novel relaxation), or — as a last
+// resort — accept negative slack and let downstream logic synthesis
+// recover it with area (the mechanism ablated in Table 4).
+#pragma once
+
+#include <string>
+
+#include "sched/pass_scheduler.hpp"
+
+namespace hls::sched {
+
+enum class ActionKind : std::uint8_t {
+  kAddState,
+  kAddResource,
+  kForbidBinding,
+  kMoveScc,
+  kAcceptSlack,
+};
+
+const char* action_kind_name(ActionKind k);
+
+struct Action {
+  ActionKind kind = ActionKind::kAddState;
+  int pool = -1;         ///< kAddResource
+  int amount = 1;        ///< kAddResource: instances to add (can unshare)
+  ir::OpId op = ir::kNoOp;  ///< kForbidBinding
+  int instance = -1;     ///< kForbidBinding
+  int scc = -1;          ///< kMoveScc
+  int window_start = -1; ///< kMoveScc: new first step of the window
+  double gain = 0;
+  double cost = 1;
+
+  double score() const { return gain / cost; }
+  std::string to_string(const Problem& p) const;
+};
+
+struct ExpertOptions {
+  ir::LatencyBound latency{1, 64};
+  /// The Section V relaxation; disabled for the Table 4 ablation.
+  bool enable_move_scc = true;
+  /// Whether accepting negative slack is permitted at all.
+  bool allow_accept_slack = true;
+};
+
+struct ExpertDecision {
+  bool has_action = false;
+  Action action;
+  std::string narration;  ///< human-readable reasoning trace
+};
+
+/// Analyses the failed pass and picks the best relaxation.
+ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
+                             const ExpertOptions& opts,
+                             timing::TimingEngine& eng);
+
+/// Mutates the problem according to the action (adds the state/resource,
+/// records the forbid, moves the window, or sets accept_negative_slack).
+void apply_action(Problem& p, const Action& a);
+
+}  // namespace hls::sched

@@ -1,0 +1,801 @@
+#include "sched/pass_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sched/priority.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+#include "timing/comb_cycle.hpp"
+
+namespace hls::sched {
+
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+using tech::FuClass;
+
+namespace {
+
+/// Why a particular instance refused a binding.
+enum class RefuseCause : std::uint8_t {
+  kBusy,
+  kSlack,
+  kCycle,
+  kForbidden,
+  kWindow,
+};
+
+struct InstanceKey {
+  int pool;
+  int instance;
+  friend auto operator<=>(const InstanceKey&, const InstanceKey&) = default;
+};
+
+class PassRunner {
+ public:
+  PassRunner(const Problem& p, timing::TimingEngine& eng)
+      : p_(p), dfg_(*p.dfg), eng_(eng) {
+    placement_.assign(dfg_.size(), OpPlacement{});
+    failed_.assign(dfg_.size(), false);
+    priorities_ = compute_priorities(p);
+    build_deps();
+    count_pool_members();
+    resource_base_.resize(p_.resources.pools.size());
+    int base = 0;
+    for (std::size_t i = 0; i < p_.resources.pools.size(); ++i) {
+      resource_base_[i] = base;
+      base += p_.resources.pools[i].count;
+    }
+  }
+
+  PassOutcome run() {
+    for (int e = 0; e < p_.num_steps; ++e) {
+      std::set<OpId> deferred_here;
+      while (true) {
+        const OpId best = pick_ready(e, deferred_here);
+        if (best == kNoOp) break;
+        if (try_bind(best, e)) {
+          // A new binding creates chaining and exclusive-sharing
+          // opportunities; let deferred ops try this step again.
+          deferred_here.clear();
+        } else {
+          if (e >= start_deadline(best)) {
+            fatal(best, e);
+          } else {
+            deferred_here.insert(best);
+          }
+        }
+      }
+      sweep_missed_deadlines(e);
+    }
+    // Anything still unscheduled ran out of states.
+    for (OpId id : p_.ops) {
+      if (!placement_[id].scheduled && !failed_[id]) {
+        fatal_no_states(id, p_.num_steps - 1);
+      }
+    }
+
+    PassOutcome out;
+    out.success = std::none_of(p_.ops.begin(), p_.ops.end(),
+                               [&](OpId id) { return failed_[id]; });
+    out.schedule.num_steps = p_.num_steps;
+    out.schedule.pipeline = p_.pipeline;
+    out.schedule.resources = p_.resources;
+    out.schedule.placement = std::move(placement_);
+    out.restraints = std::move(restraints_);
+    out.failed_ops = std::move(failed_list_);
+    if (out.success) {
+      out.schedule.worst_slack_ps =
+          finalize_timing(p_, out.schedule, eng_, &worst_slack_op_);
+      if (out.schedule.worst_slack_ps < -1e-9 && !p_.accept_negative_slack) {
+        // Mux growth after commit pushed a path over the clock period.
+        out.success = false;
+        Restraint r;
+        r.kind = RestraintKind::kNegativeSlack;
+        r.op = worst_slack_op_;
+        r.step = out.schedule.placement[worst_slack_op_].step;
+        r.pool = out.schedule.placement[worst_slack_op_].pool;
+        r.slack_ps = out.schedule.worst_slack_ps;
+        out.restraints.push_back(r);
+        out.failed_ops.push_back(worst_slack_op_);
+      }
+    }
+    return out;
+  }
+
+  OpId worst_slack_op_ = kNoOp;  // set by finalize via friend-ish access
+
+ private:
+  // ---- Static tables ---------------------------------------------------------
+
+  void build_deps() {
+    deps_.assign(dfg_.size(), {});
+    for (OpId id : p_.ops) {
+      const Op& o = dfg_.op(id);
+      auto& d = deps_[id];
+      for (std::size_t i = 0; i < o.operands.size(); ++i) {
+        if (o.kind == OpKind::kLoopMux && i == 1) continue;  // carried
+        const OpId x = o.operands[i];
+        if (x == kNoOp) continue;
+        if (!p_.in_region(x)) continue;  // consts / outer values: registered
+        d.push_back(x);
+      }
+      // Speculable ops execute regardless of their predicate (hardware
+      // speculation); only no-speculate ops (writes) wait for the enable.
+      if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
+        d.push_back(o.pred);
+      }
+      std::sort(d.begin(), d.end());
+      d.erase(std::unique(d.begin(), d.end()), d.end());
+    }
+  }
+
+  void count_pool_members() {
+    pool_members_.assign(p_.resources.pools.size(), 0);
+    for (OpId id : p_.ops) {
+      const int pool = p_.resources.pool_of(id);
+      if (pool >= 0) ++pool_members_[static_cast<std::size_t>(pool)];
+    }
+  }
+
+  bool pool_shared(int pool) const {
+    return pool_members_[static_cast<std::size_t>(pool)] >
+           p_.resources.pools[static_cast<std::size_t>(pool)].count;
+  }
+
+  int latency_of(OpId id) const {
+    const int pool = p_.resources.pool_of(id);
+    if (pool < 0) return 0;
+    return p_.resources.pools[static_cast<std::size_t>(pool)].latency_cycles;
+  }
+
+  /// Latest step at which execution may START (deadline on the result step
+  /// minus the unit latency).
+  int start_deadline(OpId id) const {
+    return p_.deadline(id) - latency_of(id);
+  }
+
+  int slot_of(int step) const {
+    return p_.pipeline.enabled ? step % p_.pipeline.ii : step;
+  }
+
+  // ---- Readiness --------------------------------------------------------------
+
+  bool deps_ready(OpId id, int e) const {
+    for (OpId d : deps_[id]) {
+      const OpPlacement& pl = placement_[d];
+      if (!pl.scheduled) return false;
+      if (p_.enable_chaining ? pl.step > e : pl.step >= e) {
+        // Without chaining every operand must come from a register.
+        // A same-step registered value (multi-cycle result, port sample)
+        // is still fine.
+        if (!p_.enable_chaining && pl.step == e &&
+            pl.arrival_ps <= p_.lib->reg_clk_to_q_ps() + 1e-9) {
+          continue;
+        }
+        return false;
+      }
+    }
+    // Port write ordering: the previous write to the same port must be
+    // placed first.
+    const Op& o = dfg_.op(id);
+    if (o.kind == OpKind::kWrite) {
+      const auto& order = p_.port_writes[o.port];
+      auto it = std::find(order.begin(), order.end(), id);
+      if (it != order.begin()) {
+        const OpId prev = *(it - 1);
+        if (!placement_[prev].scheduled || placement_[prev].step > e) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  OpId pick_ready(int e, const std::set<OpId>& deferred_here) const {
+    OpId best = kNoOp;
+    for (OpId id : p_.ops) {
+      if (placement_[id].scheduled || failed_[id]) continue;
+      if (deferred_here.count(id) != 0) continue;
+      if (p_.release(id) > e) continue;
+      if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
+        // Anchored I/O may only be placed on its home step.
+        if (p_.spans.spans[id].asap != e) continue;
+      }
+      if (!deps_ready(id, e)) continue;
+      if (best == kNoOp || priorities_[id].before(priorities_[best])) {
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  // ---- Timing ----------------------------------------------------------------
+
+  double operand_arrival(OpId d, int e) const {
+    if (dfg_.is_const(d)) return 0;  // hard-wired constant
+    if (!p_.in_region(d)) return p_.lib->reg_clk_to_q_ps();
+    const OpPlacement& pl = placement_[d];
+    HLS_ASSERT(pl.scheduled, "operand not scheduled");
+    if (pl.step == e) return pl.arrival_ps;  // chained (or registered result)
+    return p_.lib->reg_clk_to_q_ps();
+  }
+
+  /// All data operands (carried edges excluded) plus, for no-speculate
+  /// ops, the predicate (its enable must settle before the clock edge).
+  std::vector<double> gather_arrivals(OpId id, int e) const {
+    const Op& o = dfg_.op(id);
+    std::vector<double> arr;
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == OpKind::kLoopMux && i == 1) continue;
+      if (o.operands[i] == kNoOp) continue;
+      arr.push_back(operand_arrival(o.operands[i], e));
+    }
+    if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
+      arr.push_back(operand_arrival(o.pred, e));
+    }
+    return arr;
+  }
+
+  // ---- Binding ----------------------------------------------------------------
+
+  struct Candidate {
+    int instance = -1;
+    double arrival = 0;
+    double slack = 0;
+  };
+
+  bool try_bind(OpId id, int e) {
+    const int pool = p_.resources.pool_of(id);
+    if (pool < 0) return bind_free(id, e);
+
+    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
+    const int lat = pdesc.latency_cycles;
+    if (lat > 0 && p_.pipeline.enabled && lat > p_.pipeline.ii) {
+      // A multi-cycle unit cannot be rebooked every II cycles.
+      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
+      return false;
+    }
+    if (e + lat >= p_.num_steps) {
+      // The registered result would land past the last state.
+      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
+      return false;
+    }
+
+    // SCC window feasibility at this step (checked once, not per instance).
+    if (!scc_window_ok(id, e + lat)) {
+      note_refusal(id, e, pool, -1, RefuseCause::kWindow);
+      return false;
+    }
+
+    std::vector<Candidate> feasible_negative;
+    for (int inst = 0; inst < pdesc.count; ++inst) {
+      if (p_.forbidden.count({id, pool, inst}) != 0) {
+        note_refusal(id, e, pool, inst, RefuseCause::kForbidden);
+        continue;
+      }
+      if (!instance_free(id, pool, inst, e, lat)) {
+        note_refusal(id, e, pool, inst, RefuseCause::kBusy);
+        continue;
+      }
+      if (p_.avoid_comb_cycles && creates_comb_cycle(id, pool, inst, e)) {
+        note_refusal(id, e, pool, inst, RefuseCause::kCycle);
+        continue;
+      }
+      // Timing.
+      double arrival = 0;
+      double slack = 0;
+      if (!candidate_timing(id, pool, inst, e, lat, &arrival, &slack)) {
+        note_refusal(id, e, pool, inst, RefuseCause::kSlack, slack);
+        if (slack > -1e17) {
+          feasible_negative.push_back({inst, arrival, slack});
+        }
+        continue;
+      }
+      commit(id, pool, inst, e, lat, arrival);
+      return true;
+    }
+    if (p_.accept_negative_slack && !feasible_negative.empty()) {
+      // Last-resort mode: take the least-negative binding; logic synthesis
+      // will have to recover the slack with area (Table 4's mechanism).
+      auto best = std::max_element(
+          feasible_negative.begin(), feasible_negative.end(),
+          [](const Candidate& a, const Candidate& b) {
+            return a.slack < b.slack;
+          });
+      commit(id, pool, best->instance, e, lat, best->arrival);
+      return true;
+    }
+    return false;
+  }
+
+  bool bind_free(OpId id, int e) {
+    const Op& o = dfg_.op(id);
+    if (!scc_window_ok(id, e)) {
+      note_refusal(id, e, -1, -1, RefuseCause::kWindow);
+      return false;
+    }
+    // Write-port conflict: two writes to one port in one step are only
+    // allowed when mutually exclusive.
+    if (o.kind == OpKind::kWrite) {
+      for (OpId other : p_.port_writes[o.port]) {
+        if (other == id || !placement_[other].scheduled) continue;
+        const int other_slot = slot_of(placement_[other].step);
+        if (other_slot == slot_of(e) &&
+            !(p_.exclusive_colocation &&
+              alloc::mutually_exclusive(dfg_, id, other))) {
+          note_refusal(id, e, -1, -1, RefuseCause::kBusy);
+          return false;
+        }
+      }
+    }
+    const auto arrivals = gather_arrivals(id, e);
+    timing::PathQuery q;
+    q.operand_arrivals_ps = arrivals;
+    q.cls = FuClass::kNone;
+    const double arrival =
+        o.kind == OpKind::kRead ? p_.lib->reg_clk_to_q_ps()
+                                : eng_.output_arrival_ps(q);
+    const double slack = eng_.register_slack_ps(arrival);
+    if (slack < -1e-9 && !p_.accept_negative_slack) {
+      note_refusal(id, e, -1, -1, RefuseCause::kSlack, slack);
+      return false;
+    }
+    commit(id, -1, -1, e, 0, arrival);
+    return true;
+  }
+
+  bool scc_window_ok(OpId id, int result_step) const {
+    if (!p_.pipeline.enabled) return true;
+    const int scc = p_.scc_of[id];
+    if (scc < 0) return true;
+    int lo = result_step;
+    int hi = result_step;
+    for (OpId member : p_.sccs[static_cast<std::size_t>(scc)]) {
+      if (member == id || !placement_[member].scheduled) continue;
+      lo = std::min(lo, placement_[member].step);
+      hi = std::max(hi, placement_[member].step);
+    }
+    return hi - lo <= p_.pipeline.ii - 1;
+  }
+
+  bool instance_free(OpId id, int pool, int inst, int e, int lat) const {
+    const int span = std::max(1, lat);
+    for (int s = e; s < e + span; ++s) {
+      if (s >= p_.num_steps) return false;
+      const auto it = occupancy_.find(InstanceKey{pool, inst});
+      if (it == occupancy_.end()) continue;
+      const auto jt = it->second.find(slot_of(s));
+      if (jt == it->second.end()) continue;
+      for (OpId other : jt->second) {
+        if (!(p_.exclusive_colocation &&
+              alloc::mutually_exclusive(dfg_, id, other))) {
+          return false;
+        }
+        // Exclusive sharing also needs the predicate available here.
+        const Op& o = dfg_.op(id);
+        if (o.pred == kNoOp || !p_.in_region(o.pred) ||
+            !placement_[o.pred].scheduled ||
+            placement_[o.pred].step > e) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool creates_comb_cycle(OpId id, int pool, int inst, int e) const {
+    const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
+    for (OpId d : deps_[id]) {
+      const OpPlacement& pl = placement_[d];
+      if (pl.step != e || pl.pool < 0) continue;  // only chained FU deps
+      if (latency_of(d) > 0) continue;            // registered result
+      const int from =
+          resource_base_[static_cast<std::size_t>(pl.pool)] + pl.instance;
+      if (comb_graph_.would_create_cycle(from, me)) return true;
+    }
+    return false;
+  }
+
+  bool candidate_timing(OpId id, int pool, int inst, int e, int lat,
+                        double* arrival, double* slack) {
+    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
+    const auto arrivals = gather_arrivals(id, e);
+    if (lat > 0) {
+      // Multi-cycle: operands must be registered at execution start.
+      for (double a : arrivals) {
+        if (a > p_.lib->reg_clk_to_q_ps() + 1e-9) {
+          *slack = -1e18;  // not representable: needs registered inputs
+          *arrival = 0;
+          return false;
+        }
+      }
+      *arrival = p_.lib->reg_clk_to_q_ps();  // registered result
+      const double internal =
+          p_.lib->fu_delay_into_cycle_ps(pdesc.cls) + p_.lib->reg_setup_ps();
+      *slack = p_.tclk_ps - internal;
+      return *slack >= -1e-9;
+    }
+    const bool shared = pool_shared(pool);
+    const int n_ops = instance_op_count(pool, inst) + 1;
+    timing::PathQuery q;
+    q.operand_arrivals_ps = arrivals;
+    q.cls = pdesc.cls;
+    q.width = pdesc.width;
+    q.in_mux_inputs = shared ? std::max(2, n_ops) : 0;
+    q.out_mux_inputs = shared ? std::max(2, n_ops) : 0;
+    *arrival = eng_.output_arrival_ps(q);
+    *slack = eng_.register_slack_ps(*arrival);
+    return *slack >= -1e-9;
+  }
+
+  int instance_op_count(int pool, int inst) const {
+    const auto it = instance_ops_.find(InstanceKey{pool, inst});
+    return it == instance_ops_.end() ? 0 : static_cast<int>(it->second);
+  }
+
+  void commit(OpId id, int pool, int inst, int e, int lat, double arrival) {
+    OpPlacement& pl = placement_[id];
+    pl.scheduled = true;
+    pl.step = e + lat;
+    pl.pool = pool;
+    pl.instance = inst;
+    pl.arrival_ps = arrival;
+    if (pool >= 0) {
+      const int span = std::max(1, lat);
+      for (int s = e; s < e + span; ++s) {
+        occupancy_[InstanceKey{pool, inst}][slot_of(s)].push_back(id);
+      }
+      ++instance_ops_[InstanceKey{pool, inst}];
+      // Register chaining edges for false-cycle avoidance.
+      if (lat == 0) {
+        const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
+        for (OpId d : deps_[id]) {
+          const OpPlacement& dp = placement_[d];
+          if (dp.step == e + lat && dp.pool >= 0 && latency_of(d) == 0) {
+            comb_graph_.add_edge(
+                resource_base_[static_cast<std::size_t>(dp.pool)] +
+                    dp.instance,
+                me);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Failure bookkeeping -------------------------------------------------------
+
+  void note_refusal(OpId id, int e, int pool, int inst, RefuseCause cause,
+                    double slack = 0) {
+    last_refusals_[id].push_back({e, pool, inst, cause, slack});
+  }
+
+  void fatal(OpId id, int e) {
+    failed_[id] = true;
+    failed_list_.push_back(id);
+    // Aggregate the refusal causes at the deadline step into restraints.
+    const auto it = last_refusals_.find(id);
+    bool any = false;
+    if (it != last_refusals_.end()) {
+      int busy = 0;
+      int cycle_pool = -1;
+      int cycle_inst = -1;
+      double best_slack = -1e18;
+      bool slack_seen = false;
+      bool window_seen = false;
+      int pool = -1;
+      for (const auto& r : it->second) {
+        if (r.step != e) continue;
+        pool = std::max(pool, r.pool);
+        switch (r.cause) {
+          case RefuseCause::kBusy: ++busy; break;
+          case RefuseCause::kForbidden: ++busy; break;
+          case RefuseCause::kSlack:
+            slack_seen = true;
+            best_slack = std::max(best_slack, r.slack);
+            break;
+          case RefuseCause::kCycle:
+            cycle_pool = r.pool;
+            cycle_inst = r.instance;
+            break;
+          case RefuseCause::kWindow: window_seen = true; break;
+        }
+      }
+      if (busy > 0) {
+        Restraint r;
+        r.kind = RestraintKind::kNoResource;
+        r.op = id;
+        r.step = e;
+        r.pool = pool;
+        r.weight = busy;
+        restraints_.push_back(r);
+        any = true;
+      }
+      if (slack_seen) {
+        Restraint r;
+        r.kind = RestraintKind::kNegativeSlack;
+        r.op = id;
+        r.step = e;
+        r.pool = pool;
+        r.slack_ps = best_slack;
+        r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
+        restraints_.push_back(r);
+        any = true;
+      }
+      if (busy > 0 || slack_seen) {
+        // Fan-in cone analysis (paper IV.B): when a failed op chains after
+        // producers in the same state, the root cause may be THEIR pool
+        // (e.g. a multiplier forced into the last state drags its consumer
+        // over the clock). Emit secondary restraints against the chained
+        // producers with decayed weight.
+        for (OpId d : deps_[id]) {
+          const OpPlacement& dp = placement_[d];
+          if (!dp.scheduled || dp.step != e || dp.pool < 0) continue;
+          if (dp.arrival_ps <= p_.lib->reg_clk_to_q_ps() + 1e-9) continue;
+          // Only blame the producer when congestion delayed it: it sits
+          // later than its chain-feasible step, so more capacity in ITS
+          // pool could move it (and this op's chain) earlier.
+          if (p_.spans.spans[d].asap >= dp.step) continue;
+          Restraint r;
+          r.kind = RestraintKind::kNegativeSlack;
+          r.op = d;
+          r.step = e;
+          r.pool = dp.pool;
+          r.slack_ps = best_slack;
+          r.scc = p_.pipeline.enabled ? p_.scc_of[d] : -1;
+          r.weight = 0.5;
+          restraints_.push_back(r);
+        }
+      }
+      if (cycle_pool >= 0) {
+        Restraint r;
+        r.kind = RestraintKind::kCombCycle;
+        r.op = id;
+        r.step = e;
+        r.pool = cycle_pool;
+        r.instance = cycle_inst;
+        restraints_.push_back(r);
+        any = true;
+      }
+      if (window_seen) {
+        Restraint r;
+        r.kind = RestraintKind::kSccWindow;
+        r.op = id;
+        r.step = e;
+        r.scc = p_.scc_of[id];
+        restraints_.push_back(r);
+        any = true;
+      }
+    }
+    if (!any) fatal_no_states(id, e);
+  }
+
+  void fatal_no_states(OpId id, int e) {
+    if (failed_[id]) return;  // already reported
+    failed_[id] = true;
+    failed_list_.push_back(id);
+    Restraint r;
+    r.kind = RestraintKind::kNoStates;
+    r.op = id;
+    r.step = e;
+    r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
+    // Secondary failures (a dependence already failed) weigh less so the
+    // expert is not flooded by the cascade.
+    r.weight = depends_on_failure(id) ? 0.25 : 1.0;
+    restraints_.push_back(r);
+  }
+
+  bool depends_on_failure(OpId id) const {
+    for (OpId d : deps_[id]) {
+      if (failed_[d]) return true;
+    }
+    return false;
+  }
+
+  /// Ops whose deadline passed while their dependences never became ready.
+  void sweep_missed_deadlines(int e) {
+    for (OpId id : p_.ops) {
+      if (placement_[id].scheduled || failed_[id]) continue;
+      if (start_deadline(id) <= e && !deps_ready(id, e)) {
+        fatal_no_states(id, e);
+      }
+    }
+  }
+
+  struct Refusal {
+    int step;
+    int pool;
+    int instance;
+    RefuseCause cause;
+    double slack;
+  };
+
+  const Problem& p_;
+  const ir::Dfg& dfg_;
+  timing::TimingEngine& eng_;
+
+  std::vector<OpPlacement> placement_;
+  std::vector<bool> failed_;
+  std::vector<OpId> failed_list_;
+  std::vector<Priority> priorities_;
+  std::vector<std::vector<OpId>> deps_;
+  std::vector<int> pool_members_;
+  std::vector<int> resource_base_;
+  std::map<InstanceKey, std::map<int, std::vector<OpId>>> occupancy_;
+  std::map<InstanceKey, std::size_t> instance_ops_;
+  timing::CombCycleGraph comb_graph_;
+  std::vector<Restraint> restraints_;
+  std::map<OpId, std::vector<Refusal>> last_refusals_;
+};
+
+}  // namespace
+
+PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng) {
+  PassRunner runner(p, eng);
+  return runner.run();
+}
+
+double finalize_timing(const Problem& p, Schedule& s,
+                       timing::TimingEngine& eng, ir::OpId* worst_op_out) {
+  const ir::Dfg& dfg = *p.dfg;
+  // Final op count per instance determines the real mux sizes.
+  std::map<std::pair<int, int>, int> final_counts;
+  for (OpId id : p.ops) {
+    const OpPlacement& pl = s.placement[id];
+    if (pl.scheduled && pl.pool >= 0) {
+      ++final_counts[{pl.pool, pl.instance}];
+    }
+  }
+  std::vector<int> pool_members(s.resources.pools.size(), 0);
+  for (OpId id : p.ops) {
+    const int pool = s.resources.pool_of(id);
+    if (pool >= 0) ++pool_members[static_cast<std::size_t>(pool)];
+  }
+
+  double worst = 1e18;
+  OpId worst_op = kNoOp;
+  for (OpId id : dfg.topo_order()) {
+    OpPlacement& pl = s.placement[id];
+    if (!pl.scheduled || !p.in_region(id)) continue;
+    const Op& o = dfg.op(id);
+    std::vector<double> arrivals;
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == OpKind::kLoopMux && i == 1) continue;
+      const OpId d = o.operands[i];
+      if (d == kNoOp) continue;
+      if (dfg.is_const(d)) {
+        arrivals.push_back(0);
+      } else if (!p.in_region(d) || s.placement[d].step != pl.step) {
+        arrivals.push_back(p.lib->reg_clk_to_q_ps());
+      } else {
+        arrivals.push_back(s.placement[d].arrival_ps);
+      }
+    }
+    double arrival;
+    if (pl.pool >= 0) {
+      const auto& pdesc =
+          s.resources.pools[static_cast<std::size_t>(pl.pool)];
+      if (pdesc.latency_cycles > 0) {
+        arrival = p.lib->reg_clk_to_q_ps();
+      } else {
+        const bool shared =
+            pool_members[static_cast<std::size_t>(pl.pool)] > pdesc.count;
+        const int n = final_counts[{pl.pool, pl.instance}];
+        timing::PathQuery q;
+        q.operand_arrivals_ps = arrivals;
+        q.cls = pdesc.cls;
+        q.width = pdesc.width;
+        q.in_mux_inputs = shared ? std::max(2, n) : 0;
+        q.out_mux_inputs = shared ? std::max(2, n) : 0;
+        arrival = eng.output_arrival_ps(q);
+      }
+    } else if (o.kind == OpKind::kRead) {
+      arrival = p.lib->reg_clk_to_q_ps();
+    } else {
+      timing::PathQuery q;
+      q.operand_arrivals_ps = arrivals;
+      q.cls = FuClass::kNone;
+      arrival = eng.output_arrival_ps(q);
+    }
+    pl.arrival_ps = arrival;
+    const double slack = eng.register_slack_ps(arrival);
+    if (slack < worst) {
+      worst = slack;
+      worst_op = id;
+    }
+  }
+  s.worst_slack_ps = worst == 1e18 ? 0 : worst;
+  if (worst_op_out != nullptr) *worst_op_out = worst_op;
+  return s.worst_slack_ps;
+}
+
+void check_schedule(const Problem& p, const Schedule& s) {
+  const ir::Dfg& dfg = *p.dfg;
+  auto fail = [&](const std::string& msg) {
+    throw InternalError(strf("schedule invariant violated: ", msg));
+  };
+  // Every region op scheduled in range with a resource when needed.
+  for (OpId id : p.ops) {
+    const OpPlacement& pl = s.placement[id];
+    if (!pl.scheduled) fail(strf("op %", id, " not scheduled"));
+    if (pl.step < 0 || pl.step >= s.num_steps) {
+      fail(strf("op %", id, " step out of range"));
+    }
+    const int pool = s.resources.pool_of(id);
+    if (pool >= 0 && pl.pool != pool) {
+      fail(strf("op %", id, " bound to wrong pool"));
+    }
+    if (pool >= 0 &&
+        (pl.instance < 0 ||
+         pl.instance >=
+             s.resources.pools[static_cast<std::size_t>(pool)].count)) {
+      fail(strf("op %", id, " instance out of range"));
+    }
+  }
+  // Dependences.
+  for (OpId id : p.ops) {
+    const Op& o = dfg.op(id);
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == OpKind::kLoopMux && i == 1) continue;
+      const OpId d = o.operands[i];
+      if (d == kNoOp || dfg.is_const(d) || !p.in_region(d)) continue;
+      if (s.placement[d].step > s.placement[id].step) {
+        fail(strf("op %", id, " scheduled before operand %", d));
+      }
+    }
+  }
+  // Occupancy including pipeline-equivalent steps and multi-cycle spans.
+  std::map<std::tuple<int, int, int>, std::vector<OpId>> occ;
+  for (OpId id : p.ops) {
+    const OpPlacement& pl = s.placement[id];
+    if (pl.pool < 0) continue;
+    const int lat =
+        s.resources.pools[static_cast<std::size_t>(pl.pool)].latency_cycles;
+    const int start = pl.step - lat;
+    for (int t = start; t < start + std::max(1, lat); ++t) {
+      const int slot = s.kernel_step(t);
+      occ[{pl.pool, pl.instance, slot}].push_back(id);
+    }
+  }
+  for (const auto& [key, ops] : occ) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (!alloc::mutually_exclusive(dfg, ops[i], ops[j])) {
+          fail(strf("ops %", ops[i], " and %", ops[j],
+                    " share an instance slot without exclusivity"));
+        }
+      }
+    }
+  }
+  // SCC windows.
+  if (p.pipeline.enabled) {
+    for (const auto& scc : p.sccs) {
+      int lo = s.num_steps;
+      int hi = -1;
+      for (OpId id : scc) {
+        lo = std::min(lo, s.placement[id].step);
+        hi = std::max(hi, s.placement[id].step);
+      }
+      if (hi - lo > p.pipeline.ii - 1) {
+        fail(strf("SCC spans ", hi - lo + 1, " states > II=", p.pipeline.ii));
+      }
+    }
+  }
+  // Port write order.
+  for (const auto& writes : p.port_writes) {
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+      if (s.placement[writes[i - 1]].step > s.placement[writes[i]].step) {
+        fail("port writes out of order");
+      }
+    }
+  }
+  // Timing.
+  if (!p.accept_negative_slack && s.worst_slack_ps < -1e-9) {
+    fail(strf("worst slack ", s.worst_slack_ps, "ps"));
+  }
+}
+
+}  // namespace hls::sched

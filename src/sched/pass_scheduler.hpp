@@ -1,0 +1,38 @@
+// A single scheduling pass (paper Figure 7): timing-driven list scheduling
+// that binds each operation simultaneously to a control step and a
+// resource instance, with chaining, multi-cycle units, combinational-cycle
+// avoidance, predicate-exclusive sharing, and — for pipelined regions —
+// equivalent-edge resource exclusion and SCC window constraints.
+#pragma once
+
+#include "sched/problem.hpp"
+#include "sched/restraint.hpp"
+#include "timing/engine.hpp"
+
+namespace hls::sched {
+
+struct PassOutcome {
+  bool success = false;
+  Schedule schedule;  ///< complete on success; partial placement on failure
+  std::vector<Restraint> restraints;
+  std::vector<ir::OpId> failed_ops;
+};
+
+/// Runs one pass over the problem. Does not mutate the problem; the expert
+/// system applies relaxations between passes.
+PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng);
+
+/// Recomputes all arrival times with the final sharing-mux sizes (commits
+/// during the pass use the mux size seen at bind time; later ops can grow
+/// a mux from 2 to 3+ inputs). Stores per-op arrivals and the worst slack
+/// in the schedule; returns the worst slack.
+double finalize_timing(const Problem& p, Schedule& s,
+                       timing::TimingEngine& eng,
+                       ir::OpId* worst_op_out = nullptr);
+
+/// Asserts every schedule invariant (dependences, occupancy incl.
+/// pipeline-equivalent steps, SCC windows, port write order, timing).
+/// Throws InternalError with a description on the first violation.
+void check_schedule(const Problem& p, const Schedule& s);
+
+}  // namespace hls::sched

@@ -1,0 +1,26 @@
+#include "sched/priority.hpp"
+
+#include "ir/analysis.hpp"
+
+namespace hls::sched {
+
+std::vector<Priority> compute_priorities(const Problem& p) {
+  const ir::Dfg& dfg = *p.dfg;
+  const auto cones = ir::fanout_cone_sizes(dfg);
+  std::vector<Priority> out(dfg.size());
+  for (ir::OpId id : p.ops) {
+    Priority pr;
+    pr.op = id;
+    pr.mobility = p.spans.spans[id].mobility();
+    pr.fanout_cone = cones[id];
+    const tech::FuClass cls = tech::fu_class_for(dfg, id);
+    pr.complexity =
+        cls == tech::FuClass::kNone
+            ? 0
+            : p.lib->fu_delay_ps(cls, tech::resource_width_for(dfg, id));
+    out[id] = pr;
+  }
+  return out;
+}
+
+}  // namespace hls::sched

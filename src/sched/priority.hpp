@@ -1,0 +1,35 @@
+// List-scheduling priorities (paper Figure 7 and Section IV.B): "The
+// priority function takes into account the mobility of the operations
+// defined by timing-aware ASAP/ALAP intervals (similar to Force-Directed
+// Scheduling), the complexity of operations (more complex ones are
+// scheduled first), the size of the fanout cone of an operation".
+#pragma once
+
+#include <vector>
+
+#include "sched/problem.hpp"
+
+namespace hls::sched {
+
+struct Priority {
+  int mobility = 0;        ///< smaller = more urgent
+  double complexity = 0;   ///< unit delay; larger first
+  int fanout_cone = 0;     ///< larger first
+  ir::OpId op = ir::kNoOp; ///< ascending id tie break
+
+  /// True if *this should be scheduled before `other`.
+  bool before(const Priority& other) const {
+    if (mobility != other.mobility) return mobility < other.mobility;
+    if (complexity != other.complexity) return complexity > other.complexity;
+    if (fanout_cone != other.fanout_cone) {
+      return fanout_cone > other.fanout_cone;
+    }
+    return op < other.op;
+  }
+};
+
+/// Priorities for every op in the problem (indexed by OpId; entries for
+/// non-region ops are defaulted).
+std::vector<Priority> compute_priorities(const Problem& p);
+
+}  // namespace hls::sched

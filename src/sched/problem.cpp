@@ -1,0 +1,155 @@
+#include "sched/problem.hpp"
+
+#include <algorithm>
+
+#include "ir/analysis.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hls::sched {
+
+using ir::OpId;
+
+int Problem::deadline(OpId id) const {
+  int d = spans.spans[id].alap;
+  if (pipeline.enabled && scc_of[id] >= 0) {
+    const int ws = scc_window_start[static_cast<std::size_t>(scc_of[id])];
+    if (ws >= 0) d = std::min(d, ws + pipeline.ii - 1);
+  }
+  return d;
+}
+
+int Problem::release(OpId id) const {
+  // Clamp to the last state: when the region is too short the op is still
+  // *tried* there, so the failure produces the specific restraint (busy /
+  // slack) the expert reasons about, exactly as in the paper's Example 1.
+  int r = std::min(spans.spans[id].asap, num_steps - 1);
+  // In the accept-negative-slack endgame, SCC members may bind earlier
+  // than their chain-feasible step: their II window traps them in an early
+  // stage and they take the slack hit (the Table 4 ablation keeps an SCC
+  // where it is, accumulating negative slack instead of moving it). Ops
+  // outside SCCs keep their normal chain-feasible release.
+  if (accept_negative_slack && pipeline.enabled && scc_of[id] >= 0) r = 0;
+  if (pipeline.enabled && scc_of[id] >= 0) {
+    const int ws = scc_window_start[static_cast<std::size_t>(scc_of[id])];
+    if (ws >= 0) r = std::max(r, ws);
+  }
+  return r;
+}
+
+Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
+                      ir::LatencyBound latency, const tech::Library& lib,
+                      double tclk_ps, PipelineConfig pipeline,
+                      std::size_t num_ports, bool anchor_io,
+                      bool use_mutual_exclusivity) {
+  Problem p;
+  p.dfg = &dfg;
+  p.lib = &lib;
+  p.tclk_ps = tclk_ps;
+  p.region = region;
+  p.ops = region.all_ops();
+  p.pipeline = pipeline;
+  p.anchor_io = anchor_io;
+  p.exclusive_colocation = use_mutual_exclusivity;
+
+  // The paper starts scheduling at the minimum latency but estimates the
+  // initial resource set against the maximum ("3 multiplies in at most 3
+  // states -> one multiplier").
+  p.num_steps = pipeline.enabled
+                    ? std::max(latency.min, pipeline.ii + 1)
+                    : latency.min;
+  const int estimate_steps = std::max(latency.max, p.num_steps);
+  auto estimate_spans = alloc::compute_lifespans(
+      dfg, region, estimate_steps, lib, tclk_ps, anchor_io);
+  auto set = alloc::cluster_resources(dfg, p.ops, lib);
+  alloc::EstimateOptions eopts;
+  eopts.pipeline_ii = pipeline.enabled ? pipeline.ii : 0;
+  eopts.use_mutual_exclusivity = use_mutual_exclusivity;
+  p.resources = alloc::estimate_initial_counts(dfg, std::move(set),
+                                               estimate_spans, estimate_steps,
+                                               eopts);
+
+  // SCCs restricted to region ops (inter-iteration dependency cycles).
+  p.scc_of.assign(dfg.size(), -1);
+  if (pipeline.enabled) {
+    std::vector<bool> in_region(dfg.size(), false);
+    for (OpId id : p.ops) in_region[id] = true;
+    for (const auto& comp : ir::nontrivial_sccs(dfg)) {
+      const bool inside = std::all_of(comp.begin(), comp.end(),
+                                      [&](OpId id) { return in_region[id]; });
+      if (!inside) continue;
+      const int idx = static_cast<int>(p.sccs.size());
+      for (OpId id : comp) p.scc_of[id] = idx;
+      p.sccs.push_back(comp);
+    }
+    p.scc_window_start.assign(p.sccs.size(), -1);
+    p.scc_move_count.assign(p.sccs.size(), 0);
+  }
+
+  // Port write ordering.
+  p.port_writes.assign(num_ports, {});
+  for (OpId id : p.ops) {
+    const ir::Op& o = dfg.op(id);
+    if (o.kind == ir::OpKind::kWrite) p.port_writes[o.port].push_back(id);
+  }
+
+  refresh_spans(p);
+  return p;
+}
+
+void refresh_spans(Problem& p) {
+  p.spans = alloc::compute_lifespans(*p.dfg, p.region, p.num_steps, *p.lib,
+                                     p.tclk_ps, p.anchor_io);
+}
+
+int scc_min_states(const Problem& p, const std::vector<OpId>& scc) {
+  const ir::Dfg& dfg = *p.dfg;
+  const tech::Library& lib = *p.lib;
+  const double launch = lib.reg_clk_to_q_ps();
+  std::vector<bool> member(dfg.size(), false);
+  for (OpId id : scc) member[id] = true;
+
+  std::vector<int> state(dfg.size(), 0);
+  std::vector<double> arrival(dfg.size(), launch);
+  int needed = 1;
+  for (OpId id : dfg.topo_order()) {
+    if (!member[id]) continue;
+    const ir::Op& o = dfg.op(id);
+    const tech::FuClass cls = tech::fu_class_for(dfg, id);
+    const double fu =
+        cls == tech::FuClass::kNone
+            ? 0
+            : (lib.fu_latency_cycles(cls) > 0
+                   ? 0
+                   : lib.fu_delay_ps(cls, tech::resource_width_for(dfg, id)));
+    int st = 0;
+    double arr = launch;  // external inputs come from registers
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == ir::OpKind::kLoopMux && i == 1) continue;
+      const OpId d = o.operands[i];
+      if (d == ir::kNoOp || !member[d]) continue;
+      if (state[d] > st) {
+        st = state[d];
+        arr = arrival[d];
+      } else if (state[d] == st) {
+        arr = std::max(arr, arrival[d]);
+      }
+    }
+    double out = arr + fu;
+    if (out + lib.reg_setup_ps() > p.tclk_ps) {
+      ++st;
+      out = launch + fu;
+    }
+    const int lat =
+        cls == tech::FuClass::kNone ? 0 : lib.fu_latency_cycles(cls);
+    if (lat > 0) {
+      st += lat;
+      out = launch;
+    }
+    state[id] = st;
+    arrival[id] = out;
+    needed = std::max(needed, st + 1);
+  }
+  return needed;
+}
+
+}  // namespace hls::sched

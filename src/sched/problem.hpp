@@ -1,0 +1,79 @@
+// The constrained scheduling problem handed to the pass scheduler, and
+// mutated by the expert system between passes (states added, resources
+// added, bindings forbidden, SCC windows moved).
+#pragma once
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "alloc/estimate.hpp"
+#include "alloc/lifespan.hpp"
+#include "sched/schedule.hpp"
+#include "tech/library.hpp"
+
+namespace hls::sched {
+
+struct Problem {
+  const ir::Dfg* dfg = nullptr;
+  const tech::Library* lib = nullptr;
+  double tclk_ps = 0;
+
+  ir::LinearRegion region;       ///< program-order home view
+  std::vector<ir::OpId> ops;     ///< region ops, program order
+  int num_steps = 1;             ///< current latency attempt (LI)
+  alloc::ResourceSet resources;  ///< pools with instance counts
+  PipelineConfig pipeline;
+
+  // Feature switches (paper features + ablations).
+  bool anchor_io = false;          ///< timed region: pin I/O to home steps
+  bool enable_chaining = true;     ///< IV.B.2
+  bool avoid_comb_cycles = true;   ///< IV.B.3
+  bool exclusive_colocation = true;  ///< predicate-exclusive sharing
+  /// Last-resort relaxation: accept negative slack instead of failing
+  /// (the Table 4 ablation path; synthesis recovers the slack with area).
+  bool accept_negative_slack = false;
+
+  // Pipelining state (paper Section V).
+  std::vector<std::vector<ir::OpId>> sccs;  ///< region-restricted SCCs
+  std::vector<int> scc_of;                  ///< per OpId; -1 = none
+  std::vector<int> scc_window_start;        ///< per SCC; -1 = unpinned
+  std::vector<int> scc_move_count;          ///< MoveScc applications per SCC
+
+  /// Bindings forbidden by comb-cycle restraints: (op, pool, instance).
+  std::set<std::tuple<ir::OpId, int, int>> forbidden;
+
+  /// Per port: write ops in program order (ordering constraint).
+  std::vector<std::vector<ir::OpId>> port_writes;
+
+  /// Life spans for the current num_steps (refresh after changing it).
+  alloc::LifespanResult spans;
+
+  bool in_region(ir::OpId id) const {
+    return id < spans.spans.size() && spans.spans[id].in_region;
+  }
+  /// Effective deadline step for an op (ALAP clamped by its SCC window).
+  int deadline(ir::OpId id) const;
+  /// Earliest step for an op (ASAP clamped by its SCC window).
+  int release(ir::OpId id) const;
+};
+
+/// Assembles a Problem: clusters + estimates resources (using the latency
+/// bound maximum, per the paper), computes SCCs for pipelined regions, and
+/// fills derived tables. `num_ports` sizes the port-order tables.
+Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
+                      ir::LatencyBound latency, const tech::Library& lib,
+                      double tclk_ps, PipelineConfig pipeline,
+                      std::size_t num_ports, bool anchor_io,
+                      bool use_mutual_exclusivity);
+
+/// Recomputes `spans` for the current num_steps.
+void refresh_spans(Problem& p);
+
+/// Minimum number of states the SCC's internal dependence chain needs with
+/// all external inputs registered (optimistic chaining, no sharing muxes).
+/// This is the recurrence bound: if it exceeds II, no window placement can
+/// satisfy the paper's SCC-within-II-states condition.
+int scc_min_states(const Problem& p, const std::vector<ir::OpId>& scc);
+
+}  // namespace hls::sched

@@ -1,0 +1,32 @@
+#include "sched/restraint.hpp"
+
+#include "ir/dfg.hpp"
+#include "support/strings.hpp"
+
+namespace hls::sched {
+
+const char* restraint_kind_name(RestraintKind k) {
+  switch (k) {
+    case RestraintKind::kNoResource: return "no-resource";
+    case RestraintKind::kNegativeSlack: return "negative-slack";
+    case RestraintKind::kCombCycle: return "comb-cycle";
+    case RestraintKind::kSccWindow: return "scc-window";
+    case RestraintKind::kNoStates: return "no-states";
+  }
+  return "?";
+}
+
+std::string Restraint::to_string(const ir::Dfg& dfg) const {
+  std::string name = op != ir::kNoOp && op < dfg.size() && !dfg.op(op).name.empty()
+                         ? dfg.op(op).name
+                         : strf("%", op);
+  std::string s = strf(restraint_kind_name(kind), " op=", name, " step=s",
+                       step + 1);
+  if (kind == RestraintKind::kNegativeSlack) {
+    s += strf(" slack=", slack_ps, "ps");
+  }
+  if (scc >= 0) s += strf(" scc=", scc);
+  return s;
+}
+
+}  // namespace hls::sched

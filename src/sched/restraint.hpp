@@ -1,0 +1,39 @@
+// Restraints: the failure records the pass scheduler leaves behind for the
+// expert system (paper Section IV.B: "The history of the scheduling pass
+// is recorded in a set of restraints, which are issued every time a
+// binding of an operation to an edge and/or a resource fails").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls::sched {
+
+enum class RestraintKind : std::uint8_t {
+  kNoResource,     ///< all compatible instances busy at the deadline step
+  kNegativeSlack,  ///< every feasible binding violates the clock period
+  kCombCycle,      ///< binding would create a false combinational cycle
+  kSccWindow,      ///< the op's SCC cannot fit its II-state window here
+  kNoStates,       ///< the op's dependences never became ready in time
+};
+
+const char* restraint_kind_name(RestraintKind k);
+
+struct Restraint {
+  RestraintKind kind = RestraintKind::kNoResource;
+  ir::OpId op = ir::kNoOp;
+  int step = -1;          ///< step at which the fatal failure occurred
+  int pool = -1;          ///< resource pool involved (if any)
+  int instance = -1;      ///< instance involved (kCombCycle)
+  double slack_ps = 0;    ///< most favourable (least negative) slack seen
+  int scc = -1;           ///< SCC index (kSccWindow / SCC member failures)
+  /// Weight: proximity to the failed op (1 for the op itself, decaying
+  /// through its fan-in cone) times the failure count.
+  double weight = 1.0;
+
+  std::string to_string(const ir::Dfg& dfg) const;
+};
+
+}  // namespace hls::sched

@@ -1,0 +1,44 @@
+#include "sched/schedule.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hls::sched {
+
+std::vector<std::vector<ir::OpId>> Schedule::ops_by_step() const {
+  std::vector<std::vector<ir::OpId>> out(
+      static_cast<std::size_t>(num_steps));
+  for (ir::OpId id = 0; id < placement.size(); ++id) {
+    const OpPlacement& p = placement[id];
+    if (p.scheduled && p.step >= 0 && p.step < num_steps) {
+      out[static_cast<std::size_t>(p.step)].push_back(id);
+    }
+  }
+  return out;
+}
+
+std::string Schedule::to_table(const ir::Dfg& dfg) const {
+  std::vector<std::string> header{"state"};
+  for (const auto& pool : resources.pools) header.push_back(pool.name);
+  header.push_back("(io/free)");
+  TextTable t(header);
+  const auto by_step = ops_by_step();
+  for (int s = 0; s < num_steps; ++s) {
+    std::vector<std::string> row(header.size());
+    row[0] = strf("s", s + 1);
+    for (ir::OpId id : by_step[static_cast<std::size_t>(s)]) {
+      const OpPlacement& p = placement[id];
+      const std::string name =
+          dfg.op(id).name.empty() ? strf("%", id) : dfg.op(id).name;
+      std::string& cell = p.pool >= 0
+                              ? row[static_cast<std::size_t>(p.pool) + 1]
+                              : row.back();
+      if (!cell.empty()) cell += ",";
+      cell += name;
+    }
+    t.row(std::move(row));
+  }
+  return t.to_string();
+}
+
+}  // namespace hls::sched

@@ -1,0 +1,56 @@
+// Schedule representation: the simultaneous binding of every operation to
+// a control step AND a resource instance (paper Section IV), plus
+// Table 2-style rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/cluster.hpp"
+#include "ir/region.hpp"
+
+namespace hls::sched {
+
+/// Pipelining configuration for the scheduled region (paper Section V:
+/// the designer fixes II; LI is chosen by the tool within bounds).
+struct PipelineConfig {
+  bool enabled = false;
+  int ii = 1;
+};
+
+struct OpPlacement {
+  bool scheduled = false;
+  /// Step at which the op's result becomes available. For multi-cycle
+  /// units this is start step + latency (a registered result).
+  int step = -1;
+  int pool = -1;      ///< resource pool index; -1 = no function unit
+  int instance = -1;  ///< instance within the pool
+  /// Output arrival within the step, ps (post output-sharing-mux).
+  double arrival_ps = 0;
+};
+
+struct Schedule {
+  int num_steps = 0;
+  PipelineConfig pipeline;
+  alloc::ResourceSet resources;
+  std::vector<OpPlacement> placement;  ///< indexed by OpId
+  /// Worst register-setup slack across the schedule after final timing
+  /// (negative when the expert accepted a violation; see synth recovery).
+  double worst_slack_ps = 0;
+
+  int stages() const {
+    return pipeline.enabled ? (num_steps + pipeline.ii - 1) / pipeline.ii : 1;
+  }
+  /// Kernel step of a step under folding (identity when not pipelined).
+  int kernel_step(int step) const {
+    return pipeline.enabled ? step % pipeline.ii : step;
+  }
+  /// Scheduled ops per step.
+  std::vector<std::vector<ir::OpId>> ops_by_step() const;
+
+  /// Renders the paper's Table 2 format: one row per state, one column per
+  /// resource pool, cells listing the ops bound there.
+  std::string to_table(const ir::Dfg& dfg) const;
+};
+
+}  // namespace hls::sched

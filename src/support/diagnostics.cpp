@@ -1,0 +1,34 @@
+#include "support/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace hls {
+
+void assert_fail(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  throw InternalError(strf("HLS_ASSERT failed: ", cond, " at ", file, ":",
+                           line, (msg.empty() ? "" : ": "), msg));
+}
+
+bool DiagEngine::has_errors() const {
+  return std::any_of(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+std::string DiagEngine::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    const char* sev = d.severity == Severity::kError     ? "error"
+                      : d.severity == Severity::kWarning ? "warning"
+                                                         : "note";
+    if (d.line > 0) {
+      out += strf(d.line, ":", d.column, ": ", sev, ": ", d.message, "\n");
+    } else {
+      out += strf(sev, ": ", d.message, "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace hls

@@ -1,0 +1,73 @@
+// Error handling primitives.
+//
+// The library distinguishes two failure classes:
+//  * programming errors / broken invariants -> HLS_ASSERT, throws InternalError
+//  * malformed user input (IR validation, DSL parse errors) -> UserError or
+//    a DiagEngine that accumulates messages for batch reporting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed user input (bad IR, unsatisfiable hard constraints).
+class UserError : public std::runtime_error {
+ public:
+  explicit UserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const std::string& msg);
+
+#define HLS_ASSERT(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::hls::assert_fail(#cond, __FILE__, __LINE__, ::hls::strf(__VA_ARGS__)); \
+    }                                                                      \
+  } while (false)
+
+/// Severity of a collected diagnostic message.
+enum class Severity { kNote, kWarning, kError };
+
+/// A single diagnostic with optional source location (used by the DSL).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string message;
+  int line = 0;    ///< 1-based; 0 when not tied to a source location
+  int column = 0;  ///< 1-based; 0 when not tied to a source location
+};
+
+/// Accumulates diagnostics so callers can report all problems at once.
+class DiagEngine {
+ public:
+  void error(std::string msg, int line = 0, int col = 0) {
+    diags_.push_back({Severity::kError, std::move(msg), line, col});
+  }
+  void warning(std::string msg, int line = 0, int col = 0) {
+    diags_.push_back({Severity::kWarning, std::move(msg), line, col});
+  }
+  void note(std::string msg, int line = 0, int col = 0) {
+    diags_.push_back({Severity::kNote, std::move(msg), line, col});
+  }
+
+  bool has_errors() const;
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Renders all diagnostics, one per line, e.g. "3:7: error: ...".
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace hls

@@ -1,0 +1,62 @@
+#include "support/dot.hpp"
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+DotWriter::DotWriter(std::string_view graph_name, bool directed)
+    : directed_(directed) {
+  out_ = strf(directed ? "digraph" : "graph", " \"", escape(graph_name),
+              "\" {\n");
+}
+
+std::string DotWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void DotWriter::node(std::string_view id, std::string_view label,
+                     std::string_view attrs) {
+  out_ += strf("  \"", escape(id), "\" [label=\"", escape(label), "\"",
+               attrs.empty() ? "" : ", ", attrs, "];\n");
+}
+
+void DotWriter::edge(std::string_view from, std::string_view to,
+                     std::string_view label, std::string_view attrs) {
+  out_ += strf("  \"", escape(from), "\" ", directed_ ? "->" : "--", " \"",
+               escape(to), "\"");
+  if (!label.empty() || !attrs.empty()) {
+    out_ += " [";
+    if (!label.empty()) out_ += strf("label=\"", escape(label), "\"");
+    if (!label.empty() && !attrs.empty()) out_ += ", ";
+    out_ += attrs;
+    out_ += "]";
+  }
+  out_ += ";\n";
+}
+
+void DotWriter::begin_cluster(std::string_view id, std::string_view label) {
+  out_ += strf("  subgraph \"cluster_", escape(id), "\" {\n  label=\"",
+               escape(label), "\";\n");
+}
+
+void DotWriter::end_cluster() { out_ += "  }\n"; }
+
+std::string DotWriter::finish() {
+  HLS_ASSERT(!finished_, "DotWriter::finish called twice");
+  finished_ = true;
+  out_ += "}\n";
+  return out_;
+}
+
+}  // namespace hls

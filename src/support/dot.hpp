@@ -1,0 +1,33 @@
+// Tiny Graphviz DOT writer used to dump CFGs, DFGs, and schedules for
+// visual inspection (Figures 3 and 5 of the paper).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hls {
+
+class DotWriter {
+ public:
+  explicit DotWriter(std::string_view graph_name, bool directed = true);
+
+  /// Adds a node; `attrs` is raw DOT attribute text, e.g. "shape=box".
+  void node(std::string_view id, std::string_view label,
+            std::string_view attrs = {});
+  void edge(std::string_view from, std::string_view to,
+            std::string_view label = {}, std::string_view attrs = {});
+  void begin_cluster(std::string_view id, std::string_view label);
+  void end_cluster();
+
+  /// Finalizes and returns the DOT text. The writer must not be reused.
+  std::string finish();
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  std::string out_;
+  bool directed_;
+  bool finished_ = false;
+};
+
+}  // namespace hls

@@ -1,0 +1,117 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace hls {
+
+std::string JsonWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.ctx == Ctx::kObject) {
+    HLS_ASSERT(top.key_pending, "JSON object value without key");
+    top.key_pending = false;
+    return;
+  }
+  if (!top.first) out_ += ',';
+  top.first = false;
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back({Ctx::kObject});
+}
+
+void JsonWriter::end_object() {
+  HLS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::kObject,
+             "unbalanced end_object");
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back({Ctx::kArray});
+}
+
+void JsonWriter::end_array() {
+  HLS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::kArray,
+             "unbalanced end_array");
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  HLS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::kObject,
+             "JSON key outside object");
+  Level& top = stack_.back();
+  HLS_ASSERT(!top.key_pending, "two JSON keys in a row");
+  if (!top.first) out_ += ',';
+  top.first = false;
+  top.key_pending = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+}
+
+void JsonWriter::value(std::string_view v) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+}
+
+}  // namespace hls

@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer for machine-readable reports.
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("ops"); w.value(42);
+//   w.key("list"); w.begin_array(); w.value(1); w.value(2); w.end_array();
+//   w.end_object();
+//   std::string text = w.str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hls {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes an object key; must be followed by a value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::uint64_t v);
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  void pre_value();
+
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  struct Level {
+    Ctx ctx;
+    bool first = true;
+    bool key_pending = false;
+  };
+  std::vector<Level> stack_;
+  std::string out_;
+};
+
+}  // namespace hls

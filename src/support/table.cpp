@@ -1,0 +1,54 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HLS_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  HLS_ASSERT(cells.size() == header_.size(), "row arity ", cells.size(),
+             " != header arity ", header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  const std::string margin(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    out += margin;
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += pad_right(r[c], widths[c]);
+      if (c + 1 != r.size()) out += "  ";
+    }
+    // Trim trailing spaces introduced by padding the last column.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(header_);
+  out += margin;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c], '-');
+    if (c + 1 != widths.size()) out += "  ";
+  }
+  out += '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out;
+}
+
+}  // namespace hls

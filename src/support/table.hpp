@@ -1,0 +1,37 @@
+// Plain-text table rendering used by benches and examples to print the
+// paper's tables (Tables 1-4) in a readable aligned format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; it must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: renders every cell with operator<<.
+  template <typename... Ts>
+  void row_of(const Ts&... cells) {
+    row({strf(cells)...});
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment, a header separator, and `indent` spaces
+  /// of left margin.
+  std::string to_string(int indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hls

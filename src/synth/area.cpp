@@ -1,0 +1,90 @@
+#include "synth/area.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::synth {
+
+using ir::kNoOp;
+using ir::Op;
+using ir::OpId;
+using ir::OpKind;
+
+namespace {
+
+/// Values needing a register: consumed in a later step or loop-carried.
+std::set<OpId> registered_values(const rtl::ModuleMachine& mm) {
+  std::set<OpId> regs;
+  const ir::Dfg& dfg = mm.module->thread.dfg;
+  const auto& s = mm.loop.schedule;
+  for (OpId id : mm.loop.region_ops) {
+    const Op& o = dfg.op(id);
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      const OpId d = o.operands[i];
+      if (d == kNoOp || dfg.is_const(d)) continue;
+      if (!s.placement[d].scheduled || !s.placement[id].scheduled) continue;
+      const bool carried = o.kind == OpKind::kLoopMux && i == 1;
+      if (carried || s.placement[d].step != s.placement[id].step) {
+        regs.insert(d);
+      }
+    }
+    if (o.pred != kNoOp && !dfg.is_const(o.pred) &&
+        s.placement[o.pred].scheduled && s.placement[id].scheduled &&
+        s.placement[o.pred].step != s.placement[id].step) {
+      regs.insert(o.pred);
+    }
+  }
+  return regs;
+}
+
+}  // namespace
+
+AreaReport estimate_area(const rtl::ModuleMachine& mm,
+                         const tech::Library& lib) {
+  AreaReport r;
+  const ir::Dfg& dfg = mm.module->thread.dfg;
+  const auto& s = mm.loop.schedule;
+
+  // ---- Function units -------------------------------------------------------
+  for (const auto& pool : s.resources.pools) {
+    r.functional_units += pool.count * lib.fu_area(pool.cls, pool.width);
+  }
+
+  // ---- Sharing muxes ---------------------------------------------------------
+  // Each shared instance (hosting n > 1 ops) carries two operand sharing
+  // muxes and one output distribution network of n inputs.
+  std::map<std::pair<int, int>, int> instance_ops;
+  for (OpId id : mm.loop.region_ops) {
+    const auto& pl = s.placement[id];
+    if (pl.pool >= 0) ++instance_ops[{pl.pool, pl.instance}];
+  }
+  for (const auto& [key, n] : instance_ops) {
+    if (n < 2) continue;
+    const auto& pool = s.resources.pools[static_cast<std::size_t>(key.first)];
+    r.sharing_muxes += 3 * lib.mux_area(n, pool.width);
+  }
+
+  // ---- Registers ----------------------------------------------------------------
+  int reg_bits = 0;
+  for (OpId id : registered_values(mm)) {
+    reg_bits += dfg.op(id).type.width;
+  }
+  reg_bits += mm.loop.folded.pipe_register_bits();
+  for (const auto& cr : mm.loop.folded.carried_regs) reg_bits += cr.width;
+  for (const auto& p : mm.module->ports) {
+    if (p.dir == ir::PortDir::kOut) reg_bits += p.type.width;  // port regs
+  }
+  r.registers = reg_bits * lib.reg_area_per_bit();
+
+  // ---- Control --------------------------------------------------------------------
+  const int kernel_edges =
+      std::min(mm.loop.folded.ii, mm.loop.folded.li);
+  r.control = lib.fsm_area(kernel_edges) +
+              lib.fsm_area(1) * mm.loop.folded.stages;  // stage valid bits
+
+  return r;
+}
+
+}  // namespace hls::synth

@@ -1,0 +1,36 @@
+// Post-scheduling area estimation — the library's stand-in for the logic
+// synthesis the paper's tool calls for area estimates.
+//
+// Components: function units (from the final resource set), sharing muxes
+// (input/output networks on shared instances), registers (step-crossing
+// values, pipeline register chains, loop-carried and output registers),
+// and FSM control. Calibrated against the paper's Table 3
+// (S=16094, P2=24010, P1=30491 for Example 1).
+#pragma once
+
+#include "rtl/fsmd.hpp"
+#include "tech/library.hpp"
+
+namespace hls::synth {
+
+struct AreaReport {
+  double functional_units = 0;
+  double sharing_muxes = 0;
+  double registers = 0;
+  double control = 0;
+  /// Extra area logic synthesis spends recovering negative slack
+  /// (gate upsizing); see recovery.hpp.
+  double timing_recovery = 0;
+
+  double total() const {
+    return functional_units + sharing_muxes + registers + control +
+           timing_recovery;
+  }
+};
+
+/// Estimates the silicon area of the machine (timing recovery excluded;
+/// apply_recovery adds it from the schedule's worst slack).
+AreaReport estimate_area(const rtl::ModuleMachine& mm,
+                         const tech::Library& lib);
+
+}  // namespace hls::synth

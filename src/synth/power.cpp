@@ -1,0 +1,49 @@
+#include "synth/power.hpp"
+
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::synth {
+
+using ir::OpId;
+
+PowerReport estimate_power(const rtl::ModuleMachine& mm,
+                           const tech::Library& lib, double tclk_ps,
+                           const AreaReport& area, double activity) {
+  PowerReport r;
+  const ir::Dfg& dfg = mm.module->thread.dfg;
+  const auto& s = mm.loop.schedule;
+  const int kernel_edges = std::min(mm.loop.folded.ii, mm.loop.folded.li);
+
+  // Dynamic: each op executes once per iteration; an iteration begins
+  // every II cycles at full activity, i.e. each op switches its unit once
+  // per II cycles.
+  double energy_per_iteration_pj = 0;
+  for (OpId id : mm.loop.region_ops) {
+    const auto& pl = s.placement[id];
+    if (pl.pool < 0) continue;
+    const auto& pool = s.resources.pools[static_cast<std::size_t>(pl.pool)];
+    energy_per_iteration_pj += lib.fu_energy_pj(pool.cls, pool.width);
+  }
+  // Register write energy: every registered bit toggles once per iteration.
+  const double reg_bits = area.registers / lib.reg_area_per_bit();
+  energy_per_iteration_pj += lib.reg_energy_pj(1) * reg_bits;
+
+  const double ii_cycles = static_cast<double>(mm.loop.initiation_interval());
+  const double iteration_time_ns = ii_cycles * tclk_ps / 1000.0;
+  HLS_ASSERT(iteration_time_ns > 0, "bad clock period");
+  // pJ / ns == mW.
+  r.dynamic_mw = activity * energy_per_iteration_pj / iteration_time_ns;
+
+  // Control switching: the FSM and stage valids toggle every cycle.
+  const double control_pj =
+      lib.fsm_area(kernel_edges) * lib.energy_per_area_pj();
+  r.dynamic_mw += control_pj / (tclk_ps / 1000.0);
+
+  // Leakage is proportional to total silicon (nW -> mW).
+  r.leakage_mw = lib.leakage_nw(area.total()) / 1e6;
+  return r;
+}
+
+}  // namespace hls::synth

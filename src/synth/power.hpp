@@ -1,0 +1,22 @@
+// Power estimation for the area/delay/power exploration of the paper's
+// Figures 10-11: dynamic power from per-operation switching energy at the
+// achieved activity, plus leakage proportional to area.
+#pragma once
+
+#include "synth/area.hpp"
+
+namespace hls::synth {
+
+struct PowerReport {
+  double dynamic_mw = 0;
+  double leakage_mw = 0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+};
+
+/// Estimates power at clock period `tclk_ps`. `activity` scales switching
+/// (1.0 = the loop initiates as fast as its II allows).
+PowerReport estimate_power(const rtl::ModuleMachine& mm,
+                           const tech::Library& lib, double tclk_ps,
+                           const AreaReport& area, double activity = 1.0);
+
+}  // namespace hls::synth

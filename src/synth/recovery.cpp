@@ -1,0 +1,39 @@
+#include "synth/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hls::synth {
+
+double recovery_area(double combinational_area, double worst_slack_ps,
+                     double tclk_ps) {
+  if (worst_slack_ps >= 0 || tclk_ps <= 0) return 0;
+  const double violation = std::min(1.0, -worst_slack_ps / tclk_ps);
+  // Convex sizing cost: ~5% of the combinational area for a 10% violation,
+  // ~23% for a 40% violation, saturating at 55% for pathological
+  // violations (calibrated to the paper's Table 4 penalty range 2.7-33%).
+  const double factor = 1.1 * std::pow(violation, 1.3);
+  return combinational_area * std::min(factor, 0.55);
+}
+
+double downsizing_savings(double combinational_area, double worst_slack_ps,
+                          double tclk_ps) {
+  if (worst_slack_ps <= 0 || tclk_ps <= 0) return 0;
+  const double headroom = std::min(1.0, worst_slack_ps / tclk_ps);
+  // Smaller cells on non-critical paths: up to ~30% of the combinational
+  // area at very generous slack, flattening out (sizing has diminishing
+  // returns once everything is minimum size).
+  return -0.30 * combinational_area * std::pow(headroom, 0.8);
+}
+
+AreaReport apply_recovery(AreaReport base, double worst_slack_ps,
+                          double tclk_ps) {
+  const double comb = base.functional_units + base.sharing_muxes;
+  base.timing_recovery =
+      worst_slack_ps < 0
+          ? recovery_area(comb, worst_slack_ps, tclk_ps)
+          : downsizing_savings(comb, worst_slack_ps, tclk_ps);
+  return base;
+}
+
+}  // namespace hls::synth

@@ -1,0 +1,31 @@
+// Timing-driven area recovery — the mechanism behind the paper's Table 4.
+//
+// When a schedule is handed to logic synthesis with negative slack, the
+// synthesizer must upsize gates and restructure logic on the violating
+// paths to make timing. That costs area, convexly in the relative
+// violation: small violations are cheap (swap in faster cells), large
+// ones force wholesale restructuring of the cone.
+#pragma once
+
+#include "synth/area.hpp"
+
+namespace hls::synth {
+
+/// Extra area needed to close `worst_slack_ps` of violation at the given
+/// clock. Returns 0 when slack is non-negative. `combinational_area` is
+/// the logic that sizing can act on (function units + muxes).
+double recovery_area(double combinational_area, double worst_slack_ps,
+                     double tclk_ps);
+
+/// The flip side: with generous positive slack logic synthesis downsizes
+/// gates ("more non-timing critical (hence smaller) resources may require
+/// less total area", paper Section V) — returns a NEGATIVE area delta,
+/// saturating around -30% of the combinational area.
+double downsizing_savings(double combinational_area, double worst_slack_ps,
+                          double tclk_ps);
+
+/// Applies recovery to a report given the schedule's worst slack.
+AreaReport apply_recovery(AreaReport base, double worst_slack_ps,
+                          double tclk_ps);
+
+}  // namespace hls::synth

@@ -1,0 +1,49 @@
+// The built-in 90nm-class library. Coefficients are calibrated so that the
+// 32-bit delays reproduce the paper's Table 1 exactly:
+//
+//   resource   mul  add  gt   neq  ff     mux2  mux3
+//   delay(ps)  930  350  220  60   40/70  110   115
+//
+//   mul: 290 + 20*w          -> 930 @ w=32
+//   add: 110 + 48*log2(w)    -> 350 @ w=32
+//   gt:   70 + 30*log2(w)    -> 220 @ w=32
+//   neq:  20 +  8*log2(w)    ->  60 @ w=32
+//   mux(n): 105 + 5*ceil(log2(n)) -> 110 @ n=2, 115 @ n=3..4
+//   ff: clk-to-q 40, setup 40 (the Table's 40/70 lists clk-to-q and the
+//       full write path; the worked example in Section IV uses 40 + 40).
+//
+// Area coefficients are calibrated against the paper's Table 3
+// micro-architecture comparison (S=16094, P2=24010, P1=30491).
+#include "tech/library.hpp"
+
+namespace hls::tech {
+
+const Library& artisan90() {
+  static const Library lib = [] {
+    std::map<FuClass, ClassModel> m;
+    // delay(w) = base + l2*log2(w) + lin*w ; area(w) = base + aw*w + aw2*w^2
+    m[FuClass::kAdder] = {110, 48, 0, 40, 22, 0, 0, 0};
+    m[FuClass::kMultiplier] = {290, 0, 20, 30, 0, 6.6, 0, 0};
+    m[FuClass::kDivider] = {0, 0, 0, 120, 0, 19, /*latency=*/4,
+                            /*into_cycle=*/400};
+    m[FuClass::kCompareOrd] = {70, 30, 0, 12, 9, 0, 0, 0};
+    m[FuClass::kCompareEq] = {20, 8, 0, 10, 7, 0, 0, 0};
+    m[FuClass::kLogic] = {45, 0, 0, 4, 5, 0, 0, 0};
+    m[FuClass::kShifter] = {90, 25, 0, 25, 0, 0.45, 0, 0};
+    // Data-select unit: a 2-input mux is 110ps at any width (bit-sliced).
+    m[FuClass::kMux] = {110, 0, 0, 0, 7, 0, 0, 0};
+    return Library(
+        "artisan_90nm_typical", std::move(m),
+        /*reg_clk_to_q_ps=*/40, /*reg_setup_ps=*/40,
+        /*reg_area_per_bit=*/27,  // per-value registers (no reg sharing);
+        //   calibrated so Table 3's micro-architecture areas reproduce
+        /*mux_delay_base_ps=*/105, /*mux_delay_per_log2_inputs_ps=*/5,
+        /*mux_area_per_input_bit=*/7,
+        /*fsm_area_per_state=*/120,
+        /*energy_per_area_pj=*/0.0021,
+        /*leakage_nw_per_area=*/1.6);
+  }();
+  return lib;
+}
+
+}  // namespace hls::tech

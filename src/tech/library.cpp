@@ -1,0 +1,81 @@
+#include "tech/library.hpp"
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::tech {
+
+Library::Library(std::string name, std::map<FuClass, ClassModel> models,
+                 double reg_clk_to_q_ps, double reg_setup_ps,
+                 double reg_area_per_bit, double mux_delay_base_ps,
+                 double mux_delay_per_log2_inputs_ps,
+                 double mux_area_per_input_bit, double fsm_area_per_state,
+                 double energy_per_area_pj, double leakage_nw_per_area)
+    : name_(std::move(name)),
+      models_(std::move(models)),
+      reg_clk_to_q_(reg_clk_to_q_ps),
+      reg_setup_(reg_setup_ps),
+      reg_area_per_bit_(reg_area_per_bit),
+      mux_delay_base_(mux_delay_base_ps),
+      mux_delay_per_log2_inputs_(mux_delay_per_log2_inputs_ps),
+      mux_area_per_input_bit_(mux_area_per_input_bit),
+      fsm_area_per_state_(fsm_area_per_state),
+      energy_per_area_(energy_per_area_pj),
+      leakage_nw_per_area_(leakage_nw_per_area) {}
+
+const ClassModel& Library::model(FuClass c) const {
+  auto it = models_.find(c);
+  HLS_ASSERT(it != models_.end(), "library '", name_, "' has no model for ",
+             fu_class_name(c));
+  return it->second;
+}
+
+double Library::fu_delay_ps(FuClass c, int width) const {
+  HLS_ASSERT(c != FuClass::kNone, "kNone has no delay");
+  HLS_ASSERT(width >= 1 && width <= 64, "bad width ", width);
+  const ClassModel& m = model(c);
+  return m.delay_base + m.delay_log2w * std::log2(static_cast<double>(width)) +
+         m.delay_linw * width;
+}
+
+double Library::fu_area(FuClass c, int width) const {
+  HLS_ASSERT(c != FuClass::kNone, "kNone has no area");
+  const ClassModel& m = model(c);
+  return m.area_base + m.area_w * width +
+         m.area_w2 * static_cast<double>(width) * width;
+}
+
+double Library::fu_energy_pj(FuClass c, int width) const {
+  return fu_area(c, width) * energy_per_area_;
+}
+
+int Library::fu_latency_cycles(FuClass c) const {
+  return model(c).latency_cycles;
+}
+
+double Library::fu_delay_into_cycle_ps(FuClass c) const {
+  return model(c).delay_into_cycle;
+}
+
+double Library::reg_energy_pj(int width) const {
+  return reg_area_per_bit_ * width * energy_per_area_;
+}
+
+double Library::mux_delay_ps(int inputs) const {
+  HLS_ASSERT(inputs >= 2, "mux needs >= 2 inputs");
+  return mux_delay_base_ +
+         mux_delay_per_log2_inputs_ *
+             std::ceil(std::log2(static_cast<double>(inputs)));
+}
+
+double Library::mux_area(int inputs, int width) const {
+  HLS_ASSERT(inputs >= 2, "mux needs >= 2 inputs");
+  return mux_area_per_input_bit_ * (inputs - 1) * width;
+}
+
+double Library::fsm_area(int states) const {
+  return fsm_area_per_state_ * states;
+}
+
+}  // namespace hls::tech

@@ -1,0 +1,90 @@
+// Technology library: delay / area / energy models per function-unit
+// class with bit-width scaling, plus register and sharing-mux parameters.
+//
+// This is the library's substitute for the paper's link to commercial
+// logic synthesis: the scheduler only ever asks "what is the delay/area of
+// this unit at this width", and the built-in artisan90() answers are
+// calibrated so the 32-bit values reproduce the paper's Table 1 exactly
+// (mul 930ps, add 350, gt 220, neq 60, ff 40, mux2 110, mux3 115).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tech/resource.hpp"
+
+namespace hls::tech {
+
+/// Per-class model coefficients.
+///   delay_ps(w) = delay_base + delay_log2w * log2(w) + delay_linw * w
+///   area(w)     = area_base + area_w * w + area_w2 * w^2
+struct ClassModel {
+  double delay_base = 0;
+  double delay_log2w = 0;
+  double delay_linw = 0;
+  double area_base = 0;
+  double area_w = 0;
+  double area_w2 = 0;
+  /// >0: the unit is a multi-cycle resource occupying this many cycles;
+  /// its operands and result are registered.
+  int latency_cycles = 0;
+  /// Multi-cycle only: combinational delay inside its final cycle.
+  double delay_into_cycle = 0;
+};
+
+class Library {
+ public:
+  Library(std::string name, std::map<FuClass, ClassModel> models,
+          double reg_clk_to_q_ps, double reg_setup_ps,
+          double reg_area_per_bit, double mux_delay_base_ps,
+          double mux_delay_per_log2_inputs_ps, double mux_area_per_input_bit,
+          double fsm_area_per_state, double energy_per_area_pj,
+          double leakage_nw_per_area);
+
+  const std::string& name() const { return name_; }
+
+  // ---- Function units -------------------------------------------------------
+  double fu_delay_ps(FuClass c, int width) const;
+  double fu_area(FuClass c, int width) const;
+  /// Dynamic energy per operation execution (pJ).
+  double fu_energy_pj(FuClass c, int width) const;
+  int fu_latency_cycles(FuClass c) const;
+  double fu_delay_into_cycle_ps(FuClass c) const;
+
+  // ---- Registers -------------------------------------------------------------
+  double reg_clk_to_q_ps() const { return reg_clk_to_q_; }
+  double reg_setup_ps() const { return reg_setup_; }
+  double reg_area_per_bit() const { return reg_area_per_bit_; }
+  double reg_energy_pj(int width) const;
+
+  // ---- Sharing muxes -----------------------------------------------------------
+  /// Delay of an n-input sharing mux (n >= 2); width-independent
+  /// (bit-sliced). artisan90: mux2 = 110ps, mux3 = mux4 = 115ps.
+  double mux_delay_ps(int inputs) const;
+  double mux_area(int inputs, int width) const;
+
+  // ---- Control / power -----------------------------------------------------------
+  double fsm_area(int states) const;
+  double leakage_nw(double area) const { return leakage_nw_per_area_ * area; }
+  double energy_per_area_pj() const { return energy_per_area_; }
+
+ private:
+  const ClassModel& model(FuClass c) const;
+
+  std::string name_;
+  std::map<FuClass, ClassModel> models_;
+  double reg_clk_to_q_;
+  double reg_setup_;
+  double reg_area_per_bit_;
+  double mux_delay_base_;
+  double mux_delay_per_log2_inputs_;
+  double mux_area_per_input_bit_;
+  double fsm_area_per_state_;
+  double energy_per_area_;
+  double leakage_nw_per_area_;
+};
+
+/// The built-in 90nm-class library calibrated to the paper's Table 1.
+const Library& artisan90();
+
+}  // namespace hls::tech

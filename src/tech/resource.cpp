@@ -1,0 +1,81 @@
+#include "tech/resource.hpp"
+
+#include <algorithm>
+
+#include "ir/dfg.hpp"
+
+namespace hls::tech {
+
+const char* fu_class_name(FuClass c) {
+  switch (c) {
+    case FuClass::kNone: return "none";
+    case FuClass::kAdder: return "add";
+    case FuClass::kMultiplier: return "mul";
+    case FuClass::kDivider: return "div";
+    case FuClass::kCompareOrd: return "gt";
+    case FuClass::kCompareEq: return "neq";
+    case FuClass::kLogic: return "logic";
+    case FuClass::kShifter: return "shift";
+    case FuClass::kMux: return "mux";
+  }
+  return "?";
+}
+
+FuClass fu_class_for(ir::OpKind k, bool shift_by_const) {
+  using ir::OpKind;
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kNeg:
+      return FuClass::kAdder;
+    case OpKind::kMul:
+      return FuClass::kMultiplier;
+    case OpKind::kDiv:
+    case OpKind::kMod:
+      return FuClass::kDivider;
+    case OpKind::kLt:
+    case OpKind::kLe:
+    case OpKind::kGt:
+    case OpKind::kGe:
+      return FuClass::kCompareOrd;
+    case OpKind::kEq:
+    case OpKind::kNe:
+      return FuClass::kCompareEq;
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kNot:
+      return FuClass::kLogic;
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return shift_by_const ? FuClass::kNone : FuClass::kShifter;
+    case OpKind::kMux:
+      return FuClass::kMux;
+    default:
+      return FuClass::kNone;
+  }
+}
+
+FuClass fu_class_for(const ir::Dfg& dfg, ir::OpId op) {
+  const ir::Op& o = dfg.op(op);
+  bool shift_by_const = false;
+  if ((o.kind == ir::OpKind::kShl || o.kind == ir::OpKind::kShr) &&
+      o.operands.size() == 2 && o.operands[1] != ir::kNoOp) {
+    shift_by_const = dfg.is_const(o.operands[1]);
+  }
+  return fu_class_for(o.kind, shift_by_const);
+}
+
+int resource_width_for(const ir::Dfg& dfg, ir::OpId op) {
+  const ir::Op& o = dfg.op(op);
+  int w = o.type.width;
+  const std::size_t first =
+      o.kind == ir::OpKind::kMux ? 1u : 0u;  // skip 1-bit select
+  for (std::size_t i = first; i < o.operands.size(); ++i) {
+    if (o.operands[i] == ir::kNoOp) continue;
+    w = std::max(w, static_cast<int>(dfg.op(o.operands[i]).type.width));
+  }
+  return w;
+}
+
+}  // namespace hls::tech

@@ -1,0 +1,38 @@
+// Function-unit classes and the mapping from DFG operations to the
+// resource kinds of the paper's Table 1 (mul, add, gt, neq, ff, mux2/3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/dfg.hpp"
+
+namespace hls::tech {
+
+enum class FuClass : std::uint8_t {
+  kNone,        ///< free wiring / IO / register-based (no function unit)
+  kAdder,       ///< add, sub, neg
+  kMultiplier,  ///< mul
+  kDivider,     ///< div, mod (multi-cycle)
+  kCompareOrd,  ///< lt, le, gt, ge ("gt" in Table 1)
+  kCompareEq,   ///< eq, ne ("neq" in Table 1)
+  kLogic,       ///< and, or, xor, not (bitwise, width-parallel)
+  kShifter,     ///< shifts by a non-constant amount
+  kMux,         ///< data select (the DFG mux operation)
+};
+
+const char* fu_class_name(FuClass c);
+
+/// The function-unit class an operation needs. Shifts by constants and all
+/// free kinds map to kNone. `shift_by_const` tells whether operand 1 of a
+/// shift is a compile-time constant.
+FuClass fu_class_for(ir::OpKind k, bool shift_by_const);
+
+/// Convenience overload that inspects the DFG for constant shift amounts.
+FuClass fu_class_for(const ir::Dfg& dfg, ir::OpId op);
+
+/// The width that sizes a resource hosting `op`: the maximum of the result
+/// width and all operand widths (select inputs excluded for muxes).
+int resource_width_for(const ir::Dfg& dfg, ir::OpId op);
+
+}  // namespace hls::tech

@@ -1,0 +1,60 @@
+#include "timing/comb_cycle.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace hls::timing {
+
+bool CombCycleGraph::reachable(int from, int to) const {
+  if (from == to) return true;
+  std::set<int> seen{from};
+  std::vector<int> work{from};
+  while (!work.empty()) {
+    const int v = work.back();
+    work.pop_back();
+    auto it = adj_.find(v);
+    if (it == adj_.end()) continue;
+    for (const auto& [w, count] : it->second) {
+      if (count <= 0) continue;
+      if (w == to) return true;
+      if (seen.insert(w).second) work.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool CombCycleGraph::would_create_cycle(int from, int to) const {
+  if (from == to) return true;
+  return reachable(to, from);
+}
+
+void CombCycleGraph::add_edge(int from, int to) {
+  ++adj_[from][to];
+}
+
+void CombCycleGraph::remove_edge(int from, int to) {
+  auto it = adj_.find(from);
+  HLS_ASSERT(it != adj_.end(), "remove_edge: no such edge");
+  auto jt = it->second.find(to);
+  HLS_ASSERT(jt != it->second.end() && jt->second > 0,
+             "remove_edge: no such edge");
+  if (--jt->second == 0) it->second.erase(jt);
+}
+
+bool CombCycleGraph::has_edge(int from, int to) const {
+  auto it = adj_.find(from);
+  if (it == adj_.end()) return false;
+  auto jt = it->second.find(to);
+  return jt != it->second.end() && jt->second > 0;
+}
+
+std::size_t CombCycleGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [v, m] : adj_) {
+    for (const auto& [w, c] : m) {
+      if (c > 0) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hls::timing

@@ -1,0 +1,41 @@
+// False combinational cycle avoidance (paper Figure 6, Section IV.B.3).
+//
+// Sharing muxes make resource-to-resource wiring permanent: if an op on
+// resource A chains into an op on resource B in one state, and another
+// state chains B into A, the netlist contains a combinational cycle even
+// though no reachable state sensitizes it. The paper's tool avoids such
+// bindings entirely rather than reporting false paths to logic synthesis.
+//
+// CombCycleGraph tracks chaining edges between resource instances across
+// all states and answers "would adding this edge close a cycle?".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace hls::timing {
+
+class CombCycleGraph {
+ public:
+  /// True if adding edge from->to would create a cycle (including the
+  /// two-node cycle from->to->from). Self edges are cycles by definition.
+  bool would_create_cycle(int from, int to) const;
+
+  /// Records a chaining edge between resource instances (idempotent).
+  void add_edge(int from, int to);
+
+  /// Removes one recorded instance of the edge (edges are counted, since
+  /// several op pairs may induce the same resource pair).
+  void remove_edge(int from, int to);
+
+  bool has_edge(int from, int to) const;
+  std::size_t num_edges() const;
+
+ private:
+  bool reachable(int from, int to) const;
+  std::map<int, std::map<int, int>> adj_;  ///< from -> to -> multiplicity
+};
+
+}  // namespace hls::timing

@@ -1,0 +1,44 @@
+#include "timing/engine.hpp"
+
+#include <algorithm>
+
+namespace hls::timing {
+
+double TimingEngine::fu_delay_ps(tech::FuClass c, int width) {
+  const auto key = std::pair{static_cast<int>(c), width};
+  if (auto it = fu_delay_cache_.find(key); it != fu_delay_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const double d = lib_.fu_delay_ps(c, width);
+  fu_delay_cache_.emplace(key, d);
+  return d;
+}
+
+double TimingEngine::mux_delay_ps(int inputs) {
+  if (auto it = mux_delay_cache_.find(inputs); it != mux_delay_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const double d = lib_.mux_delay_ps(inputs);
+  mux_delay_cache_.emplace(inputs, d);
+  return d;
+}
+
+double TimingEngine::output_arrival_ps(const PathQuery& q) {
+  ++queries_;
+  double in = 0;
+  for (double a : q.operand_arrivals_ps) in = std::max(in, a);
+  if (q.cls == tech::FuClass::kNone) return in;
+  double t = in;
+  if (q.in_mux_inputs >= 2) t += mux_delay_ps(q.in_mux_inputs);
+  t += fu_delay_ps(q.cls, q.width);
+  if (q.out_mux_inputs >= 2) t += mux_delay_ps(q.out_mux_inputs);
+  return t;
+}
+
+double TimingEngine::register_slack_ps(double arrival_ps) const {
+  return timing::register_slack_ps(arrival_ps, tclk_ps_, lib_);
+}
+
+}  // namespace hls::timing

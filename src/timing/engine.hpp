@@ -1,0 +1,47 @@
+// Memoizing timing-query front end (paper Section IV.B.1: the scheduler
+// "performs timing queries (whose results are cached appropriately)").
+//
+// Path arrival math is pure (netlist.hpp); the engine adds memoization of
+// unit-delay lookups and query statistics that the profiling experiment
+// (Figure 9) reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "timing/netlist.hpp"
+
+namespace hls::timing {
+
+class TimingEngine {
+ public:
+  TimingEngine(const tech::Library& lib, double tclk_ps)
+      : lib_(lib), tclk_ps_(tclk_ps) {}
+
+  const tech::Library& library() const { return lib_; }
+  double tclk_ps() const { return tclk_ps_; }
+
+  /// Unit delay with memoization (one library lookup per (class, width)).
+  double fu_delay_ps(tech::FuClass c, int width);
+  double mux_delay_ps(int inputs);
+
+  /// Full path query: composes operand arrivals, sharing muxes and the
+  /// unit delay; counts one timing query.
+  double output_arrival_ps(const PathQuery& q);
+
+  /// Slack of registering a value arriving at `arrival_ps`.
+  double register_slack_ps(double arrival_ps) const;
+
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  const tech::Library& lib_;
+  double tclk_ps_;
+  std::map<std::pair<int, int>, double> fu_delay_cache_;
+  std::map<int, double> mux_delay_cache_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace hls::timing

@@ -1,0 +1,26 @@
+#include "timing/netlist.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::timing {
+
+double output_arrival_ps(const PathQuery& q, const tech::Library& lib) {
+  double in = 0;
+  for (double a : q.operand_arrivals_ps) in = std::max(in, a);
+  if (q.cls == tech::FuClass::kNone) return in;  // pure wiring
+
+  double t = in;
+  if (q.in_mux_inputs >= 2) t += lib.mux_delay_ps(q.in_mux_inputs);
+  t += lib.fu_delay_ps(q.cls, q.width);
+  if (q.out_mux_inputs >= 2) t += lib.mux_delay_ps(q.out_mux_inputs);
+  return t;
+}
+
+double register_slack_ps(double arrival_ps, double tclk_ps,
+                         const tech::Library& lib) {
+  return tclk_ps - (arrival_ps + lib.reg_setup_ps());
+}
+
+}  // namespace hls::timing

@@ -1,0 +1,52 @@
+// Datapath path-delay composition (paper Figure 8).
+//
+// During scheduling, binding an operation to a resource in a state forms a
+// combinational path:
+//
+//   FF --(clk-to-q)--> [input sharing mux] --> FU --> [output sharing mux]
+//      --> chained consumers ... --> FF (setup)
+//
+// Sharing muxes appear whenever the resource is expected to be shared
+// (more compatible operations than instances), which is what makes the
+// estimation "realistic": the paper's worked example yields
+//   40 + 110 + 930 + 110 + 40 = 1230 ps
+// for a multiplication on a shared multiplier at Tclk = 1600.
+#pragma once
+
+#include <vector>
+
+#include "tech/library.hpp"
+
+namespace hls::timing {
+
+/// One candidate (or committed) binding's path query.
+struct PathQuery {
+  /// Arrival time of each data operand at the FU/mux input, ps. Operands
+  /// coming from registers arrive at reg_clk_to_q; chained operands arrive
+  /// at the producer's post-output-mux time.
+  std::vector<double> operand_arrivals_ps;
+  tech::FuClass cls = tech::FuClass::kNone;
+  int width = 32;
+  /// Number of inputs of the sharing mux in front of the unit; 0 = none.
+  int in_mux_inputs = 0;
+  /// Number of inputs of the sharing structure at the unit output; 0 = none.
+  int out_mux_inputs = 0;
+};
+
+/// Arrival time of the value at the unit's (post-output-mux) output.
+/// kNone units (free ops) contribute only wiring: max operand arrival.
+double output_arrival_ps(const PathQuery& q, const tech::Library& lib);
+
+/// Slack of registering a value that arrives at `arrival_ps`:
+/// slack = Tclk - (arrival + setup). Negative means a timing violation.
+double register_slack_ps(double arrival_ps, double tclk_ps,
+                         const tech::Library& lib);
+
+/// A recorded critical path for reporting (Figure 8-style narration).
+struct PathReport {
+  double arrival_ps = 0;
+  double slack_ps = 0;
+  std::vector<std::string> segments;  ///< human-readable path pieces
+};
+
+}  // namespace hls::timing

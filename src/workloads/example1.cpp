@@ -1,0 +1,49 @@
+#include "workloads/example1.hpp"
+
+#include "frontend/builder.hpp"
+
+namespace hls::workloads {
+
+using frontend::Builder;
+using ir::int_ty;
+
+Example1 make_example1(int latency_min, int latency_max) {
+  Builder b("example1");
+  const auto mask = b.in("mask", int_ty(32));
+  const auto chrome = b.in("chrome", int_ty(32));
+  const auto scale = b.in("scale", int_ty(32));
+  const auto th = b.in("th", int_ty(32));
+  const auto pixel = b.out("pixel", int_ty(32));
+
+  const auto aver = b.var("aver", int_ty(32));
+
+  const ir::StmtId outer = b.begin_forever();
+  b.set(aver, b.c(0));
+  b.wait("s0");
+  const ir::StmtId loop = b.begin_do_while();
+  {
+    // int filt = mask; delta = mask * chrome; aver += delta;
+    const auto filt = b.read(mask, "mask_read");
+    const auto chrome_v = b.read(chrome, "chrome_read");
+    const auto delta = b.mul(filt, chrome_v, "mul1_op");
+    b.set(aver, b.add(b.get(aver), delta, "add_op"));
+    // if (aver > th) { aver *= scale; }
+    const auto th_v = b.read(th, "th_read");
+    const auto scale_v = b.read(scale, "scale_read");
+    const auto cond = b.gt(b.get(aver), th_v, "gt_op");
+    b.begin_if(cond);
+    b.set(aver, b.mul(b.get(aver), scale_v, "mul2_op"));
+    b.end_if();  // emits the merge MUX of Figure 3(b)
+    b.wait("s1");
+    // pixel = aver * filt;
+    b.write(pixel, b.mul(b.get(aver), filt, "mul3_op"));
+    b.end_do_while(b.ne(delta, b.c(0), "neq_op"));
+  }
+  b.end_loop();
+  b.set_latency(loop, latency_min, latency_max);
+
+  Example1 out{b.finish(), outer, loop};
+  return out;
+}
+
+}  // namespace hls::workloads

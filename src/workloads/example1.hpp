@@ -1,0 +1,23 @@
+// The paper's running example (Figure 1): an image-filter-like thread with
+// a data-dependent do-while loop, one conditional scale, and a pixel
+// output. Its DFG is exactly Figure 3(b): mul1 (delta = mask*chrome),
+// add (aver += delta), gt (aver > th), mul2 (aver*scale), the if-join MUX,
+// neq (loop exit test), mul3 (pixel = aver*filt) and the loop-carried
+// loopMux for `aver`.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace hls::workloads {
+
+struct Example1 {
+  ir::Module module;
+  ir::StmtId outer_loop;  ///< the while(true) thread loop
+  ir::StmtId loop;        ///< the do-while loop (latency bound [1,3])
+};
+
+/// Builds the Figure 1 design. `latency_min`/`latency_max` set the do-while
+/// loop latency bound (the paper explores 1..3).
+Example1 make_example1(int latency_min = 1, int latency_max = 3);
+
+}  // namespace hls::workloads

@@ -1,0 +1,101 @@
+// Seeded random CDFG generation — the synthetic stand-in for the paper's
+// ~40 industrial designs (Figure 9 / Table 4). Produces layered expression
+// DAGs with a configurable multiplier fraction, conditional regions
+// (exercising predication), and loop-carried accumulators (SCCs).
+#include "frontend/builder.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hls::workloads {
+
+using frontend::Builder;
+using frontend::Val;
+using ir::int_ty;
+
+Workload make_random_cdfg(std::uint64_t seed, const RandomCdfgOptions& opts) {
+  Rng rng(seed);
+  Builder b("rand" + std::to_string(seed));
+
+  std::vector<frontend::PortHandle> ins;
+  for (int i = 0; i < opts.inputs; ++i) {
+    ins.push_back(b.in("in" + std::to_string(i), int_ty(16)));
+  }
+  std::vector<frontend::PortHandle> outs;
+  for (int i = 0; i < opts.outputs; ++i) {
+    outs.push_back(b.out("out" + std::to_string(i), int_ty(32)));
+  }
+
+  const int n_acc = static_cast<int>(opts.carried_accumulators);
+  std::vector<frontend::VarHandle> accs;
+  for (int i = 0; i < n_acc; ++i) {
+    auto v = b.var("acc" + std::to_string(i), int_ty(32));
+    b.set(v, b.c(0));
+    accs.push_back(v);
+  }
+
+  auto loop = b.begin_counted(64);
+  std::vector<Val> pool;
+  for (auto& p : ins) pool.push_back(b.sext(b.read(p), 32));
+  for (auto& a : accs) pool.push_back(b.get(a));
+
+  auto pick = [&]() {
+    return pool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  int made = 0;
+  while (made < opts.target_ops) {
+    const double roll = rng.uniform01();
+    if (roll < opts.mul_fraction) {
+      pool.push_back(b.mul(pick(), pick()));
+      ++made;
+    } else if (roll < opts.mul_fraction + 0.45) {
+      pool.push_back(rng.chance(0.5) ? b.add(pick(), pick())
+                                     : b.sub(pick(), pick()));
+      ++made;
+    } else if (roll < opts.mul_fraction + 0.60) {
+      pool.push_back(rng.chance(0.5) ? b.bxor(pick(), pick())
+                                     : b.band(pick(), pick()));
+      ++made;
+    } else if (roll < opts.mul_fraction + 0.70) {
+      auto sel = b.gt(pick(), pick());
+      pool.push_back(b.mux(sel, pick(), pick()));
+      made += 2;
+    } else if (roll < opts.mul_fraction + 0.78 && made + 4 < opts.target_ops) {
+      // A conditional region: assignments under a data-dependent branch.
+      auto v = b.var("t" + std::to_string(made), int_ty(32));
+      b.set(v, pick());
+      b.begin_if(b.ge(pick(), b.c(0)));
+      b.set(v, b.add(pick(), pick()));
+      b.begin_else();
+      b.set(v, b.sub(pick(), pick()));
+      b.end_if();
+      pool.push_back(b.get(v));
+      made += 4;
+    } else {
+      pool.push_back(b.add(pick(), b.c(rng.uniform(1, 255))));
+      ++made;
+    }
+  }
+
+  // Fold the freshest values into the accumulators (loop-carried SCCs).
+  for (int i = 0; i < n_acc; ++i) {
+    b.set(accs[static_cast<std::size_t>(i)],
+          b.add(b.get(accs[static_cast<std::size_t>(i)]), pick()));
+  }
+  for (int i = 0; i < opts.outputs; ++i) {
+    b.write(outs[static_cast<std::size_t>(i)],
+            i < n_acc ? b.get(accs[static_cast<std::size_t>(i)]) : pick());
+  }
+  b.wait();
+  b.end_loop();
+  b.set_latency(loop, 1, 64);
+
+  Workload out;
+  out.name = "rand" + std::to_string(seed);
+  out.loop = loop;
+  out.module = b.finish();
+  return out;
+}
+
+}  // namespace hls::workloads

@@ -1,0 +1,41 @@
+// The Figure 9 profiling suite: named kernels plus seeded random CDFGs
+// spanning roughly 100-6000 operations (the paper's design-size range,
+// average ~1400).
+#include "workloads/workloads.hpp"
+
+namespace hls::workloads {
+
+std::vector<Workload> make_profile_suite() {
+  std::vector<Workload> suite;
+  // Named kernels (filters, FFTs, image processing — the categories the
+  // paper lists).
+  suite.push_back(make_fir(16));
+  suite.push_back(make_fir(64));
+  suite.push_back(make_ewf());
+  suite.push_back(make_arf());
+  suite.push_back(make_crc32());
+  suite.push_back(make_fft8_stage());
+  suite.push_back(make_dct8());
+  suite.push_back(make_idct8());
+  suite.push_back(make_conv3x3());
+  suite.push_back(make_sobel());
+  // Random designs spanning ~100-6000 ops, denser at the small end
+  // (the paper: average 1400 ops).
+  const int sizes[] = {100,  140,  190,  260,  350,  470,  620,  800,
+                       1000, 1200, 1400, 1600, 1850, 2100, 2400, 2700,
+                       3000, 3400, 3800, 4200, 4600, 5000, 5400, 5800,
+                       6000, 150,  450,  900,  1300, 2000};
+  std::uint64_t seed = 1000;
+  for (int target : sizes) {
+    RandomCdfgOptions opts;
+    opts.target_ops = target;
+    opts.inputs = 4 + target / 800;
+    opts.outputs = 2 + target / 2000;
+    opts.mul_fraction = 0.12 + 0.1 * ((seed % 3) / 3.0);
+    opts.carried_accumulators = 1 + static_cast<int>(seed % 3);
+    suite.push_back(make_random_cdfg(seed++, opts));
+  }
+  return suite;
+}
+
+}  // namespace hls::workloads

@@ -1,0 +1,63 @@
+// Benchmark designs standing in for the paper's industrial suite
+// ("filters, FFTs, image processing algorithms", 100-6000 operations).
+// Each workload is a module with one schedulable (optionally pipelinable)
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace hls::workloads {
+
+struct Workload {
+  std::string name;
+  ir::Module module;
+  ir::StmtId loop = ir::kNoStmt;  ///< the loop to schedule / pipeline
+
+  /// Number of scheduler-visible operations in the loop region.
+  int op_count() const;
+};
+
+// ---- Filters -------------------------------------------------------------------
+/// N-tap FIR with odd constant coefficients and a carried delay line.
+Workload make_fir(int taps, int data_width = 16);
+/// Fifth-order elliptic wave filter (the classic HLS benchmark shape:
+/// 8 constant multiplications, 26 additions, carried filter states).
+Workload make_ewf();
+/// Auto-regression filter (16 multiplications, 12 additions, 2 outputs).
+Workload make_arf();
+/// Byte-wise CRC-32 (bitwise logic and muxes over a carried register).
+Workload make_crc32();
+
+// ---- Transforms ------------------------------------------------------------------
+/// First butterfly stage of an 8-point complex FFT (16 multiplications).
+Workload make_fft8_stage();
+/// 8-point DCT / IDCT in fixed point (matrix form: 64 multiplications,
+/// 56 additions). The IDCT is the paper's Section VI exploration design.
+Workload make_dct8(int data_width = 16);
+Workload make_idct8(int data_width = 16);
+
+// ---- Image processing ---------------------------------------------------------------
+/// 3x3 convolution over a streamed window (9 mul, 8 add).
+Workload make_conv3x3();
+/// Sobel gradient magnitude (two 3x3 kernels, |gx|+|gy| via muxes).
+Workload make_sobel();
+
+// ---- Synthetic suite -------------------------------------------------------------------
+struct RandomCdfgOptions {
+  int target_ops = 400;
+  int inputs = 4;
+  int outputs = 2;
+  double mul_fraction = 0.20;
+  double carried_accumulators = 2;  ///< loop-carried SCCs
+};
+Workload make_random_cdfg(std::uint64_t seed, const RandomCdfgOptions& opts);
+
+/// The Figure 9 profiling suite: named kernels plus random CDFGs spanning
+/// roughly 100-6000 operations (about 40 designs).
+std::vector<Workload> make_profile_suite();
+
+}  // namespace hls::workloads

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+#include "alloc/estimate.hpp"
+#include "alloc/lifespan.hpp"
+#include "frontend/builder.hpp"
+#include "opt/pass.hpp"
+#include "tech/library.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::alloc {
+namespace {
+
+using frontend::Builder;
+using ir::int_ty;
+using ir::OpId;
+using tech::artisan90;
+using tech::FuClass;
+
+struct Example1Fixture {
+  ir::Module module;
+  ir::StmtId loop;
+  ir::LinearRegion region;
+
+  explicit Example1Fixture(bool predicate = true) {
+    auto ex = workloads::make_example1();
+    module = std::move(ex.module);
+    loop = ex.loop;
+    if (predicate) {
+      auto p = opt::make_predicate_conversion();
+      p->run(module);
+    }
+    region = ir::linearize(module.thread.tree, loop);
+  }
+};
+
+OpId find_op(const ir::Module& m, std::string_view name) {
+  for (OpId id = 0; id < m.thread.dfg.size(); ++id) {
+    if (m.thread.dfg.op(id).name == name) return id;
+  }
+  ADD_FAILURE() << "op not found: " << name;
+  return ir::kNoOp;
+}
+
+// ---- Lifespans -----------------------------------------------------------------
+
+TEST(Lifespan, Example1At3StatesMatchesHandAnalysis) {
+  Example1Fixture f;
+  const auto ls = compute_lifespans(f.module.thread.dfg, f.region, 3,
+                                    artisan90(), 1600, /*anchor_io=*/false);
+  ASSERT_TRUE(ls.feasible);
+  const auto& dfg = f.module.thread.dfg;
+  const auto span = [&](std::string_view name) {
+    return ls.spans[find_op(f.module, name)];
+  };
+  (void)dfg;
+  // mul1 must go first (mul2 and mul3 each need their own later cycle).
+  EXPECT_EQ(span("mul1_op").asap, 0);
+  EXPECT_EQ(span("mul1_op").alap, 0);
+  // mul2 depends on add (chained after mul1): exactly step 1.
+  EXPECT_EQ(span("mul2_op").asap, 1);
+  EXPECT_EQ(span("mul2_op").alap, 1);
+  // mul3 consumes the MUX: step 2 only.
+  EXPECT_EQ(span("mul3_op").asap, 2);
+  EXPECT_EQ(span("mul3_op").alap, 2);
+  // neq is fully mobile.
+  EXPECT_EQ(span("neq_op").asap, 0);
+  EXPECT_EQ(span("neq_op").alap, 2);
+  // add chains after mul1 in step 0, but must leave a cycle for mul2.
+  EXPECT_EQ(span("add_op").asap, 0);
+  EXPECT_EQ(span("add_op").alap, 1);
+}
+
+TEST(Lifespan, InfeasibleWhenTooFewStates) {
+  Example1Fixture f;
+  const auto ls = compute_lifespans(f.module.thread.dfg, f.region, 1,
+                                    artisan90(), 1600, false);
+  EXPECT_FALSE(ls.feasible);
+  EXPECT_NE(ls.first_infeasible, ir::kNoOp);
+}
+
+TEST(Lifespan, MoreStatesIncreaseMobility) {
+  Example1Fixture f;
+  const auto l3 = compute_lifespans(f.module.thread.dfg, f.region, 3,
+                                    artisan90(), 1600, false);
+  const auto l5 = compute_lifespans(f.module.thread.dfg, f.region, 5,
+                                    artisan90(), 1600, false);
+  const OpId neq = find_op(f.module, "neq_op");
+  EXPECT_GT(l5.spans[neq].mobility(), l3.spans[neq].mobility());
+}
+
+TEST(Lifespan, FasterClockForcesMoreSteps) {
+  // At Tclk=1100 the chain mul1->add no longer fits one cycle.
+  Example1Fixture f;
+  const auto ls = compute_lifespans(f.module.thread.dfg, f.region, 6,
+                                    artisan90(), 1100, false);
+  ASSERT_TRUE(ls.feasible);
+  EXPECT_GE(ls.spans[find_op(f.module, "add_op")].asap, 1);
+}
+
+TEST(Lifespan, ClockTooSlowForMultiplierThrows) {
+  Example1Fixture f;
+  EXPECT_THROW(compute_lifespans(f.module.thread.dfg, f.region, 8,
+                                 artisan90(), 900, false),
+               InternalError);
+}
+
+TEST(Lifespan, AnchoredIoPinsReadsToHomeStep) {
+  Builder b("anchored");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.read(in, "r0");
+  b.wait();
+  auto x = b.read(in, "r1");
+  b.write(out, x);
+  auto m = b.finish();
+  const auto region = ir::linearize(m.thread.tree, m.thread.tree.root());
+  const auto ls = compute_lifespans(m.thread.dfg, region, 2, artisan90(),
+                                    1600, /*anchor_io=*/true);
+  const OpId r1 = find_op(m, "r1");
+  EXPECT_EQ(ls.spans[r1].asap, 1);
+  EXPECT_EQ(ls.spans[r1].alap, 1);
+}
+
+// ---- Clustering -----------------------------------------------------------------
+
+TEST(Cluster, Example1PoolsMatchTable1) {
+  Example1Fixture f;
+  const auto ops = f.region.all_ops();
+  const auto set = cluster_resources(f.module.thread.dfg, ops, artisan90());
+  // mul(x3), add, gt, neq, mux -> one pool each (all 32-bit); the pred_not
+  // from predication adds a 1-bit logic pool.
+  int muls = 0;
+  for (const auto& p : set.pools) {
+    if (p.cls == FuClass::kMultiplier) {
+      ++muls;
+      EXPECT_EQ(p.width, 32);
+    }
+  }
+  EXPECT_EQ(muls, 1);
+  const auto members = set.members();
+  for (std::size_t i = 0; i < set.pools.size(); ++i) {
+    if (set.pools[i].cls == FuClass::kMultiplier) {
+      EXPECT_EQ(members[i].size(), 3u);
+    }
+  }
+}
+
+TEST(Cluster, SimilarWidthsMergeVeryDifferentDoNot) {
+  // 8x6 and 6x7 adders share one unit (paper's example); a 32-bit adder
+  // does not join them.
+  Builder b("widths");
+  auto a1 = b.in("a1", int_ty(8));
+  auto b1 = b.in("b1", int_ty(5));
+  auto a2 = b.in("a2", int_ty(6));
+  auto b2 = b.in("b2", int_ty(7));
+  auto big = b.in("big", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto s1 = b.add(b.read(a1), b.read(b1));
+  auto s2 = b.add(b.read(a2), b.read(b2));
+  auto s3 = b.add(b.read(big), b.read(big));
+  b.write(out, b.add(b.sext(s1, 32), b.add(b.sext(s2, 32), s3)));
+  auto m = b.finish();
+  (void)s1; (void)s2; (void)s3;
+  const auto region = ir::linearize(m.thread.tree, m.thread.tree.root());
+  const auto set = cluster_resources(m.thread.dfg, region.all_ops(),
+                                     artisan90());
+  int adder_pools = 0;
+  for (const auto& p : set.pools) {
+    if (p.cls == FuClass::kAdder) ++adder_pools;
+  }
+  // Small adders (widths 8 and 7) cluster; 32-bit ones form another pool.
+  EXPECT_EQ(adder_pools, 2);
+}
+
+// ---- Initial resource estimation ---------------------------------------------------
+
+TEST(Estimate, Example1SequentialNeedsOneMultiplier) {
+  // Paper: "3 multiplies are to be scheduled in at most 3 states, which
+  // suggests that a single multiplier suffices."
+  Example1Fixture f;
+  const auto& dfg = f.module.thread.dfg;
+  const auto ls = compute_lifespans(dfg, f.region, 3, artisan90(), 1600,
+                                    false);
+  auto set = cluster_resources(dfg, f.region.all_ops(), artisan90());
+  set = estimate_initial_counts(dfg, std::move(set), ls, 3);
+  for (const auto& p : set.pools) {
+    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 1);
+    if (p.cls == FuClass::kAdder) EXPECT_EQ(p.count, 1);
+    if (p.cls == FuClass::kCompareOrd) EXPECT_EQ(p.count, 1);
+  }
+}
+
+TEST(Estimate, Example1PipelinedII2NeedsTwoMultipliers) {
+  // Paper Example 2: "Due to edge equivalence, resources should not be
+  // shared in states s1 and s3, hence two mul resources must be created."
+  Example1Fixture f;
+  const auto& dfg = f.module.thread.dfg;
+  const auto ls = compute_lifespans(dfg, f.region, 3, artisan90(), 1600,
+                                    false);
+  auto set = cluster_resources(dfg, f.region.all_ops(), artisan90());
+  EstimateOptions opts;
+  opts.pipeline_ii = 2;
+  set = estimate_initial_counts(dfg, std::move(set), ls, 3, opts);
+  for (const auto& p : set.pools) {
+    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 2);
+  }
+}
+
+TEST(Estimate, Example1PipelinedII1NeedsThreeMultipliers) {
+  // Paper Example 3: II=1 makes all edges equivalent; 3 multipliers.
+  Example1Fixture f;
+  const auto& dfg = f.module.thread.dfg;
+  const auto ls = compute_lifespans(dfg, f.region, 3, artisan90(), 1600,
+                                    false);
+  auto set = cluster_resources(dfg, f.region.all_ops(), artisan90());
+  EstimateOptions opts;
+  opts.pipeline_ii = 1;
+  set = estimate_initial_counts(dfg, std::move(set), ls, 3, opts);
+  for (const auto& p : set.pools) {
+    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 3);
+  }
+}
+
+TEST(Estimate, MutualExclusivityReducesDemand) {
+  // Two multiplications in opposite branches of an if can share one unit
+  // even in a single state.
+  Builder b("mx");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto x = b.read(in);
+  auto v = b.var("v", int_ty(32));
+  b.begin_if(b.gt(x, b.c(0)));
+  b.set(v, b.mul(x, b.c(3)));
+  b.begin_else();
+  b.set(v, b.mul(x, b.c(5)));
+  b.end_if();
+  b.write(out, b.get(v));
+  auto m = b.finish();
+  auto pred = opt::make_predicate_conversion();
+  pred->run(m);
+  const auto region = ir::linearize(m.thread.tree, m.thread.tree.root());
+  // One state: both branch multiplications compete for the same step.
+  const auto ls = compute_lifespans(m.thread.dfg, region, 1, artisan90(),
+                                    1600, false);
+  ASSERT_TRUE(ls.feasible);
+  auto set = cluster_resources(m.thread.dfg, region.all_ops(), artisan90());
+
+  auto with = estimate_initial_counts(m.thread.dfg, set, ls, 1);
+  EstimateOptions no_excl;
+  no_excl.use_mutual_exclusivity = false;
+  auto without = estimate_initial_counts(m.thread.dfg, set, ls, 1, no_excl);
+  int mul_with = 0;
+  int mul_without = 0;
+  for (const auto& p : with.pools) {
+    if (p.cls == FuClass::kMultiplier) mul_with = p.count;
+  }
+  for (const auto& p : without.pools) {
+    if (p.cls == FuClass::kMultiplier) mul_without = p.count;
+  }
+  EXPECT_EQ(mul_with, 1);
+  EXPECT_EQ(mul_without, 2);
+}
+
+TEST(Estimate, MutuallyExclusivePredicate) {
+  Example1Fixture f;  // predicated
+  const auto& dfg = f.module.thread.dfg;
+  // After predication, mul2 carries the gt predicate. Build a fake op with
+  // the opposite polarity and check the exclusivity test.
+  const OpId mul2 = find_op(f.module, "mul2_op");
+  ASSERT_TRUE(dfg.op(mul2).has_pred());
+  ir::Op other = dfg.op(mul2);
+  other.pred_value = !other.pred_value;
+  auto& mut = const_cast<ir::Dfg&>(dfg);
+  const OpId o2 = mut.add(other);
+  EXPECT_TRUE(mutually_exclusive(dfg, mul2, o2));
+  EXPECT_FALSE(mutually_exclusive(dfg, mul2, mul2));
+}
+
+}  // namespace
+}  // namespace hls::alloc

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/interp.hpp"
+#include "ir/validate.hpp"
+#include "sched/driver.hpp"
+#include "opt/pass.hpp"
+#include "support/rng.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::frontend {
+namespace {
+
+// The paper's Figure 1 example in the .hls text format.
+constexpr const char* kExample1 = R"(
+// SystemC-like behavioral input (paper Figure 1)
+module example1 {
+  in mask: i32;
+  in chrome: i32;
+  in scale: i32;
+  in th: i32;
+  out pixel: i32;
+
+  thread {
+    forever {
+      var aver: i32 = 0;
+      wait;
+      do {
+        var filt: i32 = mask;
+        var delta: i32 = mask * chrome;
+        aver = aver + delta;
+        if (aver > th) { aver = aver * scale; }
+        wait;
+        pixel = aver * filt;
+      } while (delta != 0) latency(1, 3);
+    }
+  }
+}
+)";
+
+TEST(Lexer, TokenizesOperatorsAndNumbers) {
+  DiagEngine diags;
+  const auto toks = lex("x1 = 0x1F + 42 << 2; // comment\n y", diags);
+  EXPECT_FALSE(diags.has_errors());
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].text, "x1");
+  EXPECT_TRUE(toks[1].is("="));
+  EXPECT_EQ(toks[2].number, 31);
+  EXPECT_TRUE(toks[3].is("+"));
+  EXPECT_EQ(toks[4].number, 42);
+  EXPECT_TRUE(toks[5].is("<<"));
+  EXPECT_EQ(toks[8].text, "y");
+  EXPECT_EQ(toks[8].line, 2);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  DiagEngine diags;
+  lex("a @ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ParsesExample1) {
+  DiagEngine diags;
+  auto r = parse_module(kExample1, diags);
+  ASSERT_TRUE(r.ok) << diags.to_string();
+  EXPECT_EQ(r.module.name, "example1");
+  EXPECT_EQ(r.module.ports.size(), 5u);
+  ASSERT_EQ(r.loops.size(), 2u);  // forever + do-while
+  ir::validate_or_throw(r.module);
+  const auto& dw = r.module.thread.tree.stmt(r.loops[1]);
+  EXPECT_EQ(dw.loop_kind, ir::LoopKind::kDoWhile);
+  EXPECT_EQ(dw.latency.min, 1);
+  EXPECT_EQ(dw.latency.max, 3);
+}
+
+TEST(Parser, DslMatchesBuilderBehaviour) {
+  // The text version of Figure 1 must behave exactly like the builder
+  // version used everywhere else.
+  auto text = parse_module_or_throw(kExample1);
+  auto built = workloads::make_example1();
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    ir::Stimulus s;
+    for (const char* port : {"mask", "chrome", "scale", "th"}) {
+      std::vector<std::int64_t> v;
+      for (int i = 0; i < 20; ++i) {
+        v.push_back(rng.chance(0.2) ? 0 : rng.uniform(-500, 500));
+      }
+      s.set(port, std::move(v));
+    }
+    const auto a = ir::interpret(text.module, s);
+    const auto b = ir::interpret(built.module, s);
+    EXPECT_EQ(ir::writes_by_port(text.module, a.writes),
+              ir::writes_by_port(built.module, b.writes));
+  }
+}
+
+TEST(Parser, DslModuleSchedulesLikeTheBuilderOne) {
+  auto r = parse_module_or_throw(kExample1);
+  auto pred = opt::make_predicate_conversion();
+  pred->run(r.module);
+  const auto region = ir::linearize(r.module.thread.tree, r.loops[1]);
+  sched::SchedulerOptions opts;
+  const auto sr = sched::schedule_region(r.module.thread.dfg, region,
+                                         {1, 3}, r.module.ports.size(), opts);
+  ASSERT_TRUE(sr.success) << sr.failure_reason;
+  EXPECT_EQ(sr.schedule.num_steps, 3);
+}
+
+TEST(Parser, RepeatAndPipelineAttributes) {
+  DiagEngine diags;
+  auto r = parse_module(R"(
+module acc {
+  in x: i32;
+  out sum: i32;
+  thread {
+    var total: i32 = 0;
+    repeat (16) {
+      total = total + x * x;
+      wait;
+    } latency(1, 8) pipeline(1)
+    sum = total;
+  }
+}
+)", diags);
+  ASSERT_TRUE(r.ok) << diags.to_string();
+  ASSERT_EQ(r.loops.size(), 1u);
+  const auto& loop = r.module.thread.tree.stmt(r.loops[0]);
+  EXPECT_EQ(loop.loop_kind, ir::LoopKind::kCounted);
+  EXPECT_EQ(loop.trip_count, 16);
+  EXPECT_TRUE(loop.pipeline.enabled);
+  EXPECT_EQ(loop.pipeline.ii, 1);
+
+  ir::Stimulus s;
+  std::vector<std::int64_t> xs;
+  std::int64_t expected = 0;
+  for (int i = 1; i <= 16; ++i) {
+    xs.push_back(i);
+    expected += static_cast<std::int64_t>(i) * i;
+  }
+  s.set("x", xs);
+  const auto res = ir::interpret(r.module, s);
+  EXPECT_EQ(ir::writes_by_port(r.module, res.writes).at("sum"),
+            (std::vector<std::int64_t>{expected}));
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto r = parse_module_or_throw(R"(
+module ex {
+  in a: i32;
+  in b: i32;
+  out y: i32;
+  thread {
+    repeat (4) {
+      y = a + b * 2 - (a & 3) + (b >> 1);
+      wait;
+    }
+  }
+}
+)");
+  ir::Stimulus s;
+  s.set("a", {10, -3, 100, 7});
+  s.set("b", {5, 9, -20, 0});
+  const auto res = ir::interpret(r.module, s);
+  const auto ys = ir::writes_by_port(r.module, res.writes).at("y");
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t a = s.streams["a"][static_cast<std::size_t>(i)];
+    const std::int64_t b = s.streams["b"][static_cast<std::size_t>(i)];
+    EXPECT_EQ(ys[static_cast<std::size_t>(i)],
+              a + b * 2 - (a & 3) + (b >> 1));
+  }
+}
+
+TEST(Parser, ReportsUsefulErrors) {
+  struct Case {
+    const char* src;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"module m { thread { q = 1; } }", "unknown name 'q'"},
+      {"module m { in x: i32; thread { x = 1; } }", "cannot assign input"},
+      {"module m { out y: i32; thread { var v: i32 = y; } }",
+       "cannot read output"},
+      {"module m { in x: i99; thread { } }", "unsupported width"},
+      {"module m { thread { wait } }", "expected ';'"},
+  };
+  for (const Case& c : cases) {
+    DiagEngine diags;
+    auto r = parse_module(c.src, diags);
+    EXPECT_FALSE(r.ok) << c.src;
+    EXPECT_NE(diags.to_string().find(c.expect), std::string::npos)
+        << "wanted '" << c.expect << "' in:\n" << diags.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace hls::frontend

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "frontend/builder.hpp"
+#include "ir/interp.hpp"
+#include "support/rng.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::ir {
+namespace {
+
+using frontend::Builder;
+
+// Independent C++ model of the paper's Figure 1 thread. Returns the pixel
+// values written for `iters` committed do-while iterations.
+std::vector<std::int64_t> example1_reference(
+    const std::vector<std::int64_t>& mask,
+    const std::vector<std::int64_t>& chrome,
+    const std::vector<std::int64_t>& scale,
+    const std::vector<std::int64_t>& th) {
+  std::vector<std::int64_t> pixels;
+  std::int64_t aver = 0;
+  std::size_t i = 0;
+  auto w32 = [](std::int64_t v) { return canonicalize(v, int_ty(32)); };
+  bool restart = true;
+  while (i < mask.size()) {
+    if (restart) {
+      aver = 0;
+      restart = false;
+    }
+    const std::int64_t filt = w32(mask[i]);
+    const std::int64_t delta = w32(filt * w32(chrome[i]));
+    aver = w32(aver + delta);
+    if (aver > w32(th[i])) aver = w32(aver * w32(scale[i]));
+    pixels.push_back(w32(aver * filt));
+    const bool continue_loop = delta != 0;
+    ++i;
+    if (!continue_loop) restart = true;  // outer while(true) restarts
+  }
+  return pixels;
+}
+
+Stimulus example1_stimulus(const std::vector<std::int64_t>& mask,
+                           const std::vector<std::int64_t>& chrome,
+                           const std::vector<std::int64_t>& scale,
+                           const std::vector<std::int64_t>& th) {
+  Stimulus s;
+  s.set("mask", mask);
+  s.set("chrome", chrome);
+  s.set("scale", scale);
+  s.set("th", th);
+  return s;
+}
+
+TEST(Interp, Example1MatchesHandReference) {
+  auto ex = workloads::make_example1();
+  const std::vector<std::int64_t> mask = {2, 3, 5, 0, 4, 1};
+  const std::vector<std::int64_t> chrome = {10, -4, 2, 9, 0, 7};
+  const std::vector<std::int64_t> scale = {3, 3, 2, 2, 5, 1};
+  const std::vector<std::int64_t> th = {5, 100, 0, 50, -2, 3};
+  const auto r = interpret(ex.module, example1_stimulus(mask, chrome, scale, th));
+  EXPECT_TRUE(r.stream_exhausted);
+  const auto by_port = writes_by_port(ex.module, r.writes);
+  EXPECT_EQ(by_port.at("pixel"),
+            example1_reference(mask, chrome, scale, th));
+}
+
+TEST(Interp, Example1RandomizedAgainstReference) {
+  auto ex = workloads::make_example1();
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform(1, 40));
+    std::vector<std::int64_t> mask, chrome, scale, th;
+    for (int i = 0; i < n; ++i) {
+      // ~20% zero deltas so the do-while exits occasionally.
+      mask.push_back(rng.chance(0.2) ? 0 : rng.uniform(-1000, 1000));
+      chrome.push_back(rng.chance(0.2) ? 0 : rng.uniform(-1000, 1000));
+      scale.push_back(rng.uniform(-8, 8));
+      th.push_back(rng.uniform(-500, 500));
+    }
+    const auto r =
+        interpret(ex.module, example1_stimulus(mask, chrome, scale, th));
+    const auto by_port = writes_by_port(ex.module, r.writes);
+    const auto expected = example1_reference(mask, chrome, scale, th);
+    ASSERT_EQ(by_port.count("pixel"), expected.empty() ? 0u : 1u);
+    if (!expected.empty()) {
+      EXPECT_EQ(by_port.at("pixel"), expected) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Interp, CountedLoopRunsExactTripCount) {
+  Builder b("acc");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("sum", int_ty(32));
+  auto acc = b.var("acc", int_ty(32));
+  b.set(acc, b.c(0));
+  auto loop = b.begin_counted(5);
+  b.set(acc, b.add(b.get(acc), b.read(in)));
+  b.wait();
+  b.end_loop();
+  b.write(out, b.get(acc));
+  auto m = b.finish();
+  (void)loop;
+
+  Stimulus s;
+  s.set("x", {1, 2, 3, 4, 5, 99, 99});
+  const auto r = interpret(m, s);
+  EXPECT_FALSE(r.stream_exhausted);
+  const auto by_port = writes_by_port(m, r.writes);
+  ASSERT_EQ(by_port.at("sum").size(), 1u);
+  EXPECT_EQ(by_port.at("sum")[0], 15);
+}
+
+TEST(Interp, NestedCountedLoopsUseInnerIterationIndex) {
+  // Outer 2 iterations, inner 3: the inner read consumes 6 values because
+  // the inner loop's iteration counter is global (not reset per entry).
+  Builder b("nest");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto acc = b.var("acc", int_ty(32));
+  b.set(acc, b.c(0));
+  b.begin_counted(2);
+  b.begin_counted(3);
+  b.set(acc, b.add(b.get(acc), b.read(in)));
+  b.wait();
+  b.end_loop();
+  b.end_loop();
+  b.write(out, b.get(acc));
+  auto m = b.finish();
+
+  Stimulus s;
+  s.set("x", {1, 2, 3, 10, 20, 30});
+  const auto r = interpret(m, s);
+  const auto by_port = writes_by_port(m, r.writes);
+  ASSERT_EQ(by_port.at("y").size(), 1u);
+  EXPECT_EQ(by_port.at("y")[0], 66);
+}
+
+TEST(Interp, TwoReadsOfSamePortSeeSameValue) {
+  Builder b("dup");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(3);
+  auto r1 = b.read(in);
+  auto r2 = b.read(in);  // same port, same iteration -> same value
+  b.write(out, b.sub(r1, r2));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  Stimulus s;
+  s.set("x", {7, 8, 9});
+  const auto res = interpret(m, s);
+  const auto by_port = writes_by_port(m, res.writes);
+  EXPECT_EQ(by_port.at("y"), (std::vector<std::int64_t>{0, 0, 0}));
+}
+
+TEST(Interp, IfWithoutElseKeepsOldValue) {
+  Builder b("cond");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto v = b.var("v", int_ty(32));
+  b.begin_counted(4);
+  b.set(v, b.c(100));
+  auto x = b.read(in);
+  b.begin_if(b.gt(x, b.c(0)));
+  b.set(v, x);
+  b.end_if();
+  b.write(out, b.get(v));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  Stimulus s;
+  s.set("x", {5, -3, 9, -1});
+  const auto res = interpret(m, s);
+  const auto by_port = writes_by_port(m, res.writes);
+  EXPECT_EQ(by_port.at("y"), (std::vector<std::int64_t>{5, 100, 9, 100}));
+}
+
+TEST(Interp, IfElseBothBranches) {
+  Builder b("condelse");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto v = b.var("v", int_ty(32));
+  b.begin_counted(4);
+  auto x = b.read(in);
+  b.begin_if(b.ge(x, b.c(0)));
+  b.set(v, x);
+  b.begin_else();
+  b.set(v, b.neg(x));
+  b.end_if();
+  b.write(out, b.get(v));  // abs(x)
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  Stimulus s;
+  s.set("x", {5, -3, 0, -17});
+  const auto res = interpret(m, s);
+  const auto by_port = writes_by_port(m, res.writes);
+  EXPECT_EQ(by_port.at("y"), (std::vector<std::int64_t>{5, 3, 0, 17}));
+}
+
+TEST(Interp, WritesInUntakenBranchAreSkipped) {
+  Builder b("wbr");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(4);
+  auto x = b.read(in);
+  b.begin_if(b.gt(x, b.c(0)));
+  b.write(out, x);
+  b.end_if();
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  Stimulus s;
+  s.set("x", {5, -3, 9, -1});
+  const auto res = interpret(m, s);
+  const auto by_port = writes_by_port(m, res.writes);
+  EXPECT_EQ(by_port.at("y"), (std::vector<std::int64_t>{5, 9}));
+}
+
+TEST(Interp, LoopCarriedAcrossIterations) {
+  // Fibonacci via two carried variables.
+  Builder b("fib");
+  auto out = b.out("f", int_ty(32));
+  auto a = b.var("a", int_ty(32));
+  auto c = b.var("c", int_ty(32));
+  b.set(a, b.c(0));
+  b.set(c, b.c(1));
+  b.begin_counted(8);
+  auto next = b.add(b.get(a), b.get(c));
+  b.write(out, b.get(c));
+  b.set(a, b.get(c));
+  b.set(c, next);
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  const auto res = interpret(m, Stimulus{});
+  const auto by_port = writes_by_port(m, res.writes);
+  EXPECT_EQ(by_port.at("f"),
+            (std::vector<std::int64_t>{1, 1, 2, 3, 5, 8, 13, 21}));
+}
+
+TEST(Interp, BudgetStopsRunawayForeverLoop) {
+  Builder b("spin");
+  auto out = b.out("y", int_ty(32));
+  auto v = b.var("v", int_ty(32));
+  b.set(v, b.c(0));
+  b.begin_forever();
+  b.set(v, b.add(b.get(v), b.c(1)));
+  b.write(out, b.get(v));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  RunLimits limits;
+  limits.max_op_executions = 1000;
+  const auto res = interpret(m, Stimulus{}, limits);
+  EXPECT_FALSE(res.stream_exhausted);
+  EXPECT_LE(res.ops_executed, 1001);
+  EXPECT_GT(res.writes.size(), 10u);
+}
+
+TEST(Interp, LoopIterationCountsReported) {
+  auto ex = workloads::make_example1();
+  // delta == 0 on the 3rd iteration ends the do-while; outer loop restarts
+  // and the next read exhausts the stream.
+  Stimulus s = example1_stimulus({1, 1, 0}, {1, 1, 1}, {1, 1, 1}, {9, 9, 9});
+  const auto r = interpret(ex.module, s);
+  EXPECT_TRUE(r.stream_exhausted);
+  EXPECT_EQ(r.loop_iterations.at(ex.loop), 3);
+}
+
+}  // namespace
+}  // namespace hls::ir

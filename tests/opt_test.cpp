@@ -1,0 +1,517 @@
+#include <gtest/gtest.h>
+
+#include "frontend/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/validate.hpp"
+#include "opt/pass.hpp"
+#include "support/rng.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::opt {
+namespace {
+
+using frontend::Builder;
+using ir::Dfg;
+using ir::int_ty;
+using ir::interpret;
+using ir::Module;
+using ir::OpId;
+using ir::OpKind;
+using ir::Stimulus;
+using ir::uint_ty;
+
+std::size_t count_kind(const Module& m, OpKind k) {
+  std::size_t n = 0;
+  for (OpId id = 0; id < m.thread.dfg.size(); ++id) {
+    if (m.thread.dfg.op(id).kind == k) ++n;
+  }
+  return n;
+}
+
+/// Asserts a pass (or pipeline) preserves I/O behaviour on this module for
+/// randomized per-iteration stimulus on all input ports.
+void expect_equivalent(const Module& before, const Module& after,
+                       std::uint64_t seed, int samples = 16, int depth = 24) {
+  Rng rng(seed);
+  for (int t = 0; t < samples; ++t) {
+    Stimulus s;
+    for (const auto& p : before.ports) {
+      if (p.dir != ir::PortDir::kIn) continue;
+      std::vector<std::int64_t> vals;
+      for (int i = 0; i < depth; ++i) {
+        vals.push_back(rng.chance(0.2) ? 0 : rng.uniform(-4096, 4096));
+      }
+      s.set(p.name, std::move(vals));
+    }
+    const auto ra = interpret(before, s);
+    const auto rb = interpret(after, s);
+    ASSERT_EQ(ir::writes_by_port(before, ra.writes),
+              ir::writes_by_port(after, rb.writes))
+        << "pass changed behaviour (trial " << t << ")";
+  }
+}
+
+TEST(ConstantFold, FoldsConstantExpressions) {
+  Builder b("cf");
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto v = b.add(b.mul(b.c(6), b.c(7)), b.c(0));
+  b.write(out, v);
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_constant_fold();
+  EXPECT_TRUE(p->run(m));
+  ir::validate_or_throw(m);
+  // Only the write and a constant remain.
+  EXPECT_EQ(count_kind(m, OpKind::kMul), 0u);
+  EXPECT_EQ(count_kind(m, OpKind::kAdd), 0u);
+  const auto r = interpret(m, Stimulus{});
+  EXPECT_EQ(ir::writes_by_port(m, r.writes).at("y"),
+            (std::vector<std::int64_t>{42, 42}));
+}
+
+TEST(ConstantFold, AlgebraicIdentities) {
+  Builder b("alg");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto v = b.add(x, b.c(0));    // x + 0 -> x
+  auto w = b.mul(v, b.c(1));    // x * 1 -> x
+  auto z = b.bor(w, b.c(0));    // x | 0 -> x
+  b.write(out, z);
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;  // deep copy
+
+  auto p = make_constant_fold();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_EQ(count_kind(after, OpKind::kAdd), 0u);
+  EXPECT_EQ(count_kind(after, OpKind::kMul), 0u);
+  EXPECT_EQ(count_kind(after, OpKind::kOr), 0u);
+  expect_equivalent(before, after, 11);
+}
+
+TEST(ConstantFold, MuxWithConstantSelect) {
+  Builder b("muxc");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto v = b.mux(b.c(1, ir::bool_ty()), x, b.c(999));
+  b.write(out, v);
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_constant_fold();
+  EXPECT_TRUE(p->run(m));
+  EXPECT_EQ(count_kind(m, OpKind::kMux), 0u);
+}
+
+TEST(Dce, RemovesUnusedComputation) {
+  Builder b("dead");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.mul(x, x, "dead_mul");  // unused
+  b.write(out, x);
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_dce();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_EQ(count_kind(after, OpKind::kMul), 0u);
+  expect_equivalent(before, after, 12);
+  EXPECT_FALSE(p->run(after));  // idempotent
+}
+
+TEST(Dce, KeepsLoopConditionChain) {
+  auto ex = workloads::make_example1();
+  auto p = make_dce();
+  p->run(ex.module);
+  ir::validate_or_throw(ex.module);
+  // neq (the do-while condition) and its whole fan-in must survive.
+  EXPECT_EQ(count_kind(ex.module, OpKind::kNe), 1u);
+  EXPECT_EQ(count_kind(ex.module, OpKind::kMul), 3u);
+}
+
+TEST(Cse, UnifiesSameBlockExpressions) {
+  Builder b("cse");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto a = b.add(x, b.c(3));
+  auto c = b.add(x, b.c(3));  // duplicate
+  b.write(out, b.mul(a, c));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_cse();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_EQ(count_kind(after, OpKind::kAdd), 1u);
+  expect_equivalent(before, after, 13);
+}
+
+TEST(Cse, UnifiesCommutedOperands) {
+  Builder b("csec");
+  auto in = b.in("x", int_ty(32));
+  auto in2 = b.in("z", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto z = b.read(in2);
+  auto a = b.add(x, z);
+  auto c = b.add(z, x);  // commuted duplicate
+  b.write(out, b.sub(a, c));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_cse();
+  EXPECT_TRUE(p->run(m));
+  EXPECT_EQ(count_kind(m, OpKind::kAdd), 1u);
+}
+
+TEST(Cse, UnifiesDuplicatePortReads) {
+  Builder b("cser");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto r1 = b.read(in);
+  auto r2 = b.read(in);
+  b.write(out, b.add(r1, r2));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_cse();
+  EXPECT_TRUE(p->run(after));
+  EXPECT_EQ(count_kind(after, OpKind::kRead), 1u);
+  expect_equivalent(before, after, 14);
+}
+
+TEST(Cse, DoesNotUnifyAcrossBlocks) {
+  // The same expression inside and outside an if must not unify (the branch
+  // may not execute, leaving a stale value).
+  Builder b("cseb");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto v = b.var("v", int_ty(32));
+  b.set(v, b.c(0));
+  b.begin_if(b.gt(x, b.c(0)));
+  b.set(v, b.add(x, b.c(5)));
+  b.end_if();
+  auto outer = b.add(x, b.c(5));
+  b.write(out, b.sub(b.get(v), outer));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_cse();
+  p->run(after);
+  ir::validate_or_throw(after);
+  expect_equivalent(before, after, 15);
+}
+
+TEST(StrengthReduce, MulByPowerOfTwoBecomesShift) {
+  Builder b("sr");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.write(out, b.mul(x, b.c(8)));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_strength_reduce();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_EQ(count_kind(after, OpKind::kMul), 0u);
+  EXPECT_EQ(count_kind(after, OpKind::kShl), 1u);
+  expect_equivalent(before, after, 16);
+}
+
+TEST(StrengthReduce, MulByTwoTermConstant) {
+  Builder b("sr2");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.write(out, b.mul(x, b.c(10)));  // 10 = 8 + 2
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_strength_reduce();
+  EXPECT_TRUE(p->run(after));
+  EXPECT_EQ(count_kind(after, OpKind::kMul), 0u);
+  EXPECT_EQ(count_kind(after, OpKind::kShl), 2u);
+  EXPECT_EQ(count_kind(after, OpKind::kAdd), 1u);
+  expect_equivalent(before, after, 17);
+}
+
+TEST(StrengthReduce, UnsignedDivModByPowerOfTwo) {
+  Builder b("sr3");
+  auto in = b.in("x", uint_ty(16));
+  auto outq = b.out("q", uint_ty(16));
+  auto outr = b.out("r", uint_ty(16));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.write(outq, b.div(x, b.c(16, uint_ty(16))));
+  b.write(outr, b.mod(x, b.c(16, uint_ty(16))));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_strength_reduce();
+  EXPECT_TRUE(p->run(after));
+  EXPECT_EQ(count_kind(after, OpKind::kDiv), 0u);
+  EXPECT_EQ(count_kind(after, OpKind::kMod), 0u);
+  expect_equivalent(before, after, 18);
+}
+
+TEST(StrengthReduce, SignedDivisionIsNotRewritten) {
+  Builder b("sr4");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.write(out, b.div(x, b.c(4)));  // signed: shift would round differently
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_strength_reduce();
+  EXPECT_FALSE(p->run(m));
+  EXPECT_EQ(count_kind(m, OpKind::kDiv), 1u);
+}
+
+TEST(WidthReduce, NarrowsOpsFeedingTruncation) {
+  Builder b("wr");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(8));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto s = b.add(x, x);           // 32-bit add...
+  auto t = b.trunc(s, 8);         // ...only 8 bits observed
+  b.write(out, t);
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_width_reduce();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  bool found_narrow_add = false;
+  for (OpId id = 0; id < after.thread.dfg.size(); ++id) {
+    const auto& o = after.thread.dfg.op(id);
+    if (o.kind == OpKind::kAdd) {
+      EXPECT_EQ(o.type.width, 8);
+      found_narrow_add = true;
+    }
+  }
+  EXPECT_TRUE(found_narrow_add);
+  expect_equivalent(before, after, 19);
+}
+
+TEST(WidthReduce, ComparisonInputsKeepFullWidth) {
+  Builder b("wr2");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", ir::bool_ty());
+  b.begin_counted(2);
+  auto x = b.read(in);
+  auto s = b.add(x, x);
+  b.write(out, b.gt(s, b.c(100)));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_width_reduce();
+  p->run(m);
+  for (OpId id = 0; id < m.thread.dfg.size(); ++id) {
+    const auto& o = m.thread.dfg.op(id);
+    if (o.kind == OpKind::kAdd) EXPECT_EQ(o.type.width, 32);
+  }
+}
+
+TEST(Predication, FlattensExample1AndPreservesBehaviour) {
+  auto before = workloads::make_example1();
+  auto after = before;
+  auto p = make_predicate_conversion();
+  EXPECT_TRUE(p->run(after.module));
+  ir::validate_or_throw(after.module);
+  EXPECT_FALSE(
+      after.module.thread.tree.has_branches(after.module.thread.tree.root()));
+  // mul2 (in the if branch) must now carry a predicate.
+  bool found = false;
+  for (OpId id = 0; id < after.module.thread.dfg.size(); ++id) {
+    const auto& o = after.module.thread.dfg.op(id);
+    if (o.name == "mul2_op") {
+      EXPECT_TRUE(o.has_pred());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  expect_equivalent(before.module, after.module, 20);
+}
+
+TEST(Predication, PredicatedWriteOnlyFiresWhenTaken) {
+  Builder b("pw");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(4);
+  auto x = b.read(in);
+  b.begin_if(b.gt(x, b.c(0)));
+  b.write(out, x);
+  b.end_if();
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_predicate_conversion();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_FALSE(after.thread.tree.has_branches(after.thread.tree.root()));
+  expect_equivalent(before, after, 21);
+}
+
+TEST(Predication, NestedIfsCombinePredicatesWithAnd) {
+  Builder b("nest");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(6);
+  auto x = b.read(in);
+  auto v = b.var("v", int_ty(32));
+  b.set(v, b.c(0));
+  b.begin_if(b.gt(x, b.c(0)));
+  b.begin_if(b.lt(x, b.c(10)));
+  b.set(v, b.add(x, b.c(1)));
+  b.begin_else();
+  b.set(v, b.mul(x, b.c(3)));
+  b.end_if();
+  b.begin_else();
+  b.set(v, b.sub(x, b.c(5)));
+  b.end_if();
+  b.write(out, b.get(v));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_predicate_conversion();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  EXPECT_GT(count_kind(after, OpKind::kAnd), 0u);
+  expect_equivalent(before, after, 22);
+}
+
+TEST(Predication, BranchesWithWaitsMergeStepwise) {
+  // then: 2 states, else: 1 state -> merged region has 2 states.
+  Builder b("bw");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  b.begin_counted(4);
+  auto x = b.read(in);
+  auto v = b.var("v", int_ty(32));
+  b.begin_if(b.gt(x, b.c(0)));
+  auto a = b.add(x, b.c(1));
+  b.wait();  // state boundary inside the branch
+  b.set(v, b.mul(a, a));
+  b.begin_else();
+  b.set(v, b.c(7));
+  b.end_if();
+  b.write(out, b.get(v));
+  b.wait();
+  b.end_loop();
+  auto before = b.finish();
+  auto after = before;
+
+  auto p = make_predicate_conversion();
+  EXPECT_TRUE(p->run(after));
+  ir::validate_or_throw(after);
+  expect_equivalent(before, after, 23);
+}
+
+TEST(BalanceBranches, PadsShorterBranch) {
+  Builder b("bal");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto v = b.var("v", int_ty(32));
+  b.begin_counted(2);
+  auto x = b.read(in);
+  b.begin_if(b.gt(x, b.c(0)));
+  b.wait();
+  b.wait();
+  b.set(v, x);
+  b.begin_else();
+  b.set(v, b.c(0));
+  b.end_if();
+  b.write(out, b.get(v));
+  b.wait();
+  b.end_loop();
+  auto m = b.finish();
+
+  auto p = make_balance_branches();
+  EXPECT_TRUE(p->run(m));
+  // Both branches now span 2 waits.
+  const auto& tree = m.thread.tree;
+  for (ir::StmtId sid = 0; sid < tree.size(); ++sid) {
+    if (tree.stmt(sid).kind == ir::StmtKind::kIf) {
+      EXPECT_EQ(tree.wait_count(tree.stmt(sid).then_body),
+                tree.wait_count(tree.stmt(sid).else_body));
+    }
+  }
+  EXPECT_FALSE(p->run(m));  // already balanced
+}
+
+TEST(Pipeline, StandardPipelineOnExample1IsSemanticsPreserving) {
+  auto before = workloads::make_example1();
+  auto after = before;
+  auto pm = PassManager::standard_pipeline();
+  pm.run_to_fixpoint(after.module);
+  ir::validate_or_throw(after.module);
+  expect_equivalent(before.module, after.module, 24);
+  // The pass-through loop mux for `aver` (outer loop) folds away; the
+  // real carried mux must survive.
+  EXPECT_EQ(count_kind(after.module, OpKind::kLoopMux), 1u);
+}
+
+TEST(ReplaceUses, RewritesOperandsPredsAndConditions) {
+  auto ex = workloads::make_example1();
+  auto& dfg = ex.module.thread.dfg;
+  // Find neq (the do-while condition) and replace it with a constant true.
+  OpId neq = ir::kNoOp;
+  for (OpId id = 0; id < dfg.size(); ++id) {
+    if (dfg.op(id).name == "neq_op") neq = id;
+  }
+  ASSERT_NE(neq, ir::kNoOp);
+  const OpId t = dfg.constant(1, ir::bool_ty());
+  replace_uses(ex.module, neq, t);
+  EXPECT_EQ(ex.module.thread.tree.stmt(ex.loop).cond, t);
+}
+
+}  // namespace
+}  // namespace hls::opt

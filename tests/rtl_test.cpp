@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+#include "frontend/builder.hpp"
+#include "ir/interp.hpp"
+#include "opt/pass.hpp"
+#include "pipeline/equivalence.hpp"
+#include "pipeline/scc.hpp"
+#include "pipeline/straighten.hpp"
+#include "rtl/sim.hpp"
+#include "rtl/verilog.hpp"
+#include "sched/driver.hpp"
+#include "support/rng.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::rtl {
+namespace {
+
+using frontend::Builder;
+using ir::int_ty;
+using ir::OpId;
+using ir::Stimulus;
+
+struct Built {
+  ir::Module module;
+  ir::StmtId loop;
+  sched::SchedulerResult result;
+  ModuleMachine machine;
+};
+
+Built build_example1(sched::SchedulerOptions opts) {
+  auto ex = workloads::make_example1();
+  pipeline::straighten(ex.module);
+  auto region = ir::linearize(ex.module.thread.tree, ex.loop);
+  auto lat = ex.module.thread.tree.stmt(ex.loop).latency;
+  Built b;
+  b.result = sched::schedule_region(ex.module.thread.dfg, region, lat,
+                                    ex.module.ports.size(), opts);
+  EXPECT_TRUE(b.result.success) << b.result.failure_reason;
+  b.loop = ex.loop;
+  b.module = std::move(ex.module);
+  b.machine = build_machine(b.module, b.loop, b.result.schedule);
+  return b;
+}
+
+Stimulus example1_stimulus(int n, Rng& rng, bool end_with_zero) {
+  std::vector<std::int64_t> mask, chrome, scale, th;
+  for (int i = 0; i < n; ++i) {
+    const bool zero = end_with_zero && i == n - 1;
+    mask.push_back(zero ? 0 : rng.uniform(1, 1000));
+    chrome.push_back(rng.uniform(1, 1000));
+    scale.push_back(rng.uniform(-8, 8));
+    th.push_back(rng.uniform(-500, 500));
+  }
+  Stimulus s;
+  s.set("mask", mask);
+  s.set("chrome", chrome);
+  s.set("scale", scale);
+  s.set("th", th);
+  return s;
+}
+
+void expect_same_behaviour(const ir::Module& m, const ModuleMachine& mm,
+                           const Stimulus& s) {
+  const auto ref = ir::interpret(m, s);
+  const auto rtl = simulate(mm, s);
+  EXPECT_EQ(ir::writes_by_port(m, ref.writes),
+            ir::writes_by_port(m, rtl.writes));
+}
+
+// ---- Folding --------------------------------------------------------------------
+
+TEST(Fold, Example1II2KernelStructure) {
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 2};
+  Built b = build_example1(opts);
+  const auto& k = b.machine.loop.folded;
+  EXPECT_EQ(k.ii, 2);
+  EXPECT_EQ(k.li, 3);
+  EXPECT_EQ(k.stages, 2);
+  ASSERT_EQ(k.slots.size(), 2u);
+  // Kernel edge 0 folds states s1 and s3 (stage 0 and stage 1).
+  bool has_stage0 = false;
+  bool has_stage1 = false;
+  for (const auto& so : k.slots[0]) {
+    if (so.stage == 0) has_stage0 = true;
+    if (so.stage == 1) has_stage1 = true;
+  }
+  EXPECT_TRUE(has_stage0);
+  EXPECT_TRUE(has_stage1);
+  // mask_read (s1) feeds mul3 (s3): it must cross a stage boundary.
+  bool mask_crosses = false;
+  for (const auto& pr : k.pipe_regs) {
+    if (b.module.thread.dfg.op(pr.value).name == "mask_read") {
+      mask_crosses = true;
+      EXPECT_EQ(pr.chain_length(), 1);
+    }
+  }
+  EXPECT_TRUE(mask_crosses);
+  // The aver loop mux is a carried register.
+  EXPECT_FALSE(k.carried_regs.empty());
+  EXPECT_GT(k.pipe_register_bits(), 0);
+}
+
+TEST(Fold, SequentialHasOneStageNoPipeRegs) {
+  sched::SchedulerOptions opts;
+  Built b = build_example1(opts);
+  const auto& k = b.machine.loop.folded;
+  EXPECT_EQ(k.stages, 1);
+  EXPECT_TRUE(k.pipe_regs.empty());
+  EXPECT_EQ(k.prologue_cycles(), 0);
+}
+
+TEST(Equivalence, ClassesPartitionSteps) {
+  const auto classes = pipeline::equivalence_classes(5, 2);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(classes[1], (std::vector<int>{1, 3}));
+}
+
+TEST(Equivalence, ScheduleRespectsEquivalentEdges) {
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 2};
+  Built b = build_example1(opts);
+  EXPECT_TRUE(pipeline::respects_equivalent_edges(
+      b.module.thread.dfg, b.result.schedule, b.machine.loop.region_ops));
+}
+
+TEST(Scc, NoWindowViolationInPipelinedSchedules) {
+  for (int ii : {1, 2}) {
+    sched::SchedulerOptions opts;
+    opts.pipeline = {true, ii};
+    Built b = build_example1(opts);
+    EXPECT_EQ(pipeline::first_scc_window_violation(
+                  b.module.thread.dfg, b.machine.loop.region_ops,
+                  b.result.schedule),
+              -1);
+  }
+}
+
+// ---- Simulation vs reference interpreter ------------------------------------------
+
+TEST(Sim, SequentialExample1MatchesInterpreter) {
+  sched::SchedulerOptions opts;
+  Built b = build_example1(opts);
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    expect_same_behaviour(b.module, b.machine,
+                          example1_stimulus(20, rng, trial % 2 == 0));
+  }
+}
+
+TEST(Sim, PipelinedII2Example1MatchesInterpreter) {
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 2};
+  Built b = build_example1(opts);
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    expect_same_behaviour(b.module, b.machine,
+                          example1_stimulus(24, rng, trial % 2 == 0));
+  }
+}
+
+TEST(Sim, PipelinedII1Example1MatchesInterpreter) {
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 1};
+  Built b = build_example1(opts);
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    expect_same_behaviour(b.module, b.machine,
+                          example1_stimulus(24, rng, trial % 2 == 0));
+  }
+}
+
+TEST(Sim, MeasuredInitiationIntervalMatchesII) {
+  for (int ii : {1, 2}) {
+    sched::SchedulerOptions opts;
+    opts.pipeline = {true, ii};
+    Built b = build_example1(opts);
+    Rng rng(45);
+    // Long run without exits: steady-state initiation each II cycles.
+    const auto s = example1_stimulus(64, rng, /*end_with_zero=*/false);
+    const auto r = simulate(b.machine, s);
+    EXPECT_TRUE(r.stream_exhausted);
+    EXPECT_GT(r.iterations_committed, 32);
+    EXPECT_NEAR(r.measured_ii(), ii, 0.2) << "II=" << ii;
+  }
+}
+
+TEST(Sim, SequentialTakesLiCyclesPerIteration) {
+  sched::SchedulerOptions opts;
+  Built b = build_example1(opts);
+  Rng rng(46);
+  const auto s = example1_stimulus(32, rng, false);
+  const auto r = simulate(b.machine, s);
+  EXPECT_NEAR(r.measured_ii(), b.result.schedule.num_steps, 0.2);
+}
+
+TEST(Sim, ThroughputAdvantageOfPipelining) {
+  // The paper's Table 3 cycles/iteration row: sequential 3, II=2, II=1.
+  std::map<int, double> ii_measured;
+  for (int mode = 0; mode < 3; ++mode) {
+    sched::SchedulerOptions opts;
+    if (mode > 0) opts.pipeline = {true, mode};  // II=1, II=2
+    Built b = build_example1(opts);
+    Rng rng(47);
+    const auto s = example1_stimulus(64, rng, false);
+    const auto r = simulate(b.machine, s);
+    ii_measured[mode == 0 ? 3 : mode] = r.measured_ii();
+  }
+  EXPECT_NEAR(ii_measured[3], 3.0, 0.2);
+  EXPECT_NEAR(ii_measured[2], 2.0, 0.2);
+  EXPECT_NEAR(ii_measured[1], 1.0, 0.2);
+}
+
+TEST(Sim, CountedPipelinedAccumulator) {
+  // acc += x*x over 32 iterations, pipelined II=1; has a carried SCC.
+  Builder b("sumsq");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("sum", int_ty(32));
+  auto acc = b.var("acc", int_ty(32));
+  b.set(acc, b.c(0));
+  auto loop = b.begin_counted(32);
+  auto x = b.read(in);
+  b.set(acc, b.add(b.get(acc), b.mul(x, x)));
+  b.wait();
+  b.end_loop();
+  b.write(out, b.get(acc));
+  b.set_latency(loop, 1, 8);
+  auto m = b.finish();
+
+  auto region = ir::linearize(m.thread.tree, loop);
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 1};
+  auto r = sched::schedule_region(m.thread.dfg, region, {1, 8},
+                                  m.ports.size(), opts);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  auto mm = build_machine(m, loop, r.schedule);
+
+  Stimulus s;
+  std::vector<std::int64_t> xs;
+  std::int64_t expected = 0;
+  Rng rng(48);
+  for (int i = 0; i < 32; ++i) {
+    xs.push_back(rng.uniform(-100, 100));
+    expected += xs.back() * xs.back();
+  }
+  s.set("x", xs);
+  const auto ref = ir::interpret(m, s);
+  const auto sim = simulate(mm, s);
+  EXPECT_EQ(ir::writes_by_port(m, ref.writes), ir::writes_by_port(m, sim.writes));
+  ASSERT_EQ(ir::writes_by_port(m, sim.writes).at("sum").size(), 1u);
+  EXPECT_EQ(ir::writes_by_port(m, sim.writes).at("sum")[0], expected);
+  // Cycle count: 32 initiations at II=1 plus the pipeline drain.
+  EXPECT_LE(sim.cycles, 32 + r.schedule.num_steps + 2);
+  EXPECT_EQ(sim.iterations_committed, 32);
+}
+
+TEST(Sim, DoWhileSquashesSpeculativeIterations) {
+  // Exit as soon as x == 0; the pipeline speculatively starts younger
+  // iterations which must not write.
+  Builder b("untilzero");
+  auto in = b.in("x", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto fo = b.begin_forever();
+  (void)fo;
+  auto loop = b.begin_do_while();
+  auto x = b.read(in);
+  b.write(out, b.mul(x, x));
+  b.wait();
+  b.end_do_while(b.ne(x, b.c(0)));
+  b.end_loop();
+  b.set_latency(loop, 1, 6);
+  auto m = b.finish();
+
+  auto region = ir::linearize(m.thread.tree, loop);
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 1};
+  auto r = sched::schedule_region(m.thread.dfg, region, {1, 6},
+                                  m.ports.size(), opts);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  auto mm = build_machine(m, loop, r.schedule);
+
+  Stimulus s;
+  s.set("x", {3, 5, 0, 7, 9, 11, 13, 15, 17, 19});
+  const auto ref = ir::interpret(m, s);
+  const auto sim = simulate(mm, s);
+  EXPECT_EQ(ir::writes_by_port(m, ref.writes),
+            ir::writes_by_port(m, sim.writes));
+}
+
+class RandomPipelinedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelinedEquivalence, RtlMatchesReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 99);
+  Builder b("randeq");
+  auto in_a = b.in("a", int_ty(32));
+  auto in_b = b.in("bb", int_ty(32));
+  auto out = b.out("y", int_ty(32));
+  auto acc = b.var("acc", int_ty(32));
+  b.set(acc, b.c(1));
+  auto loop = b.begin_counted(24);
+  std::vector<frontend::Val> vals{b.read(in_a), b.read(in_b)};
+  const int n = static_cast<int>(rng.uniform(3, 14));
+  for (int i = 0; i < n; ++i) {
+    auto x = vals[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(vals.size()) - 1))];
+    auto y = vals[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(vals.size()) - 1))];
+    switch (rng.uniform(0, 3)) {
+      case 0: vals.push_back(b.add(x, y)); break;
+      case 1: vals.push_back(b.sub(x, y)); break;
+      case 2: vals.push_back(b.mul(x, y)); break;
+      default: vals.push_back(b.mux(b.gt(x, y), x, y)); break;
+    }
+  }
+  b.set(acc, b.bxor(b.get(acc), vals.back()));
+  b.write(out, b.get(acc));
+  b.wait();
+  b.end_loop();
+  b.set_latency(loop, 1, 24);
+  auto m = b.finish();
+
+  auto region = ir::linearize(m.thread.tree, loop);
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, static_cast<int>(rng.uniform(1, 3))};
+  auto r = sched::schedule_region(m.thread.dfg, region, {1, 24},
+                                  m.ports.size(), opts);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  auto mm = build_machine(m, loop, r.schedule);
+
+  Stimulus s;
+  std::vector<std::int64_t> av, bv;
+  for (int i = 0; i < 24; ++i) {
+    av.push_back(rng.uniform(-5000, 5000));
+    bv.push_back(rng.uniform(-5000, 5000));
+  }
+  s.set("a", av);
+  s.set("bb", bv);
+  const auto ref = ir::interpret(m, s);
+  const auto sim = simulate(mm, s);
+  EXPECT_EQ(ir::writes_by_port(m, ref.writes),
+            ir::writes_by_port(m, sim.writes));
+  EXPECT_EQ(sim.iterations_committed, 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelinedEquivalence,
+                         ::testing::Range(0, 16));
+
+// ---- Verilog emission ---------------------------------------------------------------
+
+TEST(Verilog, EmitsWellFormedModule) {
+  sched::SchedulerOptions opts;
+  opts.pipeline = {true, 2};
+  Built b = build_example1(opts);
+  const std::string v = emit_verilog(b.machine);
+  EXPECT_NE(v.find("module example1"), std::string::npos);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("output reg"), std::string::npos);
+  EXPECT_NE(v.find("stage_valid"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Pipeline register chain for mask_read crossing a stage.
+  EXPECT_NE(v.find("r_mask_read_p1"), std::string::npos);
+  // begin/end balance.
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (std::size_t pos = 0; (pos = v.find("begin", pos)) != std::string::npos;
+       ++pos) {
+    ++begins;
+  }
+  for (std::size_t pos = 0; (pos = v.find("end", pos)) != std::string::npos;
+       ++pos) {
+    ++ends;  // counts "end", "endmodule", and the "end" inside "endmodule"
+  }
+  EXPECT_GE(ends, begins);
+}
+
+TEST(Verilog, SequentialEmissionMentionsSharing) {
+  sched::SchedulerOptions opts;
+  Built b = build_example1(opts);
+  const std::string v = emit_verilog(b.machine);
+  // The single multiplier hosts three ops.
+  EXPECT_NE(v.find("mul32[0]: 3 op(s)"), std::string::npos);
+  EXPECT_NE(v.find("kstate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hls::rtl

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/diagnostics.hpp"
+#include "support/dot.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hls {
+namespace {
+
+TEST(Strings, StrfConcatenatesMixedTypes) {
+  EXPECT_EQ(strf("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(strf(), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto v = split("a,,b,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 4), "abcde");
+}
+
+TEST(Strings, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(Diagnostics, AssertThrowsInternalError) {
+  EXPECT_THROW(HLS_ASSERT(false, "boom ", 42), InternalError);
+  EXPECT_NO_THROW(HLS_ASSERT(true, "fine"));
+}
+
+TEST(Diagnostics, EngineCollectsAndFormats) {
+  DiagEngine d;
+  EXPECT_FALSE(d.has_errors());
+  d.warning("w");
+  EXPECT_FALSE(d.has_errors());
+  d.error("bad thing", 3, 7);
+  EXPECT_TRUE(d.has_errors());
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("3:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(s.find("warning: w"), std::string::npos);
+}
+
+TEST(Json, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("a\"b\n");
+  w.key("n");
+  w.value(42);
+  w.key("xs");
+  w.begin_array();
+  w.value(1.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"a\"b\n","n":42,"xs":[1.5,true,null]})");
+}
+
+TEST(Json, KeyOutsideObjectAsserts) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.key("k"), InternalError);
+}
+
+TEST(Dot, ProducesWellFormedGraph) {
+  DotWriter w("g");
+  w.node("a", "A label", "shape=box");
+  w.node("b", "B");
+  w.edge("a", "b", "lbl");
+  const std::string s = w.finish();
+  EXPECT_NE(s.find("digraph \"g\" {"), std::string::npos);
+  EXPECT_NE(s.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_EQ(s.back(), '\n');
+  EXPECT_NE(s.find("}\n"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.row({"a", "10"});
+  t.row({"long-name", "7"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name       v"), std::string::npos);
+  EXPECT_NE(s.find("long-name  7"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), InternalError);
+}
+
+}  // namespace
+}  // namespace hls

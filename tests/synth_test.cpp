@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+#include "core/flow.hpp"
+#include "synth/power.hpp"
+#include "synth/recovery.hpp"
+#include "workloads/example1.hpp"
+
+namespace hls::synth {
+namespace {
+
+core::FlowResult run_example1(int pipeline_ii) {
+  workloads::Workload w;
+  auto ex = workloads::make_example1();
+  w.name = "example1";
+  w.module = std::move(ex.module);
+  w.loop = ex.loop;
+  core::FlowOptions o;
+  o.pipeline_ii = pipeline_ii;
+  auto r = core::run_flow(std::move(w), o);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  return r;
+}
+
+// ---- Table 3: comparing micro-architectures for Example 1 -------------------------
+// Paper: S=16094, P2(II=2)=24010, P1(II=1)=30491; cycles/iter 3/2/1.
+
+TEST(Table3, SequentialAreaNearPaper) {
+  auto r = run_example1(0);
+  EXPECT_EQ(r.machine.loop.initiation_interval(), 3);
+  EXPECT_NEAR(r.area.total(), 16094, 0.10 * 16094);
+}
+
+TEST(Table3, PipelinedII2AreaNearPaper) {
+  auto r = run_example1(2);
+  EXPECT_EQ(r.machine.loop.initiation_interval(), 2);
+  EXPECT_NEAR(r.area.total(), 24010, 0.10 * 24010);
+}
+
+TEST(Table3, PipelinedII1AreaNearPaper) {
+  auto r = run_example1(1);
+  EXPECT_EQ(r.machine.loop.initiation_interval(), 1);
+  EXPECT_NEAR(r.area.total(), 30491, 0.10 * 30491);
+}
+
+TEST(Table3, HigherThroughputCostsArea) {
+  const double s = run_example1(0).area.total();
+  const double p2 = run_example1(2).area.total();
+  const double p1 = run_example1(1).area.total();
+  EXPECT_LT(s, p2);
+  EXPECT_LT(p2, p1);
+}
+
+// ---- Area model properties ---------------------------------------------------------
+
+TEST(Area, BreakdownComponentsArePositive) {
+  auto r = run_example1(0);
+  EXPECT_GT(r.area.functional_units, 0);
+  EXPECT_GT(r.area.sharing_muxes, 0);  // the shared multiplier has muxes
+  EXPECT_GT(r.area.registers, 0);
+  EXPECT_GT(r.area.control, 0);
+}
+
+TEST(Area, UnsharedDesignHasNoSharingMuxes) {
+  auto r = run_example1(1);  // II=1: one op per instance
+  EXPECT_EQ(r.area.sharing_muxes, 0);
+}
+
+TEST(Area, PipeliningAddsPipelineRegisters) {
+  const double seq_regs = run_example1(0).area.registers;
+  const double pipe_regs = run_example1(2).area.registers;
+  EXPECT_GT(pipe_regs, seq_regs);
+}
+
+// ---- Timing recovery (Table 4 mechanism) ----------------------------------------------
+
+TEST(Recovery, ZeroForNonNegativeSlack) {
+  EXPECT_EQ(recovery_area(10000, 0, 1600), 0);
+  EXPECT_EQ(recovery_area(10000, 250, 1600), 0);
+}
+
+TEST(Recovery, GrowsConvexlyWithViolation) {
+  const double a1 = recovery_area(10000, -80, 1600);    // 5% violation
+  const double a2 = recovery_area(10000, -160, 1600);   // 10%
+  const double a3 = recovery_area(10000, -480, 1600);   // 30%
+  EXPECT_GT(a1, 0);
+  EXPECT_GT(a2, a1);
+  EXPECT_GT(a3, a2);
+  // Convexity: doubling the violation more than doubles the cost.
+  EXPECT_GT(a2, 2 * a1 * 0.99);
+  EXPECT_LT(a3, 10000);  // bounded by the area itself
+  // Penalties land in the paper's Table 4 range (2.7%..33%).
+  EXPECT_GT(a2 / 10000, 0.02);
+  EXPECT_LT(a3 / 10000, 0.75);
+}
+
+TEST(Recovery, DownsizingSavesWithGenerousSlack) {
+  EXPECT_EQ(downsizing_savings(10000, -5, 1600), 0);
+  EXPECT_EQ(downsizing_savings(10000, 0, 1600), 0);
+  const double d1 = downsizing_savings(10000, 200, 1600);
+  const double d2 = downsizing_savings(10000, 800, 1600);
+  EXPECT_LT(d1, 0);
+  EXPECT_LT(d2, d1);            // more headroom, more savings
+  EXPECT_GT(d2, -0.31 * 10000);  // saturates near 30%
+}
+
+TEST(Recovery, AppliedReportUsesWorstSlack) {
+  AreaReport base;
+  base.functional_units = 8000;
+  base.sharing_muxes = 1000;
+  auto with_violation = apply_recovery(base, -160, 1600);
+  EXPECT_GT(with_violation.timing_recovery, 0);
+  auto with_headroom = apply_recovery(base, 400, 1600);
+  EXPECT_LT(with_headroom.timing_recovery, 0);
+  EXPECT_LT(with_headroom.total(), base.total());
+}
+
+// ---- Power model -------------------------------------------------------------------
+
+TEST(Power, ComponentsPositiveAndScaleWithClock) {
+  auto r = run_example1(0);
+  EXPECT_GT(r.power.dynamic_mw, 0);
+  EXPECT_GT(r.power.leakage_mw, 0);
+
+  // Re-estimate at a slower clock: dynamic power must drop.
+  const auto& lib = tech::artisan90();
+  auto slow = estimate_power(r.machine, lib, 3200, r.area);
+  EXPECT_LT(slow.dynamic_mw, r.power.dynamic_mw);
+  EXPECT_DOUBLE_EQ(slow.leakage_mw, r.power.leakage_mw);
+}
+
+TEST(Power, HigherThroughputCostsPower) {
+  // Same clock: II=1 initiates 3x more often than sequential (II=3) and
+  // runs 3 multipliers; its power must be higher.
+  const auto seq = run_example1(0);
+  const auto p1 = run_example1(1);
+  EXPECT_GT(p1.power.total_mw(), seq.power.total_mw());
+}
+
+TEST(Power, ActivityScalesDynamic) {
+  auto r = run_example1(0);
+  const auto& lib = tech::artisan90();
+  auto half = estimate_power(r.machine, lib, 1600, r.area, 0.5);
+  EXPECT_LT(half.dynamic_mw, r.power.dynamic_mw);
+  EXPECT_GT(half.dynamic_mw, 0.3 * r.power.dynamic_mw);
+}
+
+}  // namespace
+}  // namespace hls::synth

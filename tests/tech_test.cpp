@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+#include "frontend/builder.hpp"
+#include "tech/library.hpp"
+
+namespace hls::tech {
+namespace {
+
+// ---- Table 1 calibration -----------------------------------------------------
+// The paper's Table 1 (artisan_90nm_typical, 32-bit units, Tclk=1600):
+//   mul 930, add 350, gt 220, neq 60, ff 40, mux2 110, mux3 115.
+
+TEST(Artisan90, Table1DelaysAt32Bit) {
+  const Library& lib = artisan90();
+  EXPECT_DOUBLE_EQ(lib.fu_delay_ps(FuClass::kMultiplier, 32), 930);
+  EXPECT_DOUBLE_EQ(lib.fu_delay_ps(FuClass::kAdder, 32), 350);
+  EXPECT_DOUBLE_EQ(lib.fu_delay_ps(FuClass::kCompareOrd, 32), 220);
+  EXPECT_DOUBLE_EQ(lib.fu_delay_ps(FuClass::kCompareEq, 32), 60);
+  EXPECT_DOUBLE_EQ(lib.reg_clk_to_q_ps(), 40);
+  EXPECT_DOUBLE_EQ(lib.reg_setup_ps(), 40);
+  EXPECT_DOUBLE_EQ(lib.mux_delay_ps(2), 110);
+  EXPECT_DOUBLE_EQ(lib.mux_delay_ps(3), 115);
+  EXPECT_DOUBLE_EQ(lib.mux_delay_ps(4), 115);
+}
+
+class DelayMonotonicity
+    : public ::testing::TestWithParam<FuClass> {};
+
+TEST_P(DelayMonotonicity, DelayAndAreaGrowWithWidth) {
+  const Library& lib = artisan90();
+  const FuClass c = GetParam();
+  double prev_delay = 0;
+  double prev_area = 0;
+  for (int w : {4, 8, 16, 32, 64}) {
+    const double d = lib.fu_delay_ps(c, w);
+    const double a = lib.fu_area(c, w);
+    EXPECT_GE(d, prev_delay) << fu_class_name(c) << " w=" << w;
+    EXPECT_GT(a, prev_area) << fu_class_name(c) << " w=" << w;
+    EXPECT_GT(d, 0);
+    prev_delay = d;
+    prev_area = a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, DelayMonotonicity,
+                         ::testing::Values(FuClass::kAdder,
+                                           FuClass::kMultiplier,
+                                           FuClass::kCompareOrd,
+                                           FuClass::kCompareEq,
+                                           FuClass::kShifter),
+                         [](const auto& info) {
+                           return fu_class_name(info.param);
+                         });
+
+TEST(Artisan90, MuxDelayGrowsWithInputs) {
+  const Library& lib = artisan90();
+  EXPECT_LE(lib.mux_delay_ps(2), lib.mux_delay_ps(3));
+  EXPECT_LE(lib.mux_delay_ps(4), lib.mux_delay_ps(8));
+  EXPECT_THROW(lib.mux_delay_ps(1), InternalError);
+}
+
+TEST(Artisan90, MultiplierDominatesAdderArea) {
+  const Library& lib = artisan90();
+  EXPECT_GT(lib.fu_area(FuClass::kMultiplier, 32),
+            5 * lib.fu_area(FuClass::kAdder, 32));
+}
+
+TEST(Artisan90, DividerIsMultiCycle) {
+  const Library& lib = artisan90();
+  EXPECT_GT(lib.fu_latency_cycles(FuClass::kDivider), 0);
+  EXPECT_EQ(lib.fu_latency_cycles(FuClass::kMultiplier), 0);
+  EXPECT_GT(lib.fu_delay_into_cycle_ps(FuClass::kDivider), 0);
+}
+
+TEST(Artisan90, EnergyScalesWithArea) {
+  const Library& lib = artisan90();
+  EXPECT_GT(lib.fu_energy_pj(FuClass::kMultiplier, 32),
+            lib.fu_energy_pj(FuClass::kAdder, 32));
+  EXPECT_GT(lib.reg_energy_pj(32), lib.reg_energy_pj(8));
+  EXPECT_GT(lib.leakage_nw(1000), lib.leakage_nw(100));
+}
+
+// ---- Op -> resource mapping -----------------------------------------------------
+
+TEST(ResourceMapping, OpKindsMapToClasses) {
+  using ir::OpKind;
+  EXPECT_EQ(fu_class_for(OpKind::kAdd, false), FuClass::kAdder);
+  EXPECT_EQ(fu_class_for(OpKind::kSub, false), FuClass::kAdder);
+  EXPECT_EQ(fu_class_for(OpKind::kMul, false), FuClass::kMultiplier);
+  EXPECT_EQ(fu_class_for(OpKind::kGt, false), FuClass::kCompareOrd);
+  EXPECT_EQ(fu_class_for(OpKind::kNe, false), FuClass::kCompareEq);
+  EXPECT_EQ(fu_class_for(OpKind::kMux, false), FuClass::kMux);
+  EXPECT_EQ(fu_class_for(OpKind::kDiv, false), FuClass::kDivider);
+  EXPECT_EQ(fu_class_for(OpKind::kAnd, false), FuClass::kLogic);
+}
+
+TEST(ResourceMapping, FreeKindsNeedNoUnit) {
+  using ir::OpKind;
+  EXPECT_EQ(fu_class_for(OpKind::kConst, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kRead, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kWrite, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kLoopMux, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kZExt, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kBitRange, false), FuClass::kNone);
+}
+
+TEST(ResourceMapping, ConstantShiftIsFreeVariableShiftIsNot) {
+  using ir::OpKind;
+  EXPECT_EQ(fu_class_for(OpKind::kShl, true), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(OpKind::kShl, false), FuClass::kShifter);
+
+  frontend::Builder b("sh");
+  auto in = b.in("x", ir::int_ty(32));
+  auto amt = b.in("n", ir::uint_ty(5));
+  auto out = b.out("y", ir::int_ty(32));
+  auto x = b.read(in);
+  auto cshift = b.shl(x, b.c(3, ir::uint_ty(5)));
+  auto vshift = b.shl(x, b.read(amt));
+  b.write(out, b.add(cshift, vshift));
+  auto m = b.finish();
+  EXPECT_EQ(fu_class_for(m.thread.dfg, cshift.id), FuClass::kNone);
+  EXPECT_EQ(fu_class_for(m.thread.dfg, vshift.id), FuClass::kShifter);
+}
+
+TEST(ResourceMapping, ResourceWidthIsMaxOfResultAndOperands) {
+  frontend::Builder b("w");
+  auto in8 = b.in("a", ir::int_ty(8));
+  auto in32 = b.in("c", ir::int_ty(32));
+  auto out = b.out("y", ir::int_ty(32));
+  auto a = b.read(in8);
+  auto c = b.read(in32);
+  auto s = b.add(a, c);  // 8 + 32 -> 32
+  b.write(out, s);
+  auto m = b.finish();
+  EXPECT_EQ(resource_width_for(m.thread.dfg, s.id), 32);
+}
+
+TEST(ResourceMapping, MuxSelectDoesNotSizeTheResource) {
+  frontend::Builder b("mx");
+  auto in = b.in("x", ir::int_ty(16));
+  auto out = b.out("y", ir::int_ty(16));
+  auto x = b.read(in);
+  auto sel = b.gt(x, b.c(0, ir::int_ty(16)));
+  auto mx = b.mux(sel, x, b.c(1, ir::int_ty(16)));
+  b.write(out, mx);
+  auto m = b.finish();
+  EXPECT_EQ(resource_width_for(m.thread.dfg, mx.id), 16);
+}
+
+}  // namespace
+}  // namespace hls::tech
