@@ -12,7 +12,6 @@ PowerReport estimate_power(const rtl::ModuleMachine& mm,
                            const tech::Library& lib, double tclk_ps,
                            const AreaReport& area, double activity) {
   PowerReport r;
-  const ir::Dfg& dfg = mm.module->thread.dfg;
   const auto& s = mm.loop.schedule;
   const int kernel_edges = std::min(mm.loop.folded.ii, mm.loop.folded.li);
 

@@ -5,6 +5,23 @@
 
 namespace hls::workloads {
 
+std::vector<Workload> suite() {
+  std::vector<Workload> all;
+  all.push_back(make_fir(16));
+  all.push_back(make_ewf());
+  all.push_back(make_arf());
+  all.push_back(make_crc32());
+  all.push_back(make_fft8_stage());
+  all.push_back(make_dct8());
+  all.push_back(make_idct8());
+  all.push_back(make_conv3x3());
+  all.push_back(make_sobel());
+  RandomCdfgOptions opts;
+  opts.target_ops = 150;
+  all.push_back(make_random_cdfg(7, opts));
+  return all;
+}
+
 std::vector<Workload> make_profile_suite() {
   std::vector<Workload> suite;
   // Named kernels (filters, FFTs, image processing — the categories the

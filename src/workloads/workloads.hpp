@@ -56,6 +56,12 @@ struct RandomCdfgOptions {
 };
 Workload make_random_cdfg(std::uint64_t seed, const RandomCdfgOptions& opts);
 
+/// The named-kernel suite: every bundled filter / transform / image kernel
+/// plus one small seeded random CDFG. Compact enough to run the full flow
+/// on every member in a test; see make_profile_suite() for the large
+/// profiling set.
+std::vector<Workload> suite();
+
 /// The Figure 9 profiling suite: named kernels plus random CDFGs spanning
 /// roughly 100-6000 operations (about 40 designs).
 std::vector<Workload> make_profile_suite();

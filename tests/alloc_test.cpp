@@ -1,3 +1,6 @@
+// Tests for src/alloc/: width-aware resource clustering, timing-aware
+// ASAP/ALAP life spans, and initial instance estimation (paper
+// Section IV.A), including the Example 1 / Example 3 pipelined counts.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"
@@ -186,9 +189,9 @@ TEST(Estimate, Example1SequentialNeedsOneMultiplier) {
   auto set = cluster_resources(dfg, f.region.all_ops(), artisan90());
   set = estimate_initial_counts(dfg, std::move(set), ls, 3);
   for (const auto& p : set.pools) {
-    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 1);
-    if (p.cls == FuClass::kAdder) EXPECT_EQ(p.count, 1);
-    if (p.cls == FuClass::kCompareOrd) EXPECT_EQ(p.count, 1);
+    if (p.cls == FuClass::kMultiplier) { EXPECT_EQ(p.count, 1); }
+    if (p.cls == FuClass::kAdder) { EXPECT_EQ(p.count, 1); }
+    if (p.cls == FuClass::kCompareOrd) { EXPECT_EQ(p.count, 1); }
   }
 }
 
@@ -204,7 +207,7 @@ TEST(Estimate, Example1PipelinedII2NeedsTwoMultipliers) {
   opts.pipeline_ii = 2;
   set = estimate_initial_counts(dfg, std::move(set), ls, 3, opts);
   for (const auto& p : set.pools) {
-    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 2);
+    if (p.cls == FuClass::kMultiplier) { EXPECT_EQ(p.count, 2); }
   }
 }
 
@@ -219,7 +222,7 @@ TEST(Estimate, Example1PipelinedII1NeedsThreeMultipliers) {
   opts.pipeline_ii = 1;
   set = estimate_initial_counts(dfg, std::move(set), ls, 3, opts);
   for (const auto& p : set.pools) {
-    if (p.cls == FuClass::kMultiplier) EXPECT_EQ(p.count, 3);
+    if (p.cls == FuClass::kMultiplier) { EXPECT_EQ(p.count, 3); }
   }
 }
 

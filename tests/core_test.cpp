@@ -1,3 +1,7 @@
+// Tests for src/core/: the end-to-end run_flow facade on Example 1 and
+// the bundled kernels (sequential and pipelined), co-simulation against
+// the interpreter, clean failure reporting, feature-switch ablations,
+// design-space exploration sweeps, and report/JSON rendering.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

@@ -1,3 +1,5 @@
+// Tests for src/frontend/ lexer and parser: the `.hls` behavioral text
+// format elaborates to the same CDFG the Builder API produces.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

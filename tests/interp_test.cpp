@@ -1,3 +1,5 @@
+// Tests for src/ir/interp: the untimed reference interpreter (golden
+// model) — port streaming, loop-carried state, predicated execution.
 #include <gtest/gtest.h>
 
 #include "frontend/builder.hpp"

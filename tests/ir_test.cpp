@@ -1,3 +1,6 @@
+// Tests for src/ir/: bit-accurate types, DFG construction and use lists,
+// region tree invariants, module/design containers, printing, structural
+// validation, and the Tarjan SCC / dependence analyses.
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+// Tests for src/opt/: every optimizer pass (constant folding, CSE, DCE,
+// strength reduction, width reduction, latency balancing, predication)
+// preserves interpreter semantics and shrinks or normalizes the DFG.
 #include <gtest/gtest.h>
 
 #include "frontend/builder.hpp"
@@ -352,7 +355,7 @@ TEST(WidthReduce, ComparisonInputsKeepFullWidth) {
   p->run(m);
   for (OpId id = 0; id < m.thread.dfg.size(); ++id) {
     const auto& o = m.thread.dfg.op(id);
-    if (o.kind == OpKind::kAdd) EXPECT_EQ(o.type.width, 32);
+    if (o.kind == OpKind::kAdd) { EXPECT_EQ(o.type.width, 32); }
   }
 }
 

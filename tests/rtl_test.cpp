@@ -1,3 +1,7 @@
+// Tests for src/rtl/ and src/pipeline/: straightening/equivalence/SCC/
+// folding transforms, FSM+datapath construction, cycle-accurate
+// simulation against the interpreter (including randomized pipelined
+// designs), and structural Verilog emission.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

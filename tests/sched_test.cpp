@@ -1,3 +1,7 @@
+// Tests for src/sched/: the iterative scheduling driver on the paper's
+// worked examples (Example 1 sequential / II=2 / II=1 with the expected
+// Table 2 schedules), chaining under the clock constraint, multi-cycle
+// units, predicate exclusivity, write ordering, and randomized DAGs.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

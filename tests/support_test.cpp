@@ -1,3 +1,5 @@
+// Tests for src/support/: strings, table rendering, JSON, Graphviz dot,
+// deterministic RNG, and the diagnostics engine.
 #include <gtest/gtest.h>
 
 #include <set>

@@ -1,3 +1,5 @@
+// Tests for src/synth/: area and power estimation and slack recovery,
+// including the paper's Table 3 micro-architecture comparison numbers.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

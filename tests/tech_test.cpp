@@ -1,3 +1,6 @@
+// Tests for src/tech/: the artisan-90nm-style characterization (Table 1
+// delays/areas), op-to-resource-class mapping, and monotonicity of
+// delay/area models in width.
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"
@@ -50,8 +53,8 @@ INSTANTIATE_TEST_SUITE_P(AllClasses, DelayMonotonicity,
                                            FuClass::kCompareOrd,
                                            FuClass::kCompareEq,
                                            FuClass::kShifter),
-                         [](const auto& info) {
-                           return fu_class_name(info.param);
+                         [](const auto& param_info) {
+                           return fu_class_name(param_info.param);
                          });
 
 TEST(Artisan90, MuxDelayGrowsWithInputs) {

@@ -1,3 +1,6 @@
+// Tests for src/timing/: the incremental datapath timing engine, netlist
+// arrival queries, combinational-cycle detection, and the paper's
+// Section IV worked example (1230/1580/1800 ps paths).
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hpp"

@@ -1,3 +1,7 @@
+// Tests for src/workloads/: every bundled kernel validates and interprets,
+// numeric correctness against independent references (FIR convolution,
+// EWF/ARF/CRC32/IDCT/Sobel), random CDFG determinism, and the profiling
+// suite's paper size range.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -21,22 +25,7 @@ using ir::Stimulus;
 
 class AllWorkloads : public ::testing::TestWithParam<int> {
  public:
-  static std::vector<Workload> make_all() {
-    std::vector<Workload> all;
-    all.push_back(make_fir(16));
-    all.push_back(make_ewf());
-    all.push_back(make_arf());
-    all.push_back(make_crc32());
-    all.push_back(make_fft8_stage());
-    all.push_back(make_dct8());
-    all.push_back(make_idct8());
-    all.push_back(make_conv3x3());
-    all.push_back(make_sobel());
-    RandomCdfgOptions opts;
-    opts.target_ops = 150;
-    all.push_back(make_random_cdfg(7, opts));
-    return all;
-  }
+  static std::vector<Workload> make_all() { return suite(); }
 };
 
 TEST_P(AllWorkloads, ValidatesAndInterprets) {
@@ -60,10 +49,11 @@ TEST_P(AllWorkloads, ValidatesAndInterprets) {
   EXPECT_FALSE(r.writes.empty()) << w.name;
 }
 
-INSTANTIATE_TEST_SUITE_P(Suite, AllWorkloads, ::testing::Range(0, 10),
-                         [](const auto& info) {
+INSTANTIATE_TEST_SUITE_P(Suite, AllWorkloads,
+                         ::testing::Range(0, static_cast<int>(suite().size())),
+                         [](const auto& param_info) {
                            return AllWorkloads::make_all()
-                               [static_cast<std::size_t>(info.param)]
+                               [static_cast<std::size_t>(param_info.param)]
                                    .name;
                          });
 
