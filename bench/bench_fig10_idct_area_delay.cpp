@@ -8,6 +8,7 @@
 // because the relaxed timing lets synthesis use smaller resources.
 #include <cstdio>
 #include <map>
+#include <thread>
 
 #include "core/explore.hpp"
 #include "support/table.hpp"
@@ -15,8 +16,10 @@
 int main() {
   using namespace hls;
 
-  auto points = core::explore([] { return workloads::make_idct8(); },
-                              core::idct_paper_grid());
+  const core::FlowSession session(workloads::make_idct8());
+  core::ExploreOptions eopts;
+  eopts.threads = 0;  // one worker per hardware thread
+  auto points = core::explore(session, core::idct_paper_grid(), eopts);
 
   std::map<std::string, std::vector<const core::ExplorePoint*>> curves;
   for (const auto& p : points) curves[p.curve].push_back(&p);

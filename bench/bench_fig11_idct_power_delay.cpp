@@ -5,6 +5,7 @@
 // curve), and the sweep spans a wide power range (20x in the paper).
 #include <cstdio>
 #include <map>
+#include <thread>
 
 #include "core/explore.hpp"
 #include "support/table.hpp"
@@ -12,8 +13,10 @@
 int main() {
   using namespace hls;
 
-  auto points = core::explore([] { return workloads::make_idct8(); },
-                              core::idct_paper_grid());
+  const core::FlowSession session(workloads::make_idct8());
+  core::ExploreOptions eopts;
+  eopts.threads = 0;  // one worker per hardware thread
+  auto points = core::explore(session, core::idct_paper_grid(), eopts);
 
   std::map<std::string, std::vector<const core::ExplorePoint*>> curves;
   for (const auto& p : points) curves[p.curve].push_back(&p);

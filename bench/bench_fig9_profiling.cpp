@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "support/table.hpp"
 #include "workloads/workloads.hpp"
 
@@ -47,21 +47,23 @@ int main() {
               "designs, 100..6000+ ops, avg 1400)\n\n",
               suite.size());
 
-  TextTable t({"design", "ops", "passes", "LI", "queries", "time (s)"});
+  TextTable t({"design", "ops", "passes", "relax", "LI", "queries",
+               "time (s)"});
   std::vector<double> ops, times, passes;
   double max_time = 0;
   for (auto& w : suite) {
     const int n_ops = w.op_count();
+    const core::FlowSession session(std::move(w));
     core::FlowOptions opts;
     opts.emit_verilog = false;
-    auto r = core::run_flow(std::move(w), opts);
+    auto r = session.run(opts);
     if (!r.success) {
-      t.row({r.module->name, strf(n_ops), "-", "-", "-", "FAILED"});
+      t.row({session.name(), strf(n_ops), "-", "-", "-", "-", "FAILED"});
       continue;
     }
-    t.row({r.module->name, strf(n_ops), strf(r.sched.passes),
-           strf(r.sched.schedule.num_steps), strf(r.sched.timing_queries),
-           fmt_fixed(r.sched_seconds, 3)});
+    t.row({session.name(), strf(n_ops), strf(r.sched.passes),
+           strf(r.sched.relaxations()), strf(r.sched.schedule.num_steps),
+           strf(r.sched.timing_queries), fmt_fixed(r.sched_seconds, 3)});
     ops.push_back(n_ops);
     times.push_back(r.sched_seconds);
     passes.push_back(r.sched.passes);

@@ -1,15 +1,28 @@
 // Micro-benchmarks (google-benchmark) for the library's hot paths:
 // scheduling passes over increasing design sizes, SCC analysis, lifespan
 // computation, timing queries, interpretation, and RTL simulation.
+//
+// After the google-benchmark suites run, main() self-times the scheduler
+// (ns per scheduling pass) and the exploration engine (serial vs.
+// threaded throughput on the paper's 25-configuration IDCT grid,
+// verifying the threaded point vector is identical to the serial one) and
+// writes the results to BENCH_scheduler.json so the perf trajectory can
+// be tracked across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "alloc/lifespan.hpp"
-#include "core/flow.hpp"
+#include "core/explore.hpp"
 #include "ir/analysis.hpp"
 #include "opt/pass.hpp"
 #include "pipeline/straighten.hpp"
 #include "rtl/sim.hpp"
 #include "sched/driver.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "workloads/example1.hpp"
 #include "workloads/workloads.hpp"
@@ -130,6 +143,124 @@ void BM_RtlSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlSimulation);
 
+// ---- BENCH_scheduler.json ---------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The deterministic fields of two explore results must agree exactly;
+// returns false on the first mismatch.
+bool points_identical(const std::vector<core::ExplorePoint>& a,
+                      const std::vector<core::ExplorePoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].curve != b[i].curve || a[i].tclk_ps != b[i].tclk_ps ||
+        a[i].latency != b[i].latency || a[i].pipelined != b[i].pipelined ||
+        a[i].feasible != b[i].feasible || a[i].delay_ns != b[i].delay_ns ||
+        a[i].area != b[i].area || a[i].power_mw != b[i].power_mw ||
+        a[i].passes != b[i].passes ||
+        a[i].relaxations != b[i].relaxations || a[i].failure != b[i].failure) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void emit_scheduler_json(const char* path) {
+  JsonWriter w;
+  w.begin_object();
+
+  // ns per scheduling pass across design sizes (one timed schedule each;
+  // pass counts normalize the comparison across commits).
+  w.key("schedule_ns_per_pass");
+  w.begin_array();
+  for (int ops : {100, 400, 1600}) {
+    auto wl = make_sized(ops);
+    pipeline::straighten(wl.module);
+    const auto region = ir::linearize(wl.module.thread.tree, wl.loop);
+    const auto latency = wl.module.thread.tree.stmt(wl.loop).latency;
+    sched::SchedulerOptions opts;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = sched::schedule_region(wl.module.thread.dfg, region,
+                                          latency, wl.module.ports.size(),
+                                          opts);
+    const double s = seconds_since(t0);
+    w.begin_object();
+    w.key("ops");
+    w.value(ops);
+    w.key("passes");
+    w.value(r.passes);
+    w.key("total_ns");
+    w.value(s * 1e9);
+    w.key("ns_per_pass");
+    w.value(r.passes > 0 ? s * 1e9 / r.passes : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Serial vs. threaded exploration throughput on the paper's IDCT grid.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const core::FlowSession session(workloads::make_idct8());
+  const auto grid = core::idct_paper_grid();
+
+  core::ExploreOptions serial;
+  serial.threads = 1;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto serial_pts = core::explore(session, grid, serial);
+  const double serial_s = seconds_since(t0);
+
+  core::ExploreOptions threaded;
+  threaded.threads = static_cast<int>(cores);
+  t0 = std::chrono::steady_clock::now();
+  const auto threaded_pts = core::explore(session, grid, threaded);
+  const double threaded_s = seconds_since(t0);
+
+  const bool identical = points_identical(serial_pts, threaded_pts);
+  const double speedup = threaded_s > 0 ? serial_s / threaded_s : 0;
+  w.key("explore");
+  w.begin_object();
+  w.key("configs");
+  w.value(static_cast<std::int64_t>(grid.size()));
+  w.key("hardware_threads");
+  w.value(static_cast<std::int64_t>(cores));
+  w.key("serial_seconds");
+  w.value(serial_s);
+  w.key("threaded_seconds");
+  w.value(threaded_s);
+  w.key("configs_per_second_serial");
+  w.value(static_cast<double>(grid.size()) / serial_s);
+  w.key("configs_per_second_threaded");
+  w.value(static_cast<double>(grid.size()) / threaded_s);
+  w.key("speedup");
+  w.value(speedup);
+  w.key("points_identical");
+  w.value(identical);
+  w.end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s: explore %zu configs, %u thread(s), "
+              "serial %.2fs vs threaded %.2fs (%.2fx), points %s\n",
+              path, grid.size(), cores, serial_s, threaded_s, speedup,
+              identical ? "identical" : "DIVERGED");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_scheduler_json("BENCH_scheduler.json");
+  return 0;
+}

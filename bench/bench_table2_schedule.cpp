@@ -4,8 +4,8 @@
 // the final 3-state schedule on a single shared multiplier.
 #include <cstdio>
 
-#include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "timing/netlist.hpp"
 #include "workloads/example1.hpp"
 
@@ -45,8 +45,9 @@ int main() {
   w.name = "example1";
   w.module = std::move(ex.module);
   w.loop = ex.loop;
+  const core::FlowSession session(std::move(w));
   core::FlowOptions opts;
-  auto r = core::run_flow(std::move(w), opts);
+  auto r = session.run(opts);
   if (!r.success) {
     std::printf("flow failed: %s\n", r.failure_reason.c_str());
     return 1;

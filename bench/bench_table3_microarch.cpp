@@ -5,7 +5,7 @@
 //   Area        16094          24010           30491
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "workloads/example1.hpp"
@@ -27,17 +27,18 @@ int main() {
 
   TextTable t({"microarch", "cycles/iter (paper)", "cycles/iter (model)",
                "area (paper)", "area (model)", "dev %"});
+  workloads::Workload w;
+  auto ex = workloads::make_example1();
+  w.name = "example1";
+  w.module = std::move(ex.module);
+  w.loop = ex.loop;
+  const core::FlowSession session(std::move(w));  // front end runs once
   bool order_ok = true;
   double prev = 0;
   for (const Arch& a : archs) {
-    workloads::Workload w;
-    auto ex = workloads::make_example1();
-    w.name = "example1";
-    w.module = std::move(ex.module);
-    w.loop = ex.loop;
     core::FlowOptions opts;
     opts.pipeline_ii = a.ii;
-    auto r = core::run_flow(std::move(w), opts);
+    auto r = session.run(opts);
     if (!r.success) {
       std::printf("%s failed: %s\n", a.name, r.failure_reason.c_str());
       return 1;

@@ -15,7 +15,7 @@
 // must reproduce.
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "support/table.hpp"
 #include "workloads/example1.hpp"
 #include "workloads/workloads.hpp"
@@ -67,14 +67,15 @@ int main() {
       return workloads::make_random_cdfg(
           static_cast<std::uint64_t>(c.variant), o);
     };
+    const core::FlowSession session(make());  // one compile, two runs
     core::FlowOptions good;
     good.pipeline_ii = c.ii;
     good.tclk_ps = c.tclk;
-    auto rg = core::run_flow(make(), good);
+    auto rg = session.run(good);
 
     core::FlowOptions bad = good;
     bad.enable_move_scc = false;
-    auto rb = core::run_flow(make(), bad);
+    auto rb = session.run(bad);
 
     if (!rg.success || !rb.success) {
       t.row({c.name, rg.success ? "ok" : "fail", rb.success ? "ok" : "fail",

@@ -6,8 +6,8 @@
 //   $ ./examples/cosim_verilog
 #include <cstdio>
 
-#include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "support/rng.hpp"
 
 int main() {
@@ -15,7 +15,18 @@ int main() {
 
   core::FlowOptions opts;
   opts.pipeline_ii = 1;  // one sample per cycle
-  auto r = core::run_flow(workloads::make_fir(8), opts);
+
+  // Drive the flow stage by stage (the staged FlowRun API): each stage can
+  // be inspected before the next one runs.
+  core::FlowSession session(workloads::make_fir(8));
+  core::FlowRun run = session.begin(opts);
+  if (run.select_microarch() && run.schedule()) {
+    std::printf("scheduled in %d passes (%.4f s); generating RTL...\n\n",
+                run.result().sched.passes, run.result().sched_seconds);
+    run.generate_rtl();
+    run.estimate();
+  }
+  auto r = run.take();
   if (!r.success) {
     std::printf("flow failed: %s\n", r.failure_reason.c_str());
     return 1;

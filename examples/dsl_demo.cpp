@@ -5,8 +5,8 @@
 //   $ ./examples/dsl_demo
 #include <cstdio>
 
-#include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "frontend/parser.hpp"
 #include "support/rng.hpp"
 
@@ -51,9 +51,11 @@ int main() {
   w.module = std::move(parsed.module);
   w.loop = parsed.loops.back();  // the do-while
 
+  // parse -> build -> validate -> optimize happen once, at compile time.
+  core::FlowSession session(std::move(w));
   core::FlowOptions opts;
   opts.pipeline_ii = 2;
-  auto r = core::run_flow(std::move(w), opts);
+  auto r = session.run(opts);
   if (!r.success) {
     std::printf("flow failed: %s\n", r.failure_reason.c_str());
     return 1;

@@ -6,6 +6,7 @@
 //   $ ./examples/idct_explore
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "core/explore.hpp"
 #include "support/table.hpp"
@@ -14,9 +15,25 @@ int main() {
   using namespace hls;
 
   const auto grid = core::idct_paper_grid();
-  std::printf("Running %zu HLS + synthesis-estimate configurations...\n\n",
-              grid.size());
-  auto points = core::explore([] { return workloads::make_idct8(); }, grid);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("Running %zu HLS + synthesis-estimate configurations on %u "
+              "worker thread(s)...\n",
+              grid.size(), cores);
+
+  // Compile the IDCT once; the engine fans the 25 configurations out over
+  // a worker pool. Results are ordered and deterministic regardless of the
+  // thread count.
+  const core::FlowSession session(workloads::make_idct8());
+  core::ExploreOptions eopts;
+  eopts.threads = static_cast<int>(cores);
+  eopts.progress = [](const core::ExplorePoint& p, std::size_t done,
+                      std::size_t total) {
+    std::printf("  [%2zu/%zu] %-16s @ %4.0fps: %s\n", done, total,
+                p.curve.c_str(), p.tclk_ps,
+                p.feasible ? "ok" : "infeasible");
+  };
+  auto points = core::explore(session, grid, eopts);
+  std::printf("\n");
 
   TextTable table({"curve", "Tclk(ps)", "delay(ns)", "area", "power(mW)",
                    "pareto"});

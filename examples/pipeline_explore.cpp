@@ -8,8 +8,8 @@
 //   $ ./examples/pipeline_explore
 #include <cstdio>
 
-#include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "workloads/example1.hpp"
@@ -33,6 +33,9 @@ int main() {
   TextTable table({"microarchitecture", "cycles/iter", "LI", "muls", "area",
                    "measured II", "outputs match"});
 
+  // One session, three micro-architectures: the front end (optimize +
+  // predicate) runs once, each mode reuses the compiled module.
+  const core::FlowSession session(make());
   for (int mode = 0; mode < 3; ++mode) {
     core::FlowOptions opts;
     const char* name = "Sequential (S)";
@@ -43,7 +46,7 @@ int main() {
       opts.pipeline_ii = 1;
       name = "Pipe, II=1 (P1)";
     }
-    auto r = core::run_flow(make(), opts);
+    auto r = session.run(opts);
     if (!r.success) {
       std::printf("%s failed: %s\n", name, r.failure_reason.c_str());
       continue;

@@ -1,12 +1,13 @@
-// Quickstart: build the paper's Figure 1 design with the Builder API, run
-// the full HLS flow (optimize -> predicate -> schedule+bind -> RTL), and
-// print the schedule, the expert-system trace, and the synthesis report.
+// Quickstart: build the paper's Figure 1 design with the Builder API,
+// compile it once into a FlowSession, run the staged flow (micro-arch ->
+// schedule+bind -> RTL -> synthesis estimates), and print the schedule,
+// the expert-system trace, and the synthesis report.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "ir/print.hpp"
 #include "workloads/example1.hpp"
 
@@ -23,8 +24,15 @@ int main() {
   w.module = std::move(ex.module);
   w.loop = ex.loop;
 
+  // Compile once: optimize + predicate + validate. The session can then
+  // run any number of micro-architecture configurations.
+  core::FlowSession session(std::move(w));
+  std::printf("compiled '%s' in %.3f s (%zu DFG ops)\n\n",
+              session.name().c_str(), session.compile_seconds(),
+              session.module().thread.dfg.size());
+
   core::FlowOptions opts;  // Tclk = 1600ps, artisan90, sequential
-  auto result = core::run_flow(std::move(w), opts);
+  auto result = session.run(opts);
   if (!result.success) {
     std::printf("flow failed: %s\n", result.failure_reason.c_str());
     return 1;
@@ -33,6 +41,11 @@ int main() {
   std::printf("Scheduler relaxation trace (paper Section IV):\n%s\n",
               core::render_trace(result.sched).c_str());
   std::printf("%s\n", core::render_report(result).c_str());
+  std::printf(
+      "Stage timings: microarch %.4fs, schedule %.4fs, rtl %.4fs, "
+      "synth %.4fs\n\n",
+      result.timings.microarch_seconds, result.timings.sched_seconds,
+      result.timings.rtl_seconds, result.timings.synth_seconds);
 
   std::printf("Generated Verilog (excerpt):\n");
   const std::string& v = result.verilog;

@@ -1,40 +1,118 @@
 #include "core/explore.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "support/diagnostics.hpp"
 
 namespace hls::core {
 
-std::vector<ExplorePoint> explore(
-    const std::function<workloads::Workload()>& make_workload,
-    const std::vector<ExploreConfig>& configs) {
-  std::vector<ExplorePoint> points;
-  points.reserve(configs.size());
-  for (const ExploreConfig& cfg : configs) {
-    FlowOptions opts;
-    opts.tclk_ps = cfg.tclk_ps;
-    opts.pipeline_ii = cfg.pipeline_ii;
-    opts.latency_min = cfg.latency;
-    opts.latency_max = cfg.latency;
-    ExplorePoint pt;
-    pt.curve = cfg.curve;
-    pt.tclk_ps = cfg.tclk_ps;
-    pt.latency = cfg.latency;
-    pt.pipelined = cfg.pipeline_ii > 0;
-    try {
-      FlowResult r = run_flow(make_workload(), opts);
-      if (r.success) {
-        pt.feasible = true;
-        pt.delay_ns = r.delay_ns;
-        pt.area = r.area.total();
-        pt.power_mw = r.power.total_mw();
-      }
-    } catch (const InternalError&) {
-      // Clock infeasible for the library (e.g. a multiplier cannot fit):
-      // the configuration is reported as infeasible, like a failed run.
+namespace {
+
+ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
+  ExplorePoint pt;
+  pt.curve = cfg.curve;
+  pt.tclk_ps = cfg.tclk_ps;
+  pt.latency = cfg.latency;
+  pt.pipelined = cfg.pipeline_ii > 0;
+
+  FlowOptions opts;
+  opts.tclk_ps = cfg.tclk_ps;
+  opts.pipeline_ii = cfg.pipeline_ii;
+  opts.latency_min = cfg.latency;
+  opts.latency_max = cfg.latency;
+  opts.emit_verilog = false;
+  try {
+    FlowResult r = session.run(opts);
+    pt.sched_seconds = r.sched_seconds;
+    pt.passes = r.sched.passes;
+    pt.relaxations = r.sched.relaxations();
+    if (r.success) {
+      pt.feasible = true;
+      pt.delay_ns = r.delay_ns;
+      pt.area = r.area.total();
+      pt.power_mw = r.power.total_mw();
+    } else {
+      pt.failure = r.failure_reason;
     }
-    points.push_back(std::move(pt));
+  } catch (const InternalError& e) {
+    // Clock infeasible for the library (e.g. a multiplier cannot fit):
+    // the configuration is reported as infeasible, like a failed run.
+    pt.failure = strf("internal: ", e.what());
+  }
+  return pt;
+}
+
+}  // namespace
+
+std::vector<ExplorePoint> explore(const FlowSession& session,
+                                  const std::vector<ExploreConfig>& configs,
+                                  const ExploreOptions& options) {
+  std::vector<ExplorePoint> points(configs.size());
+  if (configs.empty()) return points;
+
+  // 0 = one worker per hardware thread; anything negative is clamped to
+  // serial rather than silently fanning out.
+  std::size_t threads = 1;
+  if (options.threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  } else if (options.threads > 0) {
+    threads = static_cast<std::size_t>(options.threads);
+  }
+  threads = std::min(threads, configs.size());
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  auto report = [&](const ExplorePoint& pt) {
+    if (!options.progress) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    options.progress(pt, ++completed, configs.size());
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      points[i] = run_config(session, configs[i]);
+      report(points[i]);
+    }
+    return points;
+  }
+
+  // Worker pool over an atomic work index. Each worker writes only its own
+  // slot, so the result vector is ordered like `configs` no matter which
+  // worker picks which configuration up.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(configs.size());
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < configs.size();
+         i = next.fetch_add(1)) {
+      try {
+        points[i] = run_config(session, configs[i]);
+        report(points[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  // Deterministic error propagation: the lowest-index failure wins, as it
+  // would have in a serial run.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
   return points;
+}
+
+std::vector<ExplorePoint> explore(
+    const std::function<workloads::Workload()>& make_workload,
+    const std::vector<ExploreConfig>& configs, const ExploreOptions& options) {
+  const FlowSession session(make_workload());
+  return explore(session, configs, options);
 }
 
 std::vector<ExploreConfig> idct_paper_grid() {

@@ -1,13 +1,19 @@
 // Design-space exploration (paper Section VI, Figures 10-11): sweep
 // micro-architectures (sequential / pipelined x latency x clock) and
 // collect (delay, area, power) points per curve.
+//
+// The engine is batched: the workload is compiled once into a FlowSession
+// and the configurations fan out across a worker pool. The returned point
+// vector is ordered like `configs`, and every result field except the
+// wall-clock `sched_seconds` is identical regardless of the thread count
+// (every run schedules the same immutable compiled module).
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "core/flow.hpp"
+#include "core/session.hpp"
 
 namespace hls::core {
 
@@ -20,6 +26,14 @@ struct ExplorePoint {
   double area = 0;
   double power_mw = 0;
   bool feasible = false;
+  /// Why the configuration is infeasible (rendered diagnostics; empty when
+  /// feasible).
+  std::string failure;
+
+  // Figure 9-style profiling of the run that produced the point.
+  double sched_seconds = 0;  ///< wall-clock scheduling time
+  int passes = 0;            ///< scheduling passes taken
+  int relaxations = 0;       ///< expert relaxation actions applied
 };
 
 struct ExploreConfig {
@@ -29,10 +43,31 @@ struct ExploreConfig {
   int pipeline_ii = 0;   ///< 0 = sequential
 };
 
-/// Runs the flow once per configuration on fresh copies of the workload.
+struct ExploreOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(), 1 = run
+  /// serially on the calling thread (negative values are treated as 1).
+  /// The point vector is deterministic and ordered either way.
+  int threads = 1;
+  /// Invoked once per finished configuration, serialized under a lock (a
+  /// streaming/serving caller can print or publish from it). `completed`
+  /// counts finished configurations so far (1..total); completion order
+  /// may differ from config order when threads > 1.
+  std::function<void(const ExplorePoint& point, std::size_t completed,
+                     std::size_t total)>
+      progress;
+};
+
+/// Runs one flow per configuration against `session`'s compiled module,
+/// fanning out across `options.threads` workers.
+std::vector<ExplorePoint> explore(const FlowSession& session,
+                                  const std::vector<ExploreConfig>& configs,
+                                  const ExploreOptions& options = {});
+
+/// Convenience overload: compiles `make_workload()` once into a session.
 std::vector<ExplorePoint> explore(
     const std::function<workloads::Workload()>& make_workload,
-    const std::vector<ExploreConfig>& configs);
+    const std::vector<ExploreConfig>& configs,
+    const ExploreOptions& options = {});
 
 /// The paper's IDCT experiment grid: pipelined and non-pipelined
 /// micro-architectures with latencies {8, 16, 32}, clock scaled so each

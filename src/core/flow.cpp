@@ -1,77 +1,15 @@
 #include "core/flow.hpp"
 
-#include "opt/pass.hpp"
-#include "pipeline/straighten.hpp"
-#include "support/strings.hpp"
-#include "tech/library.hpp"
+#include "core/session.hpp"
 
 namespace hls::core {
 
-FlowResult run_flow(workloads::Workload workload,
-                    const FlowOptions& options) {
-  FlowResult result;
-  result.module = std::make_unique<ir::Module>(std::move(workload.module));
-  result.loop = workload.loop;
-  ir::Module& m = *result.module;
-
-  // ---- Optimizer (paper Section II) -----------------------------------------
-  if (options.run_optimizer) {
-    auto pm = opt::PassManager::standard_pipeline();
-    pm.run_to_fixpoint(m);
-  }
-  // Branch predication is required before scheduling (and is what makes
-  // loop bodies straight lines for pipelining).
-  pipeline::straighten(m);
-
-  // ---- Scheduling ------------------------------------------------------------
-  ir::Stmt& loop_stmt = m.thread.tree.stmt_mut(result.loop);
-  ir::LatencyBound latency = loop_stmt.latency;
-  if (options.latency_min > 0) latency.min = options.latency_min;
-  if (options.latency_max > 0) latency.max = options.latency_max;
-
-  sched::SchedulerOptions sopts;
-  sopts.tclk_ps = options.tclk_ps;
-  sopts.lib = options.lib != nullptr ? options.lib : &tech::artisan90();
-  if (options.pipeline_ii > 0) {
-    sopts.pipeline = {true, options.pipeline_ii};
-    loop_stmt.pipeline = {true, options.pipeline_ii};
-  }
-  sopts.enable_chaining = options.enable_chaining;
-  sopts.enable_move_scc = options.enable_move_scc;
-  sopts.avoid_comb_cycles = options.avoid_comb_cycles;
-  sopts.use_mutual_exclusivity = options.use_mutual_exclusivity;
-  sopts.allow_accept_slack = options.allow_accept_slack;
-
-  const auto region = ir::linearize(m.thread.tree, result.loop);
-  const auto t0 = std::chrono::steady_clock::now();
-  result.sched = sched::schedule_region(m.thread.dfg, region, latency,
-                                        m.ports.size(), sopts);
-  const auto t1 = std::chrono::steady_clock::now();
-  result.sched_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
-  if (!result.sched.success) {
-    result.failure_reason =
-        strf("scheduling failed: ", result.sched.failure_reason);
-    return result;
-  }
-
-  // ---- Output generation --------------------------------------------------------
-  result.machine = rtl::build_machine(m, result.loop, result.sched.schedule);
-  if (options.emit_verilog) {
-    result.verilog = rtl::emit_verilog(result.machine);
-  }
-
-  // ---- Synthesis estimates ---------------------------------------------------------
-  const tech::Library& lib = *sopts.lib;
-  result.area = synth::apply_recovery(
-      synth::estimate_area(result.machine, lib),
-      result.sched.schedule.worst_slack_ps, options.tclk_ps);
-  result.power = synth::estimate_power(result.machine, lib, options.tclk_ps,
-                                       result.area);
-  result.delay_ns =
-      result.machine.loop.initiation_interval() * options.tclk_ps / 1000.0;
-  result.success = true;
-  return result;
+FlowResult run_flow(workloads::Workload workload, const FlowOptions& options) {
+  SessionOptions sopts;
+  sopts.run_optimizer = options.run_optimizer;
+  // Expiring session: the compiled module is moved into the run, so the
+  // one-shot path costs no extra module copy over the pre-session facade.
+  return FlowSession(std::move(workload), sopts).run(options);
 }
 
 }  // namespace hls::core

@@ -1,6 +1,13 @@
-// The end-to-end HLS flow facade (paper Figure 2): optimizer →
-// micro-architecture (pipelining directive) → simultaneous scheduling and
-// binding → output generation (RTL model + Verilog) → synthesis estimates.
+// The end-to-end HLS flow (paper Figure 2): optimizer → micro-architecture
+// (pipelining directive) → simultaneous scheduling and binding → output
+// generation (RTL model + Verilog) → synthesis estimates.
+//
+// Two entry points:
+//  * `core::FlowSession` (session.hpp) — the staged, reusable API: compile
+//    a workload once, then run many micro-architecture configurations
+//    against the immutable compiled module (possibly concurrently).
+//  * `core::run_flow` — the one-shot facade, now a thin wrapper over a
+//    single-use FlowSession:
 //
 //   core::FlowOptions opts;
 //   opts.tclk_ps = 1600;
@@ -15,6 +22,7 @@
 #include "rtl/sim.hpp"
 #include "rtl/verilog.hpp"
 #include "sched/driver.hpp"
+#include "support/diagnostics.hpp"
 #include "synth/power.hpp"
 #include "synth/recovery.hpp"
 #include "workloads/workloads.hpp"
@@ -40,9 +48,32 @@ struct FlowOptions {
   bool emit_verilog = true;
 };
 
+/// Checks a FlowOptions for values that would cause undefined behavior
+/// downstream (non-positive clock, negative II, inverted latency bound).
+/// Returns the problems as structured diagnostics with stage "options";
+/// an empty vector means the options are well-formed.
+std::vector<Diagnostic> validate_flow_options(const FlowOptions& options);
+
+/// Wall-clock seconds per flow stage. `compile_seconds` covers the
+/// session-level front end (optimize + predicate), which is paid once per
+/// FlowSession and therefore amortized across its runs.
+struct StageTimings {
+  double compile_seconds = 0;
+  double microarch_seconds = 0;
+  double sched_seconds = 0;
+  double rtl_seconds = 0;
+  double synth_seconds = 0;
+};
+
 struct FlowResult {
   bool success = false;
+  /// Human-readable summary of `diagnostics` (kept for existing callers;
+  /// empty on success).
   std::string failure_reason;
+  /// Structured failure/warning records: each names the stage that
+  /// produced it ("options", "compile", "schedule", ...) and a stable
+  /// machine-readable code.
+  std::vector<Diagnostic> diagnostics;
   /// The transformed module (owned; machine and reports reference it).
   std::unique_ptr<ir::Module> module;
   ir::StmtId loop = ir::kNoStmt;
@@ -52,12 +83,16 @@ struct FlowResult {
   synth::PowerReport power;
   std::string verilog;
   double sched_seconds = 0;  ///< wall-clock scheduling time (Figure 9)
+  StageTimings timings;      ///< per-stage wall-clock breakdown
 
   /// Delay in ns per iteration: II × Tclk (the paper's Figures 10-11 x
   /// axis: "the delay is actually the inverse of the throughput").
   double delay_ns = 0;
 };
 
+/// One-shot convenience: compiles `workload` into a single-use session and
+/// runs it once. Prefer FlowSession when running several configurations of
+/// the same workload.
 FlowResult run_flow(workloads::Workload workload, const FlowOptions& options);
 
 }  // namespace hls::core

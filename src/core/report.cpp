@@ -78,10 +78,25 @@ std::string render_json(const FlowResult& r) {
     w.value(r.sched.schedule.worst_slack_ps);
     w.key("passes");
     w.value(r.sched.passes);
+    w.key("relaxations");
+    w.value(r.sched.relaxations());
     w.key("timing_queries");
     w.value(r.sched.timing_queries);
     w.key("sched_seconds");
     w.value(r.sched_seconds);
+    w.key("timings");
+    w.begin_object();
+    w.key("compile_s");
+    w.value(r.timings.compile_seconds);
+    w.key("microarch_s");
+    w.value(r.timings.microarch_seconds);
+    w.key("sched_s");
+    w.value(r.timings.sched_seconds);
+    w.key("rtl_s");
+    w.value(r.timings.rtl_seconds);
+    w.key("synth_s");
+    w.value(r.timings.synth_seconds);
+    w.end_object();
     w.key("area");
     w.begin_object();
     w.key("fu");
@@ -115,6 +130,19 @@ std::string render_json(const FlowResult& r) {
   } else {
     w.key("reason");
     w.value(r.failure_reason);
+    w.key("diagnostics");
+    w.begin_array();
+    for (const Diagnostic& d : r.diagnostics) {
+      w.begin_object();
+      w.key("stage");
+      w.value(d.stage);
+      w.key("code");
+      w.value(d.code);
+      w.key("message");
+      w.value(d.message);
+      w.end_object();
+    }
+    w.end_array();
   }
   w.end_object();
   return w.str();

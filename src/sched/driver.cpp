@@ -7,6 +7,12 @@
 
 namespace hls::sched {
 
+int SchedulerResult::relaxations() const {
+  int n = 0;
+  for (const PassRecord& r : history) n += r.relaxed ? 1 : 0;
+  return n;
+}
+
 SchedulerResult schedule_region(const ir::Dfg& dfg,
                                 const ir::LinearRegion& region,
                                 ir::LatencyBound latency,
@@ -73,6 +79,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
         rec.success = false;
         rec.action = strf("fast-forward: +", shortage - 2,
                           " states (life spans infeasible)");
+        rec.relaxed = true;
         result.history.push_back(std::move(rec));
         p.num_steps += shortage - 2;
         refresh_spans(p);
@@ -111,6 +118,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
       return result;
     }
     rec.action = decision.action.to_string(p);
+    rec.relaxed = true;
     result.history.push_back(std::move(rec));
     apply_action(p, decision.action);
   }

@@ -34,6 +34,9 @@ struct PassRecord {
   bool success = false;
   std::vector<std::string> restraints;  ///< rendered for reporting
   std::string action;                   ///< relaxation taken (if any)
+  /// True when `action` is a relaxation that was actually applied (false
+  /// for the terminal "no applicable relaxation" narration).
+  bool relaxed = false;
 };
 
 struct SchedulerResult {
@@ -43,6 +46,10 @@ struct SchedulerResult {
   std::vector<PassRecord> history;
   std::uint64_t timing_queries = 0;
   std::string failure_reason;  ///< set when success == false
+
+  /// Number of relaxation actions applied across all passes (Figure 9's
+  /// driver of scheduling time, alongside the pass count).
+  int relaxations() const;
 };
 
 /// Schedules a linearized region under its latency bound.

@@ -16,19 +16,28 @@ bool DiagEngine::has_errors() const {
   });
 }
 
-std::string DiagEngine::to_string() const {
-  std::string out;
-  for (const Diagnostic& d : diags_) {
-    const char* sev = d.severity == Severity::kError     ? "error"
-                      : d.severity == Severity::kWarning ? "warning"
-                                                         : "note";
-    if (d.line > 0) {
-      out += strf(d.line, ":", d.column, ": ", sev, ": ", d.message, "\n");
-    } else {
-      out += strf(sev, ": ", d.message, "\n");
-    }
+std::string Diagnostic::to_string() const {
+  const char* sev = severity == Severity::kError     ? "error"
+                    : severity == Severity::kWarning ? "warning"
+                                                     : "note";
+  if (line > 0) {
+    return strf(line, ":", column, ": ", sev, ": ", message);
   }
+  std::string out;
+  if (!stage.empty()) out += strf("[", stage, "] ");
+  out += sev;
+  if (!code.empty()) out += strf("(", code, ")");
+  return strf(out, ": ", message);
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) out += d.to_string() + "\n";
   return out;
+}
+
+std::string DiagEngine::to_string() const {
+  return render_diagnostics(diags_);
 }
 
 }  // namespace hls

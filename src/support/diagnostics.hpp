@@ -39,25 +39,39 @@ class UserError : public std::runtime_error {
 /// Severity of a collected diagnostic message.
 enum class Severity { kNote, kWarning, kError };
 
-/// A single diagnostic with optional source location (used by the DSL).
+/// A single diagnostic with optional source location (used by the DSL) and
+/// optional flow provenance (used by core::FlowSession).
 struct Diagnostic {
   Severity severity = Severity::kError;
   std::string message;
   int line = 0;    ///< 1-based; 0 when not tied to a source location
   int column = 0;  ///< 1-based; 0 when not tied to a source location
+  /// Producing flow stage, e.g. "options", "microarch", "schedule";
+  /// empty when the diagnostic is not tied to a flow stage.
+  std::string stage;
+  /// Stable machine-readable code, e.g. "recurrence-infeasible"; empty
+  /// when the message is the only identity.
+  std::string code;
+
+  /// One-line rendering: "[stage] error(code): message" with the optional
+  /// parts elided, or "line:col: error: message" for source diagnostics.
+  std::string to_string() const;
 };
+
+/// Renders one diagnostic per line via Diagnostic::to_string.
+std::string render_diagnostics(const std::vector<Diagnostic>& diags);
 
 /// Accumulates diagnostics so callers can report all problems at once.
 class DiagEngine {
  public:
   void error(std::string msg, int line = 0, int col = 0) {
-    diags_.push_back({Severity::kError, std::move(msg), line, col});
+    add(Severity::kError, std::move(msg), line, col);
   }
   void warning(std::string msg, int line = 0, int col = 0) {
-    diags_.push_back({Severity::kWarning, std::move(msg), line, col});
+    add(Severity::kWarning, std::move(msg), line, col);
   }
   void note(std::string msg, int line = 0, int col = 0) {
-    diags_.push_back({Severity::kNote, std::move(msg), line, col});
+    add(Severity::kNote, std::move(msg), line, col);
   }
 
   bool has_errors() const;
@@ -67,6 +81,15 @@ class DiagEngine {
   std::string to_string() const;
 
  private:
+  void add(Severity severity, std::string msg, int line, int col) {
+    Diagnostic d;
+    d.severity = severity;
+    d.message = std::move(msg);
+    d.line = line;
+    d.column = col;
+    diags_.push_back(std::move(d));
+  }
+
   std::vector<Diagnostic> diags_;
 };
 

@@ -5,9 +5,12 @@
 // structurally valid schedule or failing cleanly with a reason (some
 // kernels carry arithmetic recurrences that make a small II infeasible,
 // e.g. EWF at II=1; that is a documented clean failure, not a crash).
+//
+// Uses the staged FlowSession API: each workload is compiled once and the
+// three II configurations run against the immutable compiled module.
 #include <gtest/gtest.h>
 
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "workloads/workloads.hpp"
 
 namespace hls::core {
@@ -18,17 +21,35 @@ struct SmokeCase {
   int ii = 0;  ///< 0 = sequential
 };
 
-// Built once; test-name generation and the 30 test bodies all read from it.
-const std::vector<workloads::Workload>& cached_suite() {
-  static const std::vector<workloads::Workload> all = workloads::suite();
-  return all;
+// Only the workload names are needed at static registration time (gtest
+// builds the case names before main()); compiling the sessions is
+// deferred to the first test body so a front-end failure is reported as
+// a test failure, not a crash during registration.
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string>* names = [] {
+    auto* all = new std::vector<std::string>;
+    for (const auto& w : workloads::suite()) all->push_back(w.name);
+    return all;
+  }();
+  return *names;
+}
+
+// Compiled once, on first use; the 30 test bodies share the sessions so
+// the front end runs once per workload, not once per II.
+const FlowSession& cached_session(int workload) {
+  static const std::vector<FlowSession>* sessions = [] {
+    auto* all = new std::vector<FlowSession>;
+    for (auto& w : workloads::suite()) all->emplace_back(std::move(w));
+    return all;
+  }();
+  return (*sessions)[static_cast<std::size_t>(workload)];
 }
 
 class FlowSmoke : public ::testing::TestWithParam<SmokeCase> {
  public:
   static std::string case_name(
       const ::testing::TestParamInfo<SmokeCase>& info) {
-    return cached_suite()[static_cast<std::size_t>(info.param.workload)].name +
+    return suite_names()[static_cast<std::size_t>(info.param.workload)] +
            "_ii" + std::to_string(info.param.ii);
   }
 };
@@ -58,11 +79,12 @@ void expect_valid_schedule(const FlowResult& r, const SmokeCase& c) {
 
 TEST_P(FlowSmoke, CompletesAtEveryII) {
   const SmokeCase c = GetParam();
-  auto w = cached_suite()[static_cast<std::size_t>(c.workload)];
+  const FlowSession& session = cached_session(c.workload);
+  ASSERT_TRUE(session.ok()) << render_diagnostics(session.diagnostics());
   FlowOptions o;
   o.pipeline_ii = c.ii;
   o.emit_verilog = false;  // keep the smoke sweep fast
-  auto r = run_flow(std::move(w), o);
+  auto r = session.run(o);
   if (r.success) {
     expect_valid_schedule(r, c);
   } else {
@@ -70,12 +92,14 @@ TEST_P(FlowSmoke, CompletesAtEveryII) {
     // reported cleanly, never crash or return an empty reason.
     EXPECT_GT(c.ii, 0);
     EXPECT_FALSE(r.failure_reason.empty());
+    EXPECT_FALSE(r.diagnostics.empty());
+    EXPECT_EQ(r.diagnostics.back().stage, "schedule");
   }
 }
 
 std::vector<SmokeCase> all_cases() {
   std::vector<SmokeCase> cases;
-  const int n = static_cast<int>(cached_suite().size());
+  const int n = static_cast<int>(suite_names().size());
   for (int w = 0; w < n; ++w)
     for (int ii : {0, 1, 2}) cases.push_back({w, ii});
   return cases;
