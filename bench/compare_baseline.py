@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scheduler perf gate: compare BENCH_scheduler.json against the committed
+baseline and fail on regression.
+
+Usage: compare_baseline.py CURRENT BASELINE [--max-ratio 1.5] [--max-exponent 2.0]
+
+Two checks:
+ * per design size, current ns_per_pass must stay within max-ratio of the
+   baseline (wall-clock; sensitive to the runner's single-core speed —
+   regenerate the baseline when the runner class changes);
+ * the fitted complexity exponent must stay below max-exponent — a
+   hardware-independent guard against reintroducing quadratic rescans.
+
+The explore speedup is deliberately NOT gated: it is hardware dependent
+and meaningless on single-thread runners (see the speedup_meaningful
+flag in the JSON).
+"""
+import argparse
+import json
+import sys
+
+
+def per_pass_by_ops(doc):
+    return {e["ops"]: e["ns_per_pass"] for e in doc["schedule_ns_per_pass"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-ratio", type=float, default=1.5)
+    ap.add_argument("--max-exponent", type=float, default=2.0)
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current_doc = json.load(f)
+    current = per_pass_by_ops(current_doc)
+    with open(args.baseline) as f:
+        baseline = per_pass_by_ops(json.load(f))
+
+    failures = []
+    exponent = current_doc.get("complexity", {}).get("fitted_exponent")
+    if exponent is not None:
+        status = "FAIL" if exponent >= args.max_exponent else "ok"
+        print(
+            f"fitted complexity exponent: {exponent:.2f} "
+            f"(limit {args.max_exponent}) {status}"
+        )
+        if exponent >= args.max_exponent:
+            failures.append(
+                f"fitted exponent {exponent:.2f} >= {args.max_exponent}"
+                " (pass cost is no longer subquadratic)"
+            )
+    for ops, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(ops)
+        if cur_ns is None:
+            failures.append(f"{ops} ops: missing from current results")
+            continue
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(
+            f"{ops:>6} ops: {cur_ns / 1e6:10.3f} ms/pass vs baseline "
+            f"{base_ns / 1e6:10.3f} ms/pass ({ratio:5.2f}x) {status}"
+        )
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{ops} ops: {ratio:.2f}x baseline (limit {args.max_ratio}x)"
+            )
+
+    if failures:
+        print("\nscheduler perf gate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(f"\nscheduler perf gate passed (limit {args.max_ratio}x baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

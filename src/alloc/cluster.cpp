@@ -24,6 +24,16 @@ int ResourceSet::total_instances() const {
   return n;
 }
 
+std::vector<int> ResourceSet::instance_bases() const {
+  std::vector<int> bases(pools.size(), 0);
+  int base = 0;
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    bases[i] = base;
+    base += pools[i].count;
+  }
+  return bases;
+}
+
 ResourceSet cluster_resources(const ir::Dfg& dfg,
                               const std::vector<OpId>& region_ops,
                               const tech::Library& lib) {

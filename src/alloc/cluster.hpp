@@ -35,6 +35,9 @@ struct ResourceSet {
   std::vector<std::vector<ir::OpId>> members() const;
   /// Total instances across pools.
   int total_instances() const;
+  /// First global instance index per pool (prefix sums of the counts):
+  /// flat occupancy tables address instances as bases[pool] + instance.
+  std::vector<int> instance_bases() const;
 };
 
 /// Builds pools for the given region ops (count fields left at 0).

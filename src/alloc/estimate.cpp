@@ -18,6 +18,38 @@ bool mutually_exclusive(const Dfg& dfg, OpId a, OpId b) {
          oa.pred_value != ob.pred_value;
 }
 
+ExclusivityMatrix::ExclusivityMatrix(const Dfg& dfg,
+                                     const std::vector<OpId>& ops) {
+  index_.assign(dfg.size(), -1);
+  std::vector<OpId> predicated;
+  for (OpId id : ops) {
+    if (dfg.op(id).pred != kNoOp) {
+      index_[id] = static_cast<int>(predicated.size());
+      predicated.push_back(id);
+    }
+  }
+  n_ = predicated.size();
+  bits_.assign(n_ * n_, false);
+  // Exclusive pairs share a predicate with opposite polarity, so only
+  // true-side x false-side pairs within one predicate group need bits.
+  std::map<OpId, std::pair<std::vector<int>, std::vector<int>>> by_pred;
+  for (OpId id : predicated) {
+    const ir::Op& o = dfg.op(id);
+    auto& group = by_pred[o.pred];
+    (o.pred_value ? group.first : group.second).push_back(index_[id]);
+  }
+  for (const auto& [pred, group] : by_pred) {
+    for (int i : group.first) {
+      for (int j : group.second) {
+        bits_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)] =
+            true;
+        bits_[static_cast<std::size_t>(j) * n_ + static_cast<std::size_t>(i)] =
+            true;
+      }
+    }
+  }
+}
+
 namespace {
 
 /// Effective op count after pairing off mutually exclusive ops: per

@@ -33,4 +33,34 @@ ResourceSet estimate_initial_counts(const ir::Dfg& dfg, ResourceSet set,
 /// opposite polarity.
 bool mutually_exclusive(const ir::Dfg& dfg, ir::OpId a, ir::OpId b);
 
+/// Mutual exclusivity precomputed as a symmetric bitset matrix, compacted
+/// over the predicated ops (unpredicated ops are never exclusive, so they
+/// need no row). Build it once per scheduling problem; `exclusive` is then
+/// an O(1) lookup instead of re-deriving predicates inside the binding
+/// inner loops.
+class ExclusivityMatrix {
+ public:
+  ExclusivityMatrix() = default;
+  ExclusivityMatrix(const ir::Dfg& dfg, const std::vector<ir::OpId>& ops);
+
+  /// Same verdict as mutually_exclusive(dfg, a, b) for ops passed at
+  /// construction; false for anything else.
+  bool exclusive(ir::OpId a, ir::OpId b) const {
+    if (a >= index_.size() || b >= index_.size()) return false;
+    const int ia = index_[a];
+    const int ib = index_[b];
+    if (ia < 0 || ib < 0) return false;
+    return bits_[static_cast<std::size_t>(ia) * n_ +
+                 static_cast<std::size_t>(ib)];
+  }
+
+  /// Number of predicated ops (matrix rows).
+  std::size_t rows() const { return n_; }
+
+ private:
+  std::vector<int> index_;  ///< OpId -> compact row; -1 = unpredicated
+  std::size_t n_ = 0;
+  std::vector<bool> bits_;  ///< n_ x n_, symmetric
+};
+
 }  // namespace hls::alloc

@@ -59,6 +59,12 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   eopts.allow_accept_slack = options.allow_accept_slack;
 
   SchedulerResult result;
+  // Warm-start state: the previous pass's decision trace plus the first
+  // step the applied relaxation could have changed. A zero frontier (or an
+  // invalidated trace) means a cold pass.
+  PassTrace trace;
+  bool trace_valid = false;
+  int frontier = 0;
   for (int pass = 1; pass <= options.max_passes; ++pass) {
     // Fast-forward wide latency shortfalls: when the life spans prove the
     // region cannot fit by a large margin, add the missing states at once.
@@ -84,10 +90,13 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
         p.num_steps += shortage - 2;
         refresh_spans(p);
         result.passes = pass;
+        trace_valid = false;  // spans moved: no decision survives
         continue;
       }
     }
-    PassOutcome outcome = run_pass(p, eng);
+    const WarmStart warm{&trace, frontier};
+    const bool use_warm = options.warm_start && trace_valid && frontier > 0;
+    PassOutcome outcome = run_pass(p, eng, use_warm ? &warm : nullptr);
     PassRecord rec;
     rec.pass_number = pass;
     rec.num_steps = p.num_steps;
@@ -121,6 +130,11 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
     rec.relaxed = true;
     result.history.push_back(std::move(rec));
     apply_action(p, decision.action);
+    if (options.warm_start) {
+      frontier = warm_start_frontier(p, decision.action, outcome.trace);
+      trace = std::move(outcome.trace);
+      trace_valid = true;
+    }
   }
   result.failure_reason =
       strf("pass budget (", options.max_passes, ") exhausted");

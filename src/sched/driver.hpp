@@ -24,6 +24,11 @@ struct SchedulerOptions {
   bool enable_move_scc = true;      ///< Table 4 ablation
   bool use_mutual_exclusivity = true;
   bool allow_accept_slack = true;
+  /// Re-enter relaxation passes from the prior pass's decision trace,
+  /// re-solving only from the invalidation frontier onward. Results are
+  /// bit-identical to cold passes (golden suite enforced); disable to
+  /// force cold passes, e.g. for A/B determinism checks.
+  bool warm_start = true;
 
   int max_passes = 128;
 };

@@ -302,6 +302,76 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
   return d;
 }
 
+int warm_start_frontier(const Problem& p, const Action& a,
+                        const PassTrace& trace) {
+  // AddState reshapes every life span (and with them priorities);
+  // AcceptSlack turns every failing timing verdict into a commit and
+  // rewrites SCC releases. Neither leaves a safe prefix. The
+  // accept-negative-slack endgame is also globally sensitive: any extra
+  // instance extends the least-negative-candidate set of every bind.
+  if (a.kind == ActionKind::kAddState || a.kind == ActionKind::kAcceptSlack) {
+    return 0;
+  }
+  if (p.accept_negative_slack) return 0;
+
+  int frontier = p.num_steps;
+  switch (a.kind) {
+    case ActionKind::kAddResource: {
+      const auto& pdesc = p.resources.pools[static_cast<std::size_t>(a.pool)];
+      int members = 0;
+      for (ir::OpId id : p.ops) {
+        if (p.resources.pool_of(id) == a.pool) ++members;
+      }
+      const int added = std::max(1, a.amount);
+      const bool was_shared = members > pdesc.count - added;
+      const bool now_shared = members > pdesc.count;
+      if (was_shared != now_shared) return 0;  // every bind's muxes retime
+      for (const PassEvent& ev : trace.events) {
+        if ((ev.kind == PassEvent::Kind::kDefer ||
+             ev.kind == PassEvent::Kind::kFatalBind) &&
+            p.resources.pool_of(ev.op) == a.pool) {
+          frontier = std::min(frontier, ev.step);
+          break;  // events are step-ordered
+        }
+      }
+      break;
+    }
+    case ActionKind::kForbidBinding: {
+      for (const PassEvent& ev : trace.events) {
+        if (ev.op == a.op) {
+          frontier = std::min(frontier, ev.step);
+          break;
+        }
+      }
+      break;
+    }
+    case ActionKind::kMoveScc: {
+      const auto& members = p.sccs[static_cast<std::size_t>(a.scc)];
+      std::vector<bool> is_member(p.dfg->size(), false);
+      for (ir::OpId id : members) {
+        is_member[id] = true;
+        const int pool = p.resources.pool_of(id);
+        const int lat =
+            pool < 0
+                ? 0
+                : p.resources.pools[static_cast<std::size_t>(pool)]
+                      .latency_cycles;
+        frontier = std::min(frontier, std::max(0, p.deadline(id) - lat));
+      }
+      for (const PassEvent& ev : trace.events) {
+        if (ev.op != kNoOp && is_member[ev.op]) {
+          frontier = std::min(frontier, ev.step);
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      return 0;
+  }
+  return std::max(frontier, 0);
+}
+
 void apply_action(Problem& p, const Action& a) {
   switch (a.kind) {
     case ActionKind::kAddState:

@@ -65,4 +65,22 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
 /// records the forbid, moves the window, or sets accept_negative_slack).
 void apply_action(Problem& p, const Action& a);
 
+/// Warm-start invalidation frontier for the next pass: the earliest step
+/// at which `a` (already applied to `p`) could change any decision of the
+/// pass recorded in `trace`. Decisions at strictly earlier steps replay
+/// verbatim. 0 means the whole pass must be re-solved (AddState moves
+/// every life span; AcceptSlack changes every timing verdict).
+///
+/// The rules are conservative:
+///  * AddResource invalidates from the first failed binding attempt on
+///    the grown pool (earlier attempts committed on a first-fit instance
+///    the growth cannot displace), or everything when the pool flips from
+///    shared to unshared (every bind of the pool retimes);
+///  * ForbidBinding invalidates from the first decision involving the op;
+///  * MoveScc invalidates from the first decision involving any member,
+///    capped by each member's new start deadline (a shrunken deadline can
+///    trigger a missed-deadline sweep that did not exist before).
+int warm_start_frontier(const Problem& p, const Action& a,
+                        const PassTrace& trace);
+
 }  // namespace hls::sched

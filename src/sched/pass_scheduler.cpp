@@ -28,53 +28,82 @@ enum class RefuseCause : std::uint8_t {
   kWindow,
 };
 
-struct InstanceKey {
-  int pool;
-  int instance;
-  friend auto operator<=>(const InstanceKey&, const InstanceKey&) = default;
-};
-
+// The pass keeps the classic list-scheduling semantics (pick the highest
+// priority ready op, bind it, defer on refusal) but replaces every
+// per-binding rescan with incremental state:
+//
+//  * readiness is event-driven: per-op unscheduled-dependency counters are
+//    decremented as producers commit; an op whose counter hits zero is
+//    dropped into a release-step bucket and merged into a rank-ordered
+//    active set when its step begins — pick_ready is a set-front read, not
+//    an O(ops) scan;
+//  * occupancy and the forbidden set are dense vectors indexed by
+//    (instance_base[pool] + instance) * num_slots + slot;
+//  * mutual exclusivity comes from the Problem's precomputed bitset matrix
+//    and the exclusive-sharing predicate-availability check is hoisted out
+//    of the instance/slot loops (it only depends on the op and step);
+//  * every decision is logged as a PassEvent so the next pass can warm
+//    start: replay the decision prefix the relaxation provably cannot have
+//    changed, then continue normally from the invalidation frontier.
+//
+// All of this is behavior-preserving: schedules, restraints and failure
+// lists are bit-identical to the full-rescan implementation (enforced by
+// the golden-hash determinism suite).
 class PassRunner {
  public:
-  PassRunner(const Problem& p, timing::TimingEngine& eng)
-      : p_(p), dfg_(*p.dfg), eng_(eng) {
+  PassRunner(const Problem& p, timing::TimingEngine& eng,
+             const WarmStart* warm)
+      : p_(p), dfg_(*p.dfg), eng_(eng), warm_(warm) {
     placement_.assign(dfg_.size(), OpPlacement{});
     failed_.assign(dfg_.size(), false);
     priorities_ = compute_priorities(p);
+    rank_ = priority_ranks(p, priorities_);
+    order_.assign(p_.ops.size(), kNoOp);
+    for (OpId id : p_.ops) order_[static_cast<std::size_t>(rank_[id])] = id;
     build_deps();
     count_pool_members();
-    resource_base_.resize(p_.resources.pools.size());
-    int base = 0;
-    for (std::size_t i = 0; i < p_.resources.pools.size(); ++i) {
-      resource_base_[i] = base;
-      base += p_.resources.pools[i].count;
-    }
+    resource_base_ = p_.resources.instance_bases();
+    total_instances_ = p_.resources.total_instances();
+    num_slots_ = p_.pipeline.enabled ? p_.pipeline.ii : p_.num_steps;
+    occ_.assign(static_cast<std::size_t>(total_instances_) *
+                    static_cast<std::size_t>(num_slots_),
+                {});
+    inst_ops_.assign(static_cast<std::size_t>(total_instances_), 0);
+    refusals_.assign(dfg_.size(), {});
+    build_forbidden();
+    build_ready();
   }
 
   PassOutcome run() {
-    for (int e = 0; e < p_.num_steps; ++e) {
-      std::set<OpId> deferred_here;
+    int first = 0;
+    if (warm_ != nullptr && warm_->trace != nullptr &&
+        warm_->frontier_step > 0) {
+      first = replay_prefix();
+    }
+    for (int e = first; e < p_.num_steps; ++e) {
+      begin_step(e);
       while (true) {
-        const OpId best = pick_ready(e, deferred_here);
+        const OpId best = pick_ready();
         if (best == kNoOp) break;
         if (try_bind(best, e)) {
           // A new binding creates chaining and exclusive-sharing
           // opportunities; let deferred ops try this step again.
-          deferred_here.clear();
+          ++deferred_epoch_;
         } else {
           if (e >= start_deadline(best)) {
             fatal(best, e);
           } else {
-            deferred_here.insert(best);
+            defer(best, e);
           }
         }
       }
+      end_step();
       sweep_missed_deadlines(e);
     }
     // Anything still unscheduled ran out of states.
     for (OpId id : p_.ops) {
       if (!placement_[id].scheduled && !failed_[id]) {
-        fatal_no_states(id, p_.num_steps - 1);
+        fatal_no_states(id, p_.num_steps - 1, PassEvent::Kind::kFatalFinal);
       }
     }
 
@@ -87,6 +116,7 @@ class PassRunner {
     out.schedule.placement = std::move(placement_);
     out.restraints = std::move(restraints_);
     out.failed_ops = std::move(failed_list_);
+    out.trace = std::move(trace_);
     if (out.success) {
       out.schedule.worst_slack_ps =
           finalize_timing(p_, out.schedule, eng_, &worst_slack_op_);
@@ -113,6 +143,10 @@ class PassRunner {
 
   void build_deps() {
     deps_.assign(dfg_.size(), {});
+    data_users_.assign(dfg_.size(), {});
+    port_next_.assign(dfg_.size(), kNoOp);
+    unmet_.assign(dfg_.size(), 0);
+    avail_.assign(dfg_.size(), 0);
     for (OpId id : p_.ops) {
       const Op& o = dfg_.op(id);
       auto& d = deps_[id];
@@ -131,6 +165,45 @@ class PassRunner {
       std::sort(d.begin(), d.end());
       d.erase(std::unique(d.begin(), d.end()), d.end());
     }
+    for (OpId id : p_.ops) {
+      for (OpId d : deps_[id]) data_users_[d].push_back(id);
+      unmet_[id] = static_cast<int>(deps_[id].size());
+    }
+    // Port write ordering is an extra pseudo-dependence on the previous
+    // write to the same port (availability = its placed step, no chaining
+    // exception).
+    for (const auto& writes : p_.port_writes) {
+      for (std::size_t i = 1; i < writes.size(); ++i) {
+        port_next_[writes[i - 1]] = writes[i];
+        ++unmet_[writes[i]];
+      }
+    }
+  }
+
+  void build_forbidden() {
+    if (p_.forbidden.empty()) return;
+    forbidden_.assign(dfg_.size() * static_cast<std::size_t>(total_instances_),
+                      0);
+    for (const auto& [op, pool, inst] : p_.forbidden) {
+      if (pool < 0 ||
+          pool >= static_cast<int>(p_.resources.pools.size()) ||
+          inst < 0 ||
+          inst >= p_.resources.pools[static_cast<std::size_t>(pool)].count) {
+        continue;
+      }
+      forbidden_[op * static_cast<std::size_t>(total_instances_) +
+                 static_cast<std::size_t>(resource_base_[static_cast<std::size_t>(
+                                              pool)] +
+                                          inst)] = 1;
+    }
+  }
+
+  bool is_forbidden(OpId id, int pool, int inst) const {
+    if (forbidden_.empty()) return false;
+    return forbidden_[id * static_cast<std::size_t>(total_instances_) +
+                      static_cast<std::size_t>(
+                          resource_base_[static_cast<std::size_t>(pool)] +
+                          inst)] != 0;
   }
 
   void count_pool_members() {
@@ -162,55 +235,143 @@ class PassRunner {
     return p_.pipeline.enabled ? step % p_.pipeline.ii : step;
   }
 
-  // ---- Readiness --------------------------------------------------------------
+  // ---- Incremental readiness -------------------------------------------------
 
-  bool deps_ready(OpId id, int e) const {
-    for (OpId d : deps_[id]) {
-      const OpPlacement& pl = placement_[d];
-      if (!pl.scheduled) return false;
-      if (p_.enable_chaining ? pl.step > e : pl.step >= e) {
-        // Without chaining every operand must come from a register.
-        // A same-step registered value (multi-cycle result, port sample)
-        // is still fine.
-        if (!p_.enable_chaining && pl.step == e &&
-            pl.arrival_ps <= p_.lib->reg_clk_to_q_ps() + 1e-9) {
-          continue;
-        }
-        return false;
+  void build_ready() {
+    buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
+    deadline_buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
+    deferred_mark_.assign(dfg_.size(), 0);
+    defer_logged_.assign(dfg_.size(), false);
+    for (OpId id : p_.ops) {
+      if (unmet_[id] == 0) activate(id);
+      // An op is examined for a missed deadline exactly once: at the first
+      // step past its start deadline (readiness is monotone, so later
+      // sweeps of the same op could never fire).
+      const int e0 = std::max(start_deadline(id), 0);
+      if (e0 < p_.num_steps) {
+        deadline_buckets_[static_cast<std::size_t>(e0)].push_back(id);
       }
     }
-    // Port write ordering: the previous write to the same port must be
-    // placed first.
-    const Op& o = dfg_.op(id);
-    if (o.kind == OpKind::kWrite) {
-      const auto& order = p_.port_writes[o.port];
-      auto it = std::find(order.begin(), order.end(), id);
-      if (it != order.begin()) {
-        const OpId prev = *(it - 1);
-        if (!placement_[prev].scheduled || placement_[prev].step > e) {
-          return false;
-        }
-      }
-    }
-    return true;
   }
 
-  OpId pick_ready(int e, const std::set<OpId>& deferred_here) const {
-    OpId best = kNoOp;
-    for (OpId id : p_.ops) {
-      if (placement_[id].scheduled || failed_[id]) continue;
-      if (deferred_here.count(id) != 0) continue;
-      if (p_.release(id) > e) continue;
-      if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
-        // Anchored I/O may only be placed on its home step.
-        if (p_.spans.spans[id].asap != e) continue;
-      }
-      if (!deps_ready(id, e)) continue;
-      if (best == kNoOp || priorities_[id].before(priorities_[best])) {
-        best = id;
-      }
+  /// All dependences are placed; queue the op for the step where they are
+  /// all available and its release permits a start.
+  void activate(OpId id) {
+    if (failed_[id] || placement_[id].scheduled) return;
+    int act = std::max(avail_[id], p_.release(id));
+    if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
+      // Anchored I/O may only be placed on its home step.
+      const int home = p_.spans.spans[id].asap;
+      if (act > home || home < current_step_) return;
+      act = home;
     }
-    return best;
+    if (act < current_step_) act = current_step_;
+    if (act >= p_.num_steps) return;  // beyond the last state
+    if (act == current_step_ && in_step_) {
+      insert_active(id);
+    } else {
+      buckets_[static_cast<std::size_t>(act)].push_back(id);
+    }
+  }
+
+  void insert_active(OpId id) {
+    active_.insert(rank_[id]);
+    if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
+      step_anchored_.push_back(id);
+    }
+  }
+
+  void satisfy_dep(OpId u, int avail_step) {
+    avail_[u] = std::max(avail_[u], avail_step);
+    if (--unmet_[u] == 0) activate(u);
+  }
+
+  bool deps_available_by(OpId id, int e) const {
+    return unmet_[id] == 0 && avail_[id] <= e;
+  }
+
+  void begin_step(int e) {
+    current_step_ = e;
+    in_step_ = true;
+    ++deferred_epoch_;  // the deferred set is per step
+    step_anchored_.clear();
+    for (OpId id : buckets_[static_cast<std::size_t>(e)]) {
+      if (placement_[id].scheduled || failed_[id]) continue;
+      insert_active(id);
+    }
+  }
+
+  void end_step() {
+    // Anchored ops are only eligible on their home step.
+    for (OpId id : step_anchored_) active_.erase(rank_[id]);
+    in_step_ = false;
+  }
+
+  OpId pick_ready() const {
+    for (const int r : active_) {
+      const OpId id = order_[static_cast<std::size_t>(r)];
+      if (deferred_mark_[id] == deferred_epoch_) continue;
+      return id;
+    }
+    return kNoOp;
+  }
+
+  void defer(OpId id, int e) {
+    deferred_mark_[id] = deferred_epoch_;
+    // Only the first defer matters to the warm-start frontier (it has the
+    // op's minimum failed-bind step); skip the rest to bound the trace.
+    if (defer_logged_[id]) return;
+    defer_logged_[id] = true;
+    PassEvent ev;
+    ev.kind = PassEvent::Kind::kDefer;
+    ev.op = id;
+    ev.step = e;
+    trace_.events.push_back(std::move(ev));
+  }
+
+  // ---- Warm start ------------------------------------------------------------
+
+  /// Replays the previous pass's decisions for every step before the
+  /// frontier; state (placements, occupancy, ready queues, restraints)
+  /// evolves exactly as if the decisions had been re-derived.
+  int replay_prefix() {
+    const auto& events = warm_->trace->events;
+    const int frontier = std::min(warm_->frontier_step, p_.num_steps);
+    std::size_t idx = 0;
+    for (int e = 0; e < frontier; ++e) {
+      begin_step(e);
+      while (idx < events.size() &&
+             events[idx].kind != PassEvent::Kind::kFatalFinal &&
+             events[idx].step == e) {
+        apply_replay(events[idx]);
+        ++idx;
+      }
+      end_step();
+      // This step's sweep fatals, if any, were replayed from the trace.
+    }
+    return frontier;
+  }
+
+  void apply_replay(const PassEvent& ev) {
+    switch (ev.kind) {
+      case PassEvent::Kind::kCommit:
+        commit(ev.op, ev.pool, ev.instance, ev.step, ev.lat, ev.arrival_ps);
+        break;
+      case PassEvent::Kind::kDefer:
+        defer_logged_[ev.op] = true;
+        trace_.events.push_back(ev);
+        break;
+      case PassEvent::Kind::kFatalBind:
+      case PassEvent::Kind::kFatalSweep:
+        failed_[ev.op] = true;
+        failed_list_.push_back(ev.op);
+        active_.erase(rank_[ev.op]);
+        for (const Restraint& r : ev.restraints) restraints_.push_back(r);
+        trace_.events.push_back(ev);
+        break;
+      case PassEvent::Kind::kFatalFinal:
+        break;  // never replayed; the final loop re-derives these
+    }
   }
 
   // ---- Timing ----------------------------------------------------------------
@@ -226,18 +387,19 @@ class PassRunner {
 
   /// All data operands (carried edges excluded) plus, for no-speculate
   /// ops, the predicate (its enable must settle before the clock edge).
-  std::vector<double> gather_arrivals(OpId id, int e) const {
+  /// Fills the reusable scratch buffer (one gather per try_bind, not one
+  /// per candidate instance).
+  void gather_arrivals(OpId id, int e) {
     const Op& o = dfg_.op(id);
-    std::vector<double> arr;
+    arrivals_.clear();
     for (std::size_t i = 0; i < o.operands.size(); ++i) {
       if (o.kind == OpKind::kLoopMux && i == 1) continue;
       if (o.operands[i] == kNoOp) continue;
-      arr.push_back(operand_arrival(o.operands[i], e));
+      arrivals_.push_back(operand_arrival(o.operands[i], e));
     }
     if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
-      arr.push_back(operand_arrival(o.pred, e));
+      arrivals_.push_back(operand_arrival(o.pred, e));
     }
-    return arr;
   }
 
   // ---- Binding ----------------------------------------------------------------
@@ -271,13 +433,22 @@ class PassRunner {
       return false;
     }
 
+    gather_arrivals(id, e);
+    pq_.operand_arrivals_ps = arrivals_;  // one copy for all candidates
+    // Exclusive sharing needs the op's predicate available at this step;
+    // that is invariant across instances and slots, so check it once.
+    const Op& o = dfg_.op(id);
+    const bool excl_pred_ready =
+        o.pred != kNoOp && p_.in_region(o.pred) &&
+        placement_[o.pred].scheduled && placement_[o.pred].step <= e;
+
     std::vector<Candidate> feasible_negative;
     for (int inst = 0; inst < pdesc.count; ++inst) {
-      if (p_.forbidden.count({id, pool, inst}) != 0) {
+      if (is_forbidden(id, pool, inst)) {
         note_refusal(id, e, pool, inst, RefuseCause::kForbidden);
         continue;
       }
-      if (!instance_free(id, pool, inst, e, lat)) {
+      if (!instance_free(id, pool, inst, e, lat, excl_pred_ready)) {
         note_refusal(id, e, pool, inst, RefuseCause::kBusy);
         continue;
       }
@@ -325,16 +496,15 @@ class PassRunner {
         if (other == id || !placement_[other].scheduled) continue;
         const int other_slot = slot_of(placement_[other].step);
         if (other_slot == slot_of(e) &&
-            !(p_.exclusive_colocation &&
-              alloc::mutually_exclusive(dfg_, id, other))) {
+            !(p_.exclusive_colocation && p_.exclusive(id, other))) {
           note_refusal(id, e, -1, -1, RefuseCause::kBusy);
           return false;
         }
       }
     }
-    const auto arrivals = gather_arrivals(id, e);
+    gather_arrivals(id, e);
     timing::PathQuery q;
-    q.operand_arrivals_ps = arrivals;
+    q.operand_arrivals_ps = arrivals_;
     q.cls = FuClass::kNone;
     const double arrival =
         o.kind == OpKind::kRead ? p_.lib->reg_clk_to_q_ps()
@@ -362,26 +532,21 @@ class PassRunner {
     return hi - lo <= p_.pipeline.ii - 1;
   }
 
-  bool instance_free(OpId id, int pool, int inst, int e, int lat) const {
+  bool instance_free(OpId id, int pool, int inst, int e, int lat,
+                     bool excl_pred_ready) const {
+    const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
     const int span = std::max(1, lat);
     for (int s = e; s < e + span; ++s) {
       if (s >= p_.num_steps) return false;
-      const auto it = occupancy_.find(InstanceKey{pool, inst});
-      if (it == occupancy_.end()) continue;
-      const auto jt = it->second.find(slot_of(s));
-      if (jt == it->second.end()) continue;
-      for (OpId other : jt->second) {
-        if (!(p_.exclusive_colocation &&
-              alloc::mutually_exclusive(dfg_, id, other))) {
+      const auto& slot_ops =
+          occ_[static_cast<std::size_t>(g) *
+                   static_cast<std::size_t>(num_slots_) +
+               static_cast<std::size_t>(slot_of(s))];
+      for (OpId other : slot_ops) {
+        if (!(p_.exclusive_colocation && p_.exclusive(id, other))) {
           return false;
         }
-        // Exclusive sharing also needs the predicate available here.
-        const Op& o = dfg_.op(id);
-        if (o.pred == kNoOp || !p_.in_region(o.pred) ||
-            !placement_[o.pred].scheduled ||
-            placement_[o.pred].step > e) {
-          return false;
-        }
+        if (!excl_pred_ready) return false;
       }
     }
     return true;
@@ -402,11 +567,12 @@ class PassRunner {
 
   bool candidate_timing(OpId id, int pool, int inst, int e, int lat,
                         double* arrival, double* slack) {
+    (void)id;
+    (void)e;
     const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
-    const auto arrivals = gather_arrivals(id, e);
     if (lat > 0) {
       // Multi-cycle: operands must be registered at execution start.
-      for (double a : arrivals) {
+      for (double a : arrivals_) {
         if (a > p_.lib->reg_clk_to_q_ps() + 1e-9) {
           *slack = -1e18;  // not representable: needs registered inputs
           *arrival = 0;
@@ -420,21 +586,17 @@ class PassRunner {
       return *slack >= -1e-9;
     }
     const bool shared = pool_shared(pool);
-    const int n_ops = instance_op_count(pool, inst) + 1;
-    timing::PathQuery q;
-    q.operand_arrivals_ps = arrivals;
-    q.cls = pdesc.cls;
-    q.width = pdesc.width;
-    q.in_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    q.out_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    *arrival = eng_.output_arrival_ps(q);
+    const int n_ops =
+        inst_ops_[static_cast<std::size_t>(
+            resource_base_[static_cast<std::size_t>(pool)] + inst)] +
+        1;
+    pq_.cls = pdesc.cls;
+    pq_.width = pdesc.width;
+    pq_.in_mux_inputs = shared ? std::max(2, n_ops) : 0;
+    pq_.out_mux_inputs = shared ? std::max(2, n_ops) : 0;
+    *arrival = eng_.output_arrival_ps(pq_);
     *slack = eng_.register_slack_ps(*arrival);
     return *slack >= -1e-9;
-  }
-
-  int instance_op_count(int pool, int inst) const {
-    const auto it = instance_ops_.find(InstanceKey{pool, inst});
-    return it == instance_ops_.end() ? 0 : static_cast<int>(it->second);
   }
 
   void commit(OpId id, int pool, int inst, int e, int lat, double arrival) {
@@ -445,11 +607,15 @@ class PassRunner {
     pl.instance = inst;
     pl.arrival_ps = arrival;
     if (pool >= 0) {
+      const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
       const int span = std::max(1, lat);
       for (int s = e; s < e + span; ++s) {
-        occupancy_[InstanceKey{pool, inst}][slot_of(s)].push_back(id);
+        occ_[static_cast<std::size_t>(g) *
+                 static_cast<std::size_t>(num_slots_) +
+             static_cast<std::size_t>(slot_of(s))]
+            .push_back(id);
       }
-      ++instance_ops_[InstanceKey{pool, inst}];
+      ++inst_ops_[static_cast<std::size_t>(g)];
       // Register chaining edges for false-cycle avoidance.
       if (lat == 0) {
         const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
@@ -464,22 +630,57 @@ class PassRunner {
         }
       }
     }
+    active_.erase(rank_[id]);
+
+    PassEvent ev;
+    ev.kind = PassEvent::Kind::kCommit;
+    ev.op = id;
+    ev.step = e;
+    ev.pool = pool;
+    ev.instance = inst;
+    ev.lat = lat;
+    ev.arrival_ps = arrival;
+    trace_.events.push_back(std::move(ev));
+
+    // Release consumers: the result is available to them from `res_avail`
+    // (chaining allows the commit step itself; otherwise the step after,
+    // unless the result is registered within the step).
+    const double thresh = p_.lib->reg_clk_to_q_ps() + 1e-9;
+    const int res_avail = p_.enable_chaining
+                              ? pl.step
+                              : pl.step + (arrival <= thresh ? 0 : 1);
+    for (OpId u : data_users_[id]) satisfy_dep(u, res_avail);
+    if (port_next_[id] != kNoOp) satisfy_dep(port_next_[id], pl.step);
   }
 
   // ---- Failure bookkeeping -------------------------------------------------------
 
   void note_refusal(OpId id, int e, int pool, int inst, RefuseCause cause,
                     double slack = 0) {
-    last_refusals_[id].push_back({e, pool, inst, cause, slack});
+    refusals_[id].push_back({e, pool, inst, cause, slack});
+  }
+
+  void record_fatal(OpId id, int e, PassEvent::Kind kind,
+                    std::size_t restraints_before) {
+    PassEvent ev;
+    ev.kind = kind;
+    ev.op = id;
+    ev.step = e;
+    ev.restraints.assign(restraints_.begin() +
+                             static_cast<std::ptrdiff_t>(restraints_before),
+                         restraints_.end());
+    trace_.events.push_back(std::move(ev));
   }
 
   void fatal(OpId id, int e) {
+    const std::size_t restraints_before = restraints_.size();
     failed_[id] = true;
     failed_list_.push_back(id);
+    active_.erase(rank_[id]);
     // Aggregate the refusal causes at the deadline step into restraints.
-    const auto it = last_refusals_.find(id);
+    const auto& refusals = refusals_[id];
     bool any = false;
-    if (it != last_refusals_.end()) {
+    if (!refusals.empty()) {
       int busy = 0;
       int cycle_pool = -1;
       int cycle_inst = -1;
@@ -487,7 +688,7 @@ class PassRunner {
       bool slack_seen = false;
       bool window_seen = false;
       int pool = -1;
-      for (const auto& r : it->second) {
+      for (const auto& r : refusals) {
         if (r.step != e) continue;
         pool = std::max(pool, r.pool);
         switch (r.cause) {
@@ -570,13 +771,19 @@ class PassRunner {
         any = true;
       }
     }
-    if (!any) fatal_no_states(id, e);
+    // Matches the historical behavior: an op that failed with no refusal
+    // at the deadline step is marked failed without a restraint (the
+    // no-states fallback bails out because `failed_` is already set).
+    (void)any;
+    record_fatal(id, e, PassEvent::Kind::kFatalBind, restraints_before);
   }
 
-  void fatal_no_states(OpId id, int e) {
+  void fatal_no_states(OpId id, int e, PassEvent::Kind kind) {
     if (failed_[id]) return;  // already reported
+    const std::size_t restraints_before = restraints_.size();
     failed_[id] = true;
     failed_list_.push_back(id);
+    active_.erase(rank_[id]);
     Restraint r;
     r.kind = RestraintKind::kNoStates;
     r.op = id;
@@ -586,6 +793,7 @@ class PassRunner {
     // expert is not flooded by the cascade.
     r.weight = depends_on_failure(id) ? 0.25 : 1.0;
     restraints_.push_back(r);
+    record_fatal(id, e, kind, restraints_before);
   }
 
   bool depends_on_failure(OpId id) const {
@@ -597,10 +805,10 @@ class PassRunner {
 
   /// Ops whose deadline passed while their dependences never became ready.
   void sweep_missed_deadlines(int e) {
-    for (OpId id : p_.ops) {
+    for (OpId id : deadline_buckets_[static_cast<std::size_t>(e)]) {
       if (placement_[id].scheduled || failed_[id]) continue;
-      if (start_deadline(id) <= e && !deps_ready(id, e)) {
-        fatal_no_states(id, e);
+      if (!deps_available_by(id, e)) {
+        fatal_no_states(id, e, PassEvent::Kind::kFatalSweep);
       }
     }
   }
@@ -616,25 +824,49 @@ class PassRunner {
   const Problem& p_;
   const ir::Dfg& dfg_;
   timing::TimingEngine& eng_;
+  const WarmStart* warm_;
 
   std::vector<OpPlacement> placement_;
   std::vector<bool> failed_;
   std::vector<OpId> failed_list_;
   std::vector<Priority> priorities_;
+  std::vector<int> rank_;       ///< OpId -> scheduling-order rank
+  std::vector<OpId> order_;     ///< rank -> OpId
   std::vector<std::vector<OpId>> deps_;
+  std::vector<std::vector<OpId>> data_users_;  ///< reverse deps
+  std::vector<OpId> port_next_;  ///< next write on the same port
+  std::vector<int> unmet_;       ///< unplaced dependences per op
+  std::vector<int> avail_;       ///< max availability step over placed deps
+  std::vector<std::vector<OpId>> buckets_;           ///< activation per step
+  std::vector<std::vector<OpId>> deadline_buckets_;  ///< sweep per step
+  std::set<int> active_;         ///< ranks of currently eligible ops
+  std::vector<OpId> step_anchored_;
+  std::vector<std::uint32_t> deferred_mark_;
+  std::vector<bool> defer_logged_;
+  std::uint32_t deferred_epoch_ = 1;
+  int current_step_ = 0;
+  bool in_step_ = false;
   std::vector<int> pool_members_;
   std::vector<int> resource_base_;
-  std::map<InstanceKey, std::map<int, std::vector<OpId>>> occupancy_;
-  std::map<InstanceKey, std::size_t> instance_ops_;
+  int total_instances_ = 0;
+  int num_slots_ = 1;
+  /// Occupants per (instance_base[pool]+inst) * num_slots + slot.
+  std::vector<std::vector<OpId>> occ_;
+  std::vector<int> inst_ops_;       ///< committed ops per global instance
+  std::vector<char> forbidden_;     ///< dense op x instance; empty = none
+  std::vector<double> arrivals_;    ///< scratch operand-arrival buffer
+  timing::PathQuery pq_;            ///< scratch query (arrivals set per bind)
   timing::CombCycleGraph comb_graph_;
   std::vector<Restraint> restraints_;
-  std::map<OpId, std::vector<Refusal>> last_refusals_;
+  std::vector<std::vector<Refusal>> refusals_;  ///< per op
+  PassTrace trace_;
 };
 
 }  // namespace
 
-PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng) {
-  PassRunner runner(p, eng);
+PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng,
+                     const WarmStart* warm) {
+  PassRunner runner(p, eng, warm);
   return runner.run();
 }
 

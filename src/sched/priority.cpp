@@ -1,18 +1,25 @@
 #include "sched/priority.hpp"
 
+#include <algorithm>
+
 #include "ir/analysis.hpp"
 
 namespace hls::sched {
 
 std::vector<Priority> compute_priorities(const Problem& p) {
   const ir::Dfg& dfg = *p.dfg;
-  const auto cones = ir::fanout_cone_sizes(dfg);
+  std::vector<int> local_cones;
+  const std::vector<int>* cones = &p.fanout_cones;
+  if (cones->empty()) {
+    local_cones = ir::fanout_cone_sizes(dfg);
+    cones = &local_cones;
+  }
   std::vector<Priority> out(dfg.size());
   for (ir::OpId id : p.ops) {
     Priority pr;
     pr.op = id;
     pr.mobility = p.spans.spans[id].mobility();
-    pr.fanout_cone = cones[id];
+    pr.fanout_cone = (*cones)[id];
     const tech::FuClass cls = tech::fu_class_for(dfg, id);
     pr.complexity =
         cls == tech::FuClass::kNone
@@ -21,6 +28,19 @@ std::vector<Priority> compute_priorities(const Problem& p) {
     out[id] = pr;
   }
   return out;
+}
+
+std::vector<int> priority_ranks(const Problem& p,
+                                const std::vector<Priority>& priorities) {
+  std::vector<ir::OpId> order = p.ops;
+  std::sort(order.begin(), order.end(), [&](ir::OpId a, ir::OpId b) {
+    return priorities[a].before(priorities[b]);
+  });
+  std::vector<int> rank(p.dfg->size(), static_cast<int>(p.dfg->size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<int>(i);
+  }
+  return rank;
 }
 
 }  // namespace hls::sched

@@ -32,4 +32,12 @@ struct Priority {
 /// non-region ops are defaulted).
 std::vector<Priority> compute_priorities(const Problem& p);
 
+/// Total scheduling order as a dense rank per OpId: rank 0 is the op that
+/// `before` puts first; non-region ops get rank dfg.size(). Since `before`
+/// is a strict total order (the op-id tie break), a single int compare on
+/// ranks reproduces it exactly — the ready queues sort on ranks instead of
+/// re-running the four-field comparison per pick.
+std::vector<int> priority_ranks(const Problem& p,
+                                const std::vector<Priority>& priorities);
+
 }  // namespace hls::sched

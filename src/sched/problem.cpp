@@ -85,6 +85,9 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
     p.scc_move_count.assign(p.sccs.size(), 0);
   }
 
+  p.excl = alloc::ExclusivityMatrix(dfg, p.ops);
+  p.fanout_cones = ir::fanout_cone_sizes(dfg);
+
   // Port write ordering.
   p.port_writes.assign(num_ports, {});
   for (OpId id : p.ops) {

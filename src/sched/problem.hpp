@@ -41,10 +41,22 @@ struct Problem {
   std::vector<int> scc_move_count;          ///< MoveScc applications per SCC
 
   /// Bindings forbidden by comb-cycle restraints: (op, pool, instance).
+  /// Small and expert-mutated; each pass flattens it into a dense per-op x
+  /// per-instance table before entering the binding loops.
   std::set<std::tuple<ir::OpId, int, int>> forbidden;
+
+  /// Mutual exclusivity over the region ops, precomputed once at build
+  /// (alloc::mutually_exclusive re-derived per query was an inner-loop
+  /// cost of instance_free).
+  alloc::ExclusivityMatrix excl;
+  bool exclusive(ir::OpId a, ir::OpId b) const { return excl.exclusive(a, b); }
 
   /// Per port: write ops in program order (ordering constraint).
   std::vector<std::vector<ir::OpId>> port_writes;
+
+  /// Fanout cone sizes (static per DFG), cached so per-pass priority
+  /// recomputation only redoes the span-dependent mobility part.
+  std::vector<int> fanout_cones;
 
   /// Life spans for the current num_steps (refresh after changing it).
   alloc::LifespanResult spans;

@@ -5,23 +5,29 @@
 namespace hls::timing {
 
 double TimingEngine::fu_delay_ps(tech::FuClass c, int width) {
-  const auto key = std::pair{static_cast<int>(c), width};
-  if (auto it = fu_delay_cache_.find(key); it != fu_delay_cache_.end()) {
+  const auto cls = static_cast<std::size_t>(c);
+  if (cls >= fu_delay_cache_.size()) fu_delay_cache_.resize(cls + 1);
+  auto& by_width = fu_delay_cache_[cls];
+  const auto w = static_cast<std::size_t>(width);
+  if (w >= by_width.size()) by_width.resize(w + 1, kUncached);
+  if (by_width[w] != kUncached) {
     ++cache_hits_;
-    return it->second;
+    return by_width[w];
   }
   const double d = lib_.fu_delay_ps(c, width);
-  fu_delay_cache_.emplace(key, d);
+  by_width[w] = d;
   return d;
 }
 
 double TimingEngine::mux_delay_ps(int inputs) {
-  if (auto it = mux_delay_cache_.find(inputs); it != mux_delay_cache_.end()) {
+  const auto n = static_cast<std::size_t>(inputs);
+  if (n >= mux_delay_cache_.size()) mux_delay_cache_.resize(n + 1, kUncached);
+  if (mux_delay_cache_[n] != kUncached) {
     ++cache_hits_;
-    return it->second;
+    return mux_delay_cache_[n];
   }
   const double d = lib_.mux_delay_ps(inputs);
-  mux_delay_cache_.emplace(inputs, d);
+  mux_delay_cache_[n] = d;
   return d;
 }
 

@@ -3,11 +3,13 @@
 //
 // Path arrival math is pure (netlist.hpp); the engine adds memoization of
 // unit-delay lookups and query statistics that the profiling experiment
-// (Figure 9) reports.
+// (Figure 9) reports. The memo tables are dense vectors indexed by
+// (class, width) and mux fan-in — the scheduler issues one of these
+// lookups per candidate binding, so a tree lookup here was measurable.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "timing/netlist.hpp"
 
@@ -38,8 +40,11 @@ class TimingEngine {
  private:
   const tech::Library& lib_;
   double tclk_ps_;
-  std::map<std::pair<int, int>, double> fu_delay_cache_;
-  std::map<int, double> mux_delay_cache_;
+  /// Dense per-class delay-by-width tables; kUncached marks empty slots
+  /// (library delays are non-negative).
+  static constexpr double kUncached = -1.0;
+  std::vector<std::vector<double>> fu_delay_cache_;
+  std::vector<double> mux_delay_cache_;
   std::uint64_t queries_ = 0;
   std::uint64_t cache_hits_ = 0;
 };
