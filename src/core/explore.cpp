@@ -21,10 +21,12 @@ ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
 
   FlowOptions opts;
   opts.tclk_ps = cfg.tclk_ps;
+  opts.backend = cfg.backend;
   opts.pipeline_ii = cfg.pipeline_ii;
   opts.latency_min = cfg.latency;
   opts.latency_max = cfg.latency;
   opts.emit_verilog = false;
+  pt.backend = sched::backend_name(cfg.backend);
   try {
     FlowResult r = session.run(opts);
     pt.sched_seconds = r.sched_seconds;

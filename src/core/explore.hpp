@@ -34,6 +34,8 @@ struct ExplorePoint {
   double sched_seconds = 0;  ///< wall-clock scheduling time
   int passes = 0;            ///< scheduling passes taken
   int relaxations = 0;       ///< expert relaxation actions applied
+  /// Which scheduler backend produced the point ("list" / "sdc").
+  std::string backend;
 };
 
 struct ExploreConfig {
@@ -41,6 +43,9 @@ struct ExploreConfig {
   double tclk_ps = 0;
   int latency = 0;       ///< target LI (used as both min and max bound)
   int pipeline_ii = 0;   ///< 0 = sequential
+  /// Scheduler backend for this configuration (backends can be swept
+  /// against each other in one grid).
+  sched::BackendKind backend = sched::BackendKind::kList;
 };
 
 struct ExploreOptions {

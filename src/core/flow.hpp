@@ -32,6 +32,8 @@ namespace hls::core {
 struct FlowOptions {
   double tclk_ps = 1600;
   const tech::Library* lib = nullptr;  ///< defaults to artisan90
+  /// Scheduling backend (list scheduler or SDC; see sched/backend.hpp).
+  sched::BackendKind backend = sched::BackendKind::kList;
   /// 0 = sequential micro-architecture; >0 = pipeline with this II.
   int pipeline_ii = 0;
   /// Override the loop's latency bound (0 keeps the designer's bound).

@@ -33,7 +33,8 @@ std::string render_report(const FlowResult& r) {
                   : std::string("sequential"),
               "\n");
   out += strf("worst slack: ", fmt_fixed(r.sched.schedule.worst_slack_ps, 0),
-              " ps; passes: ", r.sched.passes, "; timing queries: ",
+              " ps; backend: ", sched::backend_name(r.sched.backend),
+              "; passes: ", r.sched.passes, "; timing queries: ",
               r.sched.timing_queries, "\n\n");
   out += "Schedule (Table 2 format):\n";
   out += r.sched.schedule.to_table(m.thread.dfg);
@@ -65,6 +66,8 @@ std::string render_json(const FlowResult& r) {
   w.begin_object();
   w.key("success");
   w.value(r.success);
+  w.key("backend");
+  w.value(sched::backend_name(r.sched.backend));
   if (r.success) {
     w.key("module");
     w.value(r.module->name);

@@ -99,6 +99,13 @@ FlowSession::FlowSession(workloads::Workload workload,
     // Branch predication is required before scheduling (and is what makes
     // loop bodies straight lines for pipelining).
     pipeline::straighten(compiled_);
+    if (options.share_timing_tables) {
+      // Every run's TimingEngine would otherwise rebuild the same
+      // (class, width) and mux-fanin memo tables from cold; prewarm them
+      // once here and share them read-only across runs and workers.
+      delay_tables_ = std::make_shared<const timing::DelayTables>(
+          timing::DelayTables::prewarm(tech::artisan90()));
+    }
   }
   compile_seconds_ = seconds_since(t0);
 }
@@ -115,14 +122,14 @@ FlowRun FlowSession::begin(FlowOptions options) const& {
   // compiled module stays untouched, which is what makes concurrent runs
   // over one session safe.
   return FlowRun(std::move(options), std::make_unique<ir::Module>(compiled_),
-                 loop_, compile_seconds_, diags_);
+                 loop_, compile_seconds_, diags_, delay_tables_);
 }
 
 FlowRun FlowSession::begin(FlowOptions options) && {
   // The session is expiring: hand its module over instead of cloning.
   return FlowRun(std::move(options),
                  std::make_unique<ir::Module>(std::move(compiled_)), loop_,
-                 compile_seconds_, diags_);
+                 compile_seconds_, diags_, std::move(delay_tables_));
 }
 
 FlowResult FlowSession::run(const FlowOptions& options) const& {
@@ -141,8 +148,10 @@ FlowResult FlowSession::run(const FlowOptions& options) && {
 
 FlowRun::FlowRun(FlowOptions options, std::unique_ptr<ir::Module> module,
                  ir::StmtId loop, double compile_seconds,
-                 const std::vector<Diagnostic>& session_diags)
-    : options_(std::move(options)) {
+                 const std::vector<Diagnostic>& session_diags,
+                 std::shared_ptr<const timing::DelayTables> shared_delays)
+    : options_(std::move(options)),
+      shared_delays_(std::move(shared_delays)) {
   result_.module = std::move(module);
   result_.loop = loop;
   result_.timings.compile_seconds = compile_seconds;
@@ -196,6 +205,12 @@ bool FlowRun::select_microarch() {
   sopts_ = sched::SchedulerOptions{};
   sopts_.tclk_ps = options_.tclk_ps;
   sopts_.lib = options_.lib != nullptr ? options_.lib : &tech::artisan90();
+  sopts_.backend = options_.backend;
+  // The session's tables are prewarmed for the default library; a custom
+  // library must not read them (its delays differ).
+  if (sopts_.lib == &tech::artisan90()) {
+    sopts_.shared_delays = shared_delays_.get();
+  }
   if (options_.pipeline_ii > 0) {
     sopts_.pipeline = {true, options_.pipeline_ii};
     loop_stmt.pipeline = {true, options_.pipeline_ii};

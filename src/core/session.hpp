@@ -30,6 +30,12 @@ struct SessionOptions {
   /// Structurally validate the compiled IR; problems become "compile"
   /// diagnostics and every subsequent run fails cleanly.
   bool validate_ir = true;
+  /// Prewarm the (class, width) and mux-fanin delay tables once at
+  /// construction and share them read-only with every run's
+  /// TimingEngine, so concurrent explore() workers skip the cold library
+  /// lookups (each engine keeps its own query counters). Runs against a
+  /// non-default library fall back to engine-local memo tables.
+  bool share_timing_tables = true;
 };
 
 class FlowSession;
@@ -65,7 +71,8 @@ class FlowRun {
   friend class FlowSession;
   FlowRun(FlowOptions options, std::unique_ptr<ir::Module> module,
           ir::StmtId loop, double compile_seconds,
-          const std::vector<Diagnostic>& session_diags);
+          const std::vector<Diagnostic>& session_diags,
+          std::shared_ptr<const timing::DelayTables> shared_delays);
 
   void fail(std::string stage, std::string code, std::string message);
 
@@ -81,6 +88,9 @@ class FlowRun {
   FlowOptions options_;
   FlowResult result_;
   Stage next_ = Stage::kMicroarch;
+  /// Keeps the session's prewarmed delay tables alive for the schedule
+  /// stage even when the session itself has expired (the && facade).
+  std::shared_ptr<const timing::DelayTables> shared_delays_;
 
   // Prepared by select_microarch for schedule().
   sched::SchedulerOptions sopts_;
@@ -108,6 +118,10 @@ class FlowSession {
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
   /// Wall-clock seconds spent compiling (optimize + predicate + validate).
   double compile_seconds() const { return compile_seconds_; }
+  /// The session-wide prewarmed delay tables (null when sharing is off).
+  const timing::DelayTables* delay_tables() const {
+    return delay_tables_.get();
+  }
 
   /// Starts a staged run against a clone of the compiled module.
   /// Thread-safe: `this` is only read.
@@ -127,6 +141,7 @@ class FlowSession {
   ir::StmtId loop_ = ir::kNoStmt;
   std::vector<Diagnostic> diags_;
   double compile_seconds_ = 0;
+  std::shared_ptr<const timing::DelayTables> delay_tables_;
 };
 
 }  // namespace hls::core

@@ -1,0 +1,45 @@
+#include "sched/backend.hpp"
+
+#include "sched/sdc_scheduler.hpp"
+
+namespace hls::sched {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kList: return "list";
+    case BackendKind::kSdc: return "sdc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The paper's timing-driven list scheduling pass, unchanged: one
+/// `run_pass` (pass_scheduler.cpp) per attempt, with warm-start replay.
+class ListScheduler final : public SchedulerBackend {
+ public:
+  using SchedulerBackend::SchedulerBackend;
+
+  BackendKind kind() const override { return BackendKind::kList; }
+  bool warm_startable() const override { return true; }
+
+  PassOutcome run_pass(timing::TimingEngine& eng,
+                       const WarmStart* warm) override {
+    return sched::run_pass(problem_, eng, warm);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerBackend> make_backend(const Problem& problem,
+                                               const SchedulerOptions& options) {
+  switch (options.backend) {
+    case BackendKind::kSdc:
+      return std::make_unique<SdcScheduler>(problem, options);
+    case BackendKind::kList:
+      break;
+  }
+  return std::make_unique<ListScheduler>(problem, options);
+}
+
+}  // namespace hls::sched

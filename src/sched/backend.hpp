@@ -1,0 +1,62 @@
+// The pluggable scheduler-backend interface.
+//
+// `schedule_region` (driver.cpp) owns everything both algorithms share:
+// Problem construction, the recurrence bound, the expert relaxation loop
+// (expert.cpp), pass records and the final schedule check. What varies is
+// how one constrained scheduling *attempt* over the current Problem is
+// made. A backend is constructed once per schedule_region call from the
+// Problem and the SchedulerOptions (so it can cache pass-invariant
+// structure — dependence graphs, priority ranks), and its `run_pass` is
+// invoked once per pass against the expert-mutated Problem, producing the
+// same PassOutcome shape (partial schedule + restraints) the expert
+// consumes. The driver turns the pass sequence into a SchedulerResult
+// with placements, arrivals and per-pass records regardless of backend.
+//
+// Backends:
+//  * ListScheduler (backend.cpp) — the paper's timing-driven list
+//    scheduling pass (pass_scheduler.cpp); supports warm starts.
+//  * SdcScheduler (sdc_scheduler.hpp) — difference-constraint
+//    formulation solved by an incremental longest-path core, with a
+//    legalizing binder; infeasibility is handed to the same expert.
+#pragma once
+
+#include <memory>
+
+#include "sched/driver.hpp"
+
+namespace hls::sched {
+
+class SchedulerBackend {
+ public:
+  SchedulerBackend(const Problem& problem, const SchedulerOptions& options)
+      : problem_(problem), options_(options) {}
+  virtual ~SchedulerBackend() = default;
+
+  SchedulerBackend(const SchedulerBackend&) = delete;
+  SchedulerBackend& operator=(const SchedulerBackend&) = delete;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return backend_name(kind()); }
+
+  /// True when the backend can replay a prior pass's decision trace from
+  /// an invalidation frontier. The driver only computes frontiers (and
+  /// passes a WarmStart) for backends that opt in.
+  virtual bool warm_startable() const { return false; }
+
+  /// One constrained scheduling attempt over the (expert-mutated)
+  /// Problem. Must not mutate the Problem; failures are reported as
+  /// restraints in the outcome, successes as a complete schedule.
+  virtual PassOutcome run_pass(timing::TimingEngine& eng,
+                               const WarmStart* warm) = 0;
+
+ protected:
+  const Problem& problem_;
+  const SchedulerOptions& options_;
+};
+
+/// Constructs the backend selected by `options.backend`. The Problem and
+/// options must outlive the returned backend.
+std::unique_ptr<SchedulerBackend> make_backend(const Problem& problem,
+                                               const SchedulerOptions& options);
+
+}  // namespace hls::sched

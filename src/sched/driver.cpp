@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sched/backend.hpp"
 #include "support/strings.hpp"
 #include "tech/library.hpp"
 
@@ -13,6 +14,43 @@ int SchedulerResult::relaxations() const {
   return n;
 }
 
+namespace {
+
+/// Number of ops the current resource counts provably leave without an
+/// instance slot: for every pool, members beyond count x usable slots
+/// must fail their binding, each with at least one restraint. This is the
+/// "hopeless pass" detector behind SchedulerOptions::restraint_volume_cap
+/// (exclusive colocation can only lower the true figure, so the estimate
+/// is a floor on the restraint volume, not on feasibility).
+int provable_resource_overflow(const Problem& p) {
+  const int slots = p.pipeline.enabled ? p.pipeline.ii : p.num_steps;
+  int overflow = 0;
+  for (std::size_t i = 0; i < p.resources.pools.size(); ++i) {
+    // A multi-cycle member occupies `span` consecutive slots, so an
+    // instance hosts at most slots/span ops (back-to-back packing).
+    const int span = std::max(1, p.resources.pools[i].latency_cycles);
+    const int capacity = p.resources.pools[i].count * (slots / span);
+    overflow += std::max(0, p.pool_member_counts[i] - capacity);
+  }
+  return overflow;
+}
+
+/// States needed so every pool fits its members (sequential regions; for
+/// pipelined regions extra states do not add slots).
+int states_for_resources(const Problem& p) {
+  int needed = p.num_steps;
+  for (std::size_t i = 0; i < p.resources.pools.size(); ++i) {
+    const int count = p.resources.pools[i].count;
+    if (count <= 0 || p.pool_member_counts[i] == 0) continue;
+    const int span = std::max(1, p.resources.pools[i].latency_cycles);
+    needed = std::max(
+        needed, ((p.pool_member_counts[i] + count - 1) / count) * span);
+  }
+  return needed;
+}
+
+}  // namespace
+
 SchedulerResult schedule_region(const ir::Dfg& dfg,
                                 const ir::LinearRegion& region,
                                 ir::LatencyBound latency,
@@ -20,7 +58,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
                                 const SchedulerOptions& options) {
   const tech::Library& lib =
       options.lib != nullptr ? *options.lib : tech::artisan90();
-  timing::TimingEngine eng(lib, options.tclk_ps);
+  timing::TimingEngine eng(lib, options.tclk_ps, options.shared_delays);
 
   Problem p = build_problem(dfg, region, latency, lib, options.tclk_ps,
                             options.pipeline, num_ports, options.anchor_io,
@@ -37,6 +75,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
       const int needed = scc_min_states(p, p.sccs[i]);
       if (needed > options.pipeline.ii) {
         SchedulerResult result;
+        result.backend = options.backend;
         result.failure_reason = strf(
             "recurrence infeasible: an inter-iteration dependency cycle "
             "(SCC #", i, ", ", p.sccs[i].size(), " ops) needs at least ",
@@ -58,7 +97,11 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   eopts.enable_move_scc = options.enable_move_scc;
   eopts.allow_accept_slack = options.allow_accept_slack;
 
+  std::unique_ptr<SchedulerBackend> backend = make_backend(p, options);
+  const bool warm_startable = options.warm_start && backend->warm_startable();
+
   SchedulerResult result;
+  result.backend = options.backend;
   // Warm-start state: the previous pass's decision trace plus the first
   // step the applied relaxation could have changed. A zero frontier (or an
   // invalidated trace) means a cold pass.
@@ -66,6 +109,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   bool trace_valid = false;
   int frontier = 0;
   for (int pass = 1; pass <= options.max_passes; ++pass) {
+    bool fast_forwarded = false;
     // Fast-forward wide latency shortfalls: when the life spans prove the
     // region cannot fit by a large margin, add the missing states at once.
     // Near-feasible cases still go through the per-pass expert walk, so
@@ -89,14 +133,48 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
         result.history.push_back(std::move(rec));
         p.num_steps += shortage - 2;
         refresh_spans(p);
-        result.passes = pass;
-        trace_valid = false;  // spans moved: no decision survives
-        continue;
+        fast_forwarded = true;
       }
     }
+    // Restraint-volume cap: a pass that provably cannot bind `overflow`
+    // ops would emit (at least) that many per-op restraints, render them
+    // all into the pass record, and have the expert rank them — only for
+    // the relaxation to be "add many states" anyway. Emit the aggregate
+    // add-state action directly instead, in the same driver iteration as
+    // a life-span fast-forward so the hopeless pass is never run at all.
+    // Pipelined regions are exempt (states do not add slots there; the
+    // expert's add-resource reasoning is the right lever), as are
+    // problems below the cap, which keep the per-restraint narrative.
+    if (options.restraint_volume_cap > 0 && !p.pipeline.enabled &&
+        p.num_steps < eopts.latency.max) {
+      const int overflow = provable_resource_overflow(p);
+      if (overflow >= options.restraint_volume_cap) {
+        const int target =
+            std::min(states_for_resources(p), eopts.latency.max);
+        if (target > p.num_steps) {
+          PassRecord rec;
+          rec.pass_number = pass;
+          rec.num_steps = p.num_steps;
+          rec.success = false;
+          rec.action = strf("fast-forward: +", target - p.num_steps,
+                            " states (", overflow,
+                            " ops over resource capacity)");
+          rec.relaxed = true;
+          result.history.push_back(std::move(rec));
+          p.num_steps = target;
+          refresh_spans(p);
+          fast_forwarded = true;
+        }
+      }
+    }
+    if (fast_forwarded) {
+      result.passes = pass;
+      trace_valid = false;  // spans moved: no decision survives
+      continue;
+    }
     const WarmStart warm{&trace, frontier};
-    const bool use_warm = options.warm_start && trace_valid && frontier > 0;
-    PassOutcome outcome = run_pass(p, eng, use_warm ? &warm : nullptr);
+    const bool use_warm = warm_startable && trace_valid && frontier > 0;
+    PassOutcome outcome = backend->run_pass(eng, use_warm ? &warm : nullptr);
     PassRecord rec;
     rec.pass_number = pass;
     rec.num_steps = p.num_steps;
@@ -130,7 +208,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
     rec.relaxed = true;
     result.history.push_back(std::move(rec));
     apply_action(p, decision.action);
-    if (options.warm_start) {
+    if (warm_startable) {
       frontier = warm_start_frontier(p, decision.action, outcome.trace);
       trace = std::move(outcome.trace);
       trace_valid = true;

@@ -12,11 +12,37 @@
 
 namespace hls::sched {
 
+/// Which scheduling algorithm runs inside the pass/relaxation loop. Both
+/// backends share the Problem construction, the expert system and the
+/// result/report shapes (see backend.hpp for the interface contract).
+enum class BackendKind : std::uint8_t {
+  kList,  ///< the paper's timing-driven list scheduler (default)
+  kSdc,   ///< difference-constraint core + legalizing binder
+};
+
+/// Stable lowercase name ("list" / "sdc") for reports and JSON.
+const char* backend_name(BackendKind kind);
+
 struct SchedulerOptions {
   double tclk_ps = 1600;
   const tech::Library* lib = nullptr;  ///< defaults to artisan90
   PipelineConfig pipeline;
   bool anchor_io = false;
+
+  /// Scheduling algorithm run inside the relaxation loop.
+  BackendKind backend = BackendKind::kList;
+
+  /// Shared read-only unit-delay tables (timing::DelayTables), usually
+  /// prewarmed once per FlowSession; nullptr = engine-local memo only.
+  const timing::DelayTables* shared_delays = nullptr;
+
+  /// Aggregate hopeless passes: when the current resource counts provably
+  /// leave at least this many ops without an instance slot, the driver
+  /// fast-forwards the state count in one action instead of running a
+  /// pass that itemizes ~n per-op restraints (and then renders and ranks
+  /// all of them). Small designs never reach the cap, keeping the paper's
+  /// restraint-by-restraint narrative; 0 disables the cap entirely.
+  int restraint_volume_cap = 256;
 
   // Feature switches (for the paper's ablations).
   bool enable_chaining = true;
@@ -47,6 +73,8 @@ struct PassRecord {
 struct SchedulerResult {
   bool success = false;
   Schedule schedule;
+  /// The backend that produced (or failed to produce) the schedule.
+  BackendKind backend = BackendKind::kList;
   int passes = 0;
   std::vector<PassRecord> history;
   std::uint64_t timing_queries = 0;

@@ -81,11 +81,7 @@ bool helps_timing_with_instances(const Problem& p, const PassOutcome& outcome,
       arrivals.push_back(outcome.schedule.placement[d].arrival_ps);
     }
   }
-  int members = 0;
-  for (OpId id : p.ops) {
-    if (p.resources.pool_of(id) == pool) ++members;
-  }
-  const bool still_shared = members > pdesc.count + extra;
+  const bool still_shared = p.pool_members(pool) > pdesc.count + extra;
   timing::PathQuery q;
   q.operand_arrivals_ps = arrivals;
   q.cls = pdesc.cls;
@@ -93,14 +89,6 @@ bool helps_timing_with_instances(const Problem& p, const PassOutcome& outcome,
   q.in_mux_inputs = still_shared ? 2 : 0;
   q.out_mux_inputs = still_shared ? 2 : 0;
   return eng.register_slack_ps(eng.output_arrival_ps(q)) >= -1e-9;
-}
-
-int pool_member_count(const Problem& p, int pool) {
-  int members = 0;
-  for (OpId id : p.ops) {
-    if (p.resources.pool_of(id) == pool) ++members;
-  }
-  return members;
 }
 
 }  // namespace
@@ -165,8 +153,7 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
     // First hypothesis: one extra instance. If sharing muxes are the real
     // problem, a bigger amount that fully unshares the pool may be the
     // only fix; amortize its cost over the added instances.
-    const int unshare_amount =
-        std::max(1, pool_member_count(p, r.pool) - pdesc.count);
+    const int unshare_amount = std::max(1, p.pool_members(r.pool) - pdesc.count);
     switch (r.kind) {
       case RestraintKind::kNoResource:
         if (helps_timing_with_instances(p, outcome, r.op, r.step, 1, eng)) {
@@ -318,10 +305,7 @@ int warm_start_frontier(const Problem& p, const Action& a,
   switch (a.kind) {
     case ActionKind::kAddResource: {
       const auto& pdesc = p.resources.pools[static_cast<std::size_t>(a.pool)];
-      int members = 0;
-      for (ir::OpId id : p.ops) {
-        if (p.resources.pool_of(id) == a.pool) ++members;
-      }
+      const int members = p.pool_members(a.pool);
       const int added = std::max(1, a.amount);
       const bool was_shared = members > pdesc.count - added;
       const bool now_shared = members > pdesc.count;

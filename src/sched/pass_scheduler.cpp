@@ -61,7 +61,6 @@ class PassRunner {
     order_.assign(p_.ops.size(), kNoOp);
     for (OpId id : p_.ops) order_[static_cast<std::size_t>(rank_[id])] = id;
     build_deps();
-    count_pool_members();
     resource_base_ = p_.resources.instance_bases();
     total_instances_ = p_.resources.total_instances();
     num_slots_ = p_.pipeline.enabled ? p_.pipeline.ii : p_.num_steps;
@@ -206,16 +205,8 @@ class PassRunner {
                           inst)] != 0;
   }
 
-  void count_pool_members() {
-    pool_members_.assign(p_.resources.pools.size(), 0);
-    for (OpId id : p_.ops) {
-      const int pool = p_.resources.pool_of(id);
-      if (pool >= 0) ++pool_members_[static_cast<std::size_t>(pool)];
-    }
-  }
-
   bool pool_shared(int pool) const {
-    return pool_members_[static_cast<std::size_t>(pool)] >
+    return p_.pool_members(pool) >
            p_.resources.pools[static_cast<std::size_t>(pool)].count;
   }
 
@@ -846,7 +837,6 @@ class PassRunner {
   std::uint32_t deferred_epoch_ = 1;
   int current_step_ = 0;
   bool in_step_ = false;
-  std::vector<int> pool_members_;
   std::vector<int> resource_base_;
   int total_instances_ = 0;
   int num_slots_ = 1;
@@ -881,12 +871,6 @@ double finalize_timing(const Problem& p, Schedule& s,
       ++final_counts[{pl.pool, pl.instance}];
     }
   }
-  std::vector<int> pool_members(s.resources.pools.size(), 0);
-  for (OpId id : p.ops) {
-    const int pool = s.resources.pool_of(id);
-    if (pool >= 0) ++pool_members[static_cast<std::size_t>(pool)];
-  }
-
   double worst = 1e18;
   OpId worst_op = kNoOp;
   for (OpId id : dfg.topo_order()) {
@@ -913,8 +897,7 @@ double finalize_timing(const Problem& p, Schedule& s,
       if (pdesc.latency_cycles > 0) {
         arrival = p.lib->reg_clk_to_q_ps();
       } else {
-        const bool shared =
-            pool_members[static_cast<std::size_t>(pl.pool)] > pdesc.count;
+        const bool shared = p.pool_members(pl.pool) > pdesc.count;
         const int n = final_counts[{pl.pool, pl.instance}];
         timing::PathQuery q;
         q.operand_arrivals_ps = arrivals;

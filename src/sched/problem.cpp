@@ -88,6 +88,12 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
   p.excl = alloc::ExclusivityMatrix(dfg, p.ops);
   p.fanout_cones = ir::fanout_cone_sizes(dfg);
 
+  p.pool_member_counts.assign(p.resources.pools.size(), 0);
+  for (OpId id : p.ops) {
+    const int pool = p.resources.pool_of(id);
+    if (pool >= 0) ++p.pool_member_counts[static_cast<std::size_t>(pool)];
+  }
+
   // Port write ordering.
   p.port_writes.assign(num_ports, {});
   for (OpId id : p.ops) {

@@ -58,6 +58,16 @@ struct Problem {
   /// recomputation only redoes the span-dependent mobility part.
   std::vector<int> fanout_cones;
 
+  /// Region ops per resource pool (indexed like resources.pools). Pool
+  /// membership is static per problem — only instance counts change — so
+  /// the expert's cost model reads these instead of rescanning `ops` for
+  /// every restraint pool (`pool_member_count` was a per-restraint O(n)
+  /// walk once passes became cheap).
+  std::vector<int> pool_member_counts;
+  int pool_members(int pool) const {
+    return pool < 0 ? 0 : pool_member_counts[static_cast<std::size_t>(pool)];
+  }
+
   /// Life spans for the current num_steps (refresh after changing it).
   alloc::LifespanResult spans;
 

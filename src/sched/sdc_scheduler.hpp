@@ -1,0 +1,52 @@
+// SDC scheduling backend (system of integer difference constraints).
+//
+// Dependences (x_u >= x_d + lat_d), release/deadline bounds from the
+// timing-aware life spans, the pipeline II window (for SCC members a, b:
+// x_b >= x_a + lat_a - lat_b - (II-1), both directions), and port write
+// order are formulated as difference constraints over the operations'
+// start steps and solved to the least fixpoint with an incremental
+// Bellman-Ford longest-path core (no external LP solver). Resource
+// conflicts enter the system dynamically: when the legalizing binder
+// cannot place an op at its current lower bound, the bound is raised by
+// one step and re-propagated incrementally, so every transitively
+// dependent op (and every II-window partner) moves with it before any
+// doomed binding attempt is made.
+//
+// The binder itself shares the list scheduler's semantics: the same
+// priority order, chaining/timing verdicts, exclusive colocation,
+// combinational-cycle avoidance and restraint vocabulary — a failed pass
+// hands the same restraint kinds to the same expert system (expert.cpp),
+// so both backends relax identically and remain comparable point for
+// point (see tests/sched_golden_test.cpp's backend-equivalence suite).
+#pragma once
+
+#include "sched/backend.hpp"
+
+namespace hls::sched {
+
+class SdcScheduler final : public SchedulerBackend {
+ public:
+  SdcScheduler(const Problem& problem, const SchedulerOptions& options);
+
+  BackendKind kind() const override { return BackendKind::kSdc; }
+  PassOutcome run_pass(timing::TimingEngine& eng,
+                       const WarmStart* warm) override;
+
+  /// One difference constraint x_to >= x_from + weight.
+  struct Edge {
+    ir::OpId to = ir::kNoOp;
+    int weight = 0;
+  };
+
+ private:
+  // Pass-invariant structure, built once per schedule_region: the
+  // dependence graph (with the same carried-edge / predicate /
+  // port-order rules as the list pass) and the static constraint edges.
+  std::vector<std::vector<ir::OpId>> deps_;
+  std::vector<std::vector<ir::OpId>> users_;
+  std::vector<ir::OpId> port_next_;
+  std::vector<int> base_unmet_;
+  std::vector<std::vector<Edge>> out_;  ///< constraint adjacency, by source
+};
+
+}  // namespace hls::sched

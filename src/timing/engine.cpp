@@ -4,8 +4,37 @@
 
 namespace hls::timing {
 
+DelayTables DelayTables::prewarm(const tech::Library& lib, int max_width,
+                                 int max_mux) {
+  DelayTables t;
+  constexpr auto kLast = static_cast<std::size_t>(tech::FuClass::kMux);
+  t.fu_delay_ps.resize(kLast + 1);
+  for (std::size_t c = 0; c <= kLast; ++c) {
+    const auto cls = static_cast<tech::FuClass>(c);
+    if (cls == tech::FuClass::kNone) continue;  // free ops never look up
+    auto& by_width = t.fu_delay_ps[c];
+    by_width.assign(static_cast<std::size_t>(max_width) + 1, -1.0);
+    for (int w = 1; w <= max_width; ++w) {
+      by_width[static_cast<std::size_t>(w)] = lib.fu_delay_ps(cls, w);
+    }
+  }
+  t.mux_delay_ps.assign(static_cast<std::size_t>(max_mux) + 1, -1.0);
+  for (int n = 2; n <= max_mux; ++n) {
+    t.mux_delay_ps[static_cast<std::size_t>(n)] = lib.mux_delay_ps(n);
+  }
+  return t;
+}
+
 double TimingEngine::fu_delay_ps(tech::FuClass c, int width) {
   const auto cls = static_cast<std::size_t>(c);
+  if (shared_ != nullptr && cls < shared_->fu_delay_ps.size()) {
+    const auto& by_width = shared_->fu_delay_ps[cls];
+    const auto sw = static_cast<std::size_t>(width);
+    if (sw < by_width.size() && by_width[sw] >= 0) {
+      ++cache_hits_;
+      return by_width[sw];
+    }
+  }
   if (cls >= fu_delay_cache_.size()) fu_delay_cache_.resize(cls + 1);
   auto& by_width = fu_delay_cache_[cls];
   const auto w = static_cast<std::size_t>(width);
@@ -21,6 +50,11 @@ double TimingEngine::fu_delay_ps(tech::FuClass c, int width) {
 
 double TimingEngine::mux_delay_ps(int inputs) {
   const auto n = static_cast<std::size_t>(inputs);
+  if (shared_ != nullptr && n < shared_->mux_delay_ps.size() &&
+      shared_->mux_delay_ps[n] >= 0) {
+    ++cache_hits_;
+    return shared_->mux_delay_ps[n];
+  }
   if (n >= mux_delay_cache_.size()) mux_delay_cache_.resize(n + 1, kUncached);
   if (mux_delay_cache_[n] != kUncached) {
     ++cache_hits_;

@@ -15,10 +15,27 @@
 
 namespace hls::timing {
 
+/// Immutable, shareable unit-delay tables: the (class, width) and
+/// mux-fanin lookups every TimingEngine memoizes are identical for a given
+/// library, so a session can prewarm them once and hand the same tables to
+/// every concurrently running engine (the explore() worker pool). Engines
+/// keep their own query/hit counters; the shared tables are only ever
+/// read.
+struct DelayTables {
+  std::vector<std::vector<double>> fu_delay_ps;  ///< [class][width]; <0 = absent
+  std::vector<double> mux_delay_ps;              ///< [inputs]; <0 = absent
+  /// Fills the tables for widths 1..max_width and mux fan-ins 2..max_mux.
+  static DelayTables prewarm(const tech::Library& lib, int max_width = 64,
+                             int max_mux = 64);
+};
+
 class TimingEngine {
  public:
-  TimingEngine(const tech::Library& lib, double tclk_ps)
-      : lib_(lib), tclk_ps_(tclk_ps) {}
+  /// `shared`, when given, must outlive the engine; cold lookups that miss
+  /// it still fall back to the engine-local memo tables.
+  TimingEngine(const tech::Library& lib, double tclk_ps,
+               const DelayTables* shared = nullptr)
+      : lib_(lib), tclk_ps_(tclk_ps), shared_(shared) {}
 
   const tech::Library& library() const { return lib_; }
   double tclk_ps() const { return tclk_ps_; }
@@ -40,6 +57,7 @@ class TimingEngine {
  private:
   const tech::Library& lib_;
   double tclk_ps_;
+  const DelayTables* shared_ = nullptr;
   /// Dense per-class delay-by-width tables; kUncached marks empty slots
   /// (library delays are non-negative).
   static constexpr double kUncached = -1.0;

@@ -2,6 +2,8 @@
 // ~40 industrial designs (Figure 9 / Table 4). Produces layered expression
 // DAGs with a configurable multiplier fraction, conditional regions
 // (exercising predication), and loop-carried accumulators (SCCs).
+#include <algorithm>
+
 #include "frontend/builder.hpp"
 #include "support/rng.hpp"
 #include "workloads/workloads.hpp"
@@ -89,7 +91,10 @@ Workload make_random_cdfg(std::uint64_t seed, const RandomCdfgOptions& opts) {
   }
   b.wait();
   b.end_loop();
-  b.set_latency(loop, 1, 64);
+  const int latency_max = opts.latency_max > 0
+                              ? opts.latency_max
+                              : std::max(64, opts.target_ops / 64);
+  b.set_latency(loop, 1, latency_max);
 
   Workload out;
   out.name = "rand" + std::to_string(seed);

@@ -53,6 +53,12 @@ struct RandomCdfgOptions {
   int outputs = 2;
   double mul_fraction = 0.20;
   double carried_accumulators = 2;  ///< loop-carried SCCs
+  /// Designer latency bound maximum; 0 = auto. Auto keeps the historical
+  /// 64 states up to 4096 ops and scales as target_ops/64 beyond, so the
+  /// largest profiling designs stay feasible for their estimated resource
+  /// set instead of merely exhausting the pass budget (the bound must
+  /// grow with the design for the success path to be exercised at all).
+  int latency_max = 0;
 };
 Workload make_random_cdfg(std::uint64_t seed, const RandomCdfgOptions& opts);
 

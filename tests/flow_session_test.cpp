@@ -176,6 +176,60 @@ TEST(FlowSession, MissingLoopIsACompileDiagnostic) {
   EXPECT_EQ(r.diagnostics.front().code, "no-loop");
 }
 
+// ---- Backend plumbing ------------------------------------------------------
+
+TEST(FlowBackend, OptionReachesResultReportAndJson) {
+  const FlowSession session(workloads::make_idct8());
+  FlowOptions o;
+  o.backend = sched::BackendKind::kSdc;
+  auto r = session.run(o);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.sched.backend, sched::BackendKind::kSdc);
+  EXPECT_NE(render_report(r).find("backend: sdc"), std::string::npos);
+  EXPECT_NE(render_json(r).find("\"backend\":\"sdc\""), std::string::npos);
+
+  auto rl = session.run(FlowOptions{});  // default stays the list backend
+  ASSERT_TRUE(rl.success);
+  EXPECT_EQ(rl.sched.backend, sched::BackendKind::kList);
+  EXPECT_NE(render_json(rl).find("\"backend\":\"list\""), std::string::npos);
+  // Same constraints, same headline outcome (schedules may differ).
+  EXPECT_EQ(r.sched.schedule.num_steps, rl.sched.schedule.num_steps);
+}
+
+TEST(FlowBackend, ExploreSweepsBackendsInOneGrid) {
+  const FlowSession session(workloads::make_fir(8));
+  std::vector<ExploreConfig> grid = {
+      {"list", 1600, 0, 0}, {"sdc", 1600, 0, 0}, {"sdc-pipe", 1600, 0, 2},
+  };
+  grid[1].backend = sched::BackendKind::kSdc;
+  grid[2].backend = sched::BackendKind::kSdc;
+  const auto pts = explore(session, grid, ExploreOptions{});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].backend, "list");
+  EXPECT_EQ(pts[1].backend, "sdc");
+  EXPECT_EQ(pts[2].backend, "sdc");
+  EXPECT_EQ(pts[0].feasible, pts[1].feasible);
+  EXPECT_EQ(pts[0].latency, pts[1].latency);
+}
+
+// ---- Shared timing tables --------------------------------------------------
+
+TEST(FlowSession, SharedTimingTablesDoNotChangeResults) {
+  SessionOptions cold;
+  cold.share_timing_tables = false;
+  const FlowSession shared_session(workloads::make_idct8());
+  const FlowSession cold_session(workloads::make_idct8(), cold);
+  EXPECT_NE(shared_session.delay_tables(), nullptr);
+  EXPECT_EQ(cold_session.delay_tables(), nullptr);
+  for (int ii : {0, 8}) {
+    FlowOptions o;
+    o.pipeline_ii = ii;
+    auto rs = shared_session.run(o);
+    auto rc = cold_session.run(o);
+    EXPECT_EQ(fingerprint(rs), fingerprint(rc)) << "II=" << ii;
+  }
+}
+
 // ---- Parallel exploration --------------------------------------------------
 
 // Identical up to wall-clock noise: every deterministic field must match.
@@ -193,6 +247,7 @@ void expect_points_equal(const std::vector<ExplorePoint>& a,
     EXPECT_EQ(a[i].power_mw, b[i].power_mw) << i;
     EXPECT_EQ(a[i].passes, b[i].passes) << i;
     EXPECT_EQ(a[i].relaxations, b[i].relaxations) << i;
+    EXPECT_EQ(a[i].backend, b[i].backend) << i;
     EXPECT_EQ(a[i].failure, b[i].failure) << i;
   }
 }

@@ -12,11 +12,16 @@
 // binary with HLS_GOLDEN_REGEN=1 and paste the printed table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
+#include "alloc/estimate.hpp"
 #include "core/explore.hpp"
 #include "core/session.hpp"
 #include "ir/analysis.hpp"
@@ -224,6 +229,197 @@ TEST(SchedGolden, WarmStartedPassesMatchColdPassesBitExactly) {
           << w.name << " at II=" << ii;
     }
   }
+}
+
+// ---- Backend equivalence: SDC vs list ---------------------------------------
+
+// Structural validity of a schedule, checked from first principles (not
+// through the driver's internal check): dependences, occupancy including
+// pipeline-equivalent slots and multi-cycle spans, SCC windows, port
+// write order, and timing unless the expert accepted negative slack.
+void expect_structurally_valid(const workloads::Workload& w,
+                               const ir::LinearRegion& region,
+                               const sched::SchedulerResult& r,
+                               const std::string& label) {
+  const ir::Dfg& dfg = w.module.thread.dfg;
+  const sched::Schedule& s = r.schedule;
+  const auto ops = region.all_ops();
+  std::vector<bool> in_region(dfg.size(), false);
+  for (ir::OpId id : ops) in_region[id] = true;
+
+  for (ir::OpId id : ops) {
+    const sched::OpPlacement& pl = s.placement[id];
+    ASSERT_TRUE(pl.scheduled) << label << ": op %" << id << " unscheduled";
+    EXPECT_GE(pl.step, 0) << label;
+    EXPECT_LT(pl.step, s.num_steps) << label;
+    const int pool = s.resources.pool_of(id);
+    EXPECT_EQ(pl.pool, pool) << label << ": op %" << id;
+    if (pool >= 0) {
+      EXPECT_GE(pl.instance, 0) << label;
+      EXPECT_LT(pl.instance,
+                s.resources.pools[static_cast<std::size_t>(pool)].count)
+          << label;
+    }
+  }
+  // Dependences (carried loop-mux edges excluded).
+  for (ir::OpId id : ops) {
+    const ir::Op& o = dfg.op(id);
+    for (std::size_t i = 0; i < o.operands.size(); ++i) {
+      if (o.kind == ir::OpKind::kLoopMux && i == 1) continue;
+      const ir::OpId d = o.operands[i];
+      if (d == ir::kNoOp || dfg.is_const(d) || !in_region[d]) continue;
+      EXPECT_LE(s.placement[d].step, s.placement[id].step)
+          << label << ": op %" << id << " before operand %" << d;
+    }
+  }
+  // Occupancy: colocated ops must be mutually exclusive.
+  std::map<std::tuple<int, int, int>, std::vector<ir::OpId>> occ;
+  for (ir::OpId id : ops) {
+    const sched::OpPlacement& pl = s.placement[id];
+    if (pl.pool < 0) continue;
+    const int lat =
+        s.resources.pools[static_cast<std::size_t>(pl.pool)].latency_cycles;
+    for (int t = pl.step - lat; t < pl.step - lat + std::max(1, lat); ++t) {
+      occ[{pl.pool, pl.instance, s.kernel_step(t)}].push_back(id);
+    }
+  }
+  for (const auto& [key, colocated] : occ) {
+    for (std::size_t i = 0; i < colocated.size(); ++i) {
+      for (std::size_t j = i + 1; j < colocated.size(); ++j) {
+        EXPECT_TRUE(alloc::mutually_exclusive(dfg, colocated[i],
+                                              colocated[j]))
+            << label << ": ops %" << colocated[i] << " and %" << colocated[j]
+            << " share an instance slot";
+      }
+    }
+  }
+  // SCC windows (re-derived from the DFG, not taken from the scheduler).
+  if (s.pipeline.enabled) {
+    for (const auto& scc : ir::nontrivial_sccs(dfg)) {
+      if (!std::all_of(scc.begin(), scc.end(),
+                       [&](ir::OpId id) { return in_region[id]; })) {
+        continue;
+      }
+      int lo = s.num_steps;
+      int hi = -1;
+      for (ir::OpId id : scc) {
+        lo = std::min(lo, s.placement[id].step);
+        hi = std::max(hi, s.placement[id].step);
+      }
+      EXPECT_LE(hi - lo, s.pipeline.ii - 1) << label << ": SCC window";
+    }
+  }
+  // Port write order.
+  std::map<int, std::vector<ir::OpId>> port_writes;
+  for (ir::OpId id : ops) {
+    const ir::Op& o = dfg.op(id);
+    if (o.kind == ir::OpKind::kWrite) {
+      port_writes[static_cast<int>(o.port)].push_back(id);
+    }
+  }
+  for (const auto& [port, writes] : port_writes) {
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+      EXPECT_LE(s.placement[writes[i - 1]].step, s.placement[writes[i]].step)
+          << label << ": port " << port << " writes out of order";
+    }
+  }
+  // Timing, unless the expert explicitly accepted negative slack.
+  const bool accepted_slack = std::any_of(
+      r.history.begin(), r.history.end(), [](const sched::PassRecord& rec) {
+        return rec.action.find("accept-negative-slack") != std::string::npos;
+      });
+  if (!accepted_slack) {
+    EXPECT_GE(s.worst_slack_ps, -1e-9) << label;
+  }
+}
+
+// The SDC backend must agree with the list backend on feasibility,
+// latency (LI) and II over every suite kernel — the schedules themselves
+// may differ, so constraint satisfaction is checked structurally instead
+// of by hash.
+TEST(SchedBackends, SdcMatchesListOnFeasibilityLatencyAndIi) {
+  for (const auto& w0 : workloads::suite()) {
+    for (int ii : {0, 1, 2}) {
+      workloads::Workload w = w0;  // straighten mutates the module
+      pipeline::straighten(w.module);
+      const auto region = ir::linearize(w.module.thread.tree, w.loop);
+      const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+      const std::string label = w.name + " at II=" + std::to_string(ii);
+
+      sched::SchedulerOptions list_opts;
+      if (ii > 0) {
+        list_opts.pipeline.enabled = true;
+        list_opts.pipeline.ii = ii;
+      }
+      sched::SchedulerOptions sdc_opts = list_opts;
+      sdc_opts.backend = sched::BackendKind::kSdc;
+
+      const auto rl = sched::schedule_region(w.module.thread.dfg, region,
+                                             latency, w.module.ports.size(),
+                                             list_opts);
+      const auto rs = sched::schedule_region(w.module.thread.dfg, region,
+                                             latency, w.module.ports.size(),
+                                             sdc_opts);
+      EXPECT_EQ(rl.backend, sched::BackendKind::kList);
+      EXPECT_EQ(rs.backend, sched::BackendKind::kSdc);
+      EXPECT_EQ(rl.success, rs.success) << label;
+      if (!rl.success || !rs.success) continue;
+      EXPECT_EQ(rl.schedule.num_steps, rs.schedule.num_steps) << label;
+      EXPECT_EQ(rl.schedule.pipeline.enabled, rs.schedule.pipeline.enabled)
+          << label;
+      EXPECT_EQ(rl.schedule.pipeline.ii, rs.schedule.pipeline.ii) << label;
+      expect_structurally_valid(w, region, rs, label + " [sdc]");
+      expect_structurally_valid(w, region, rl, label + " [list]");
+    }
+  }
+}
+
+// ---- Restraint-volume cap ---------------------------------------------------
+
+// The 1600-op bench point: a hopeless early pass used to itemize ~1500
+// per-op restraints before the expert chose "add many states" anyway.
+// With the cap the driver emits one aggregate fast-forward instead — the
+// pass count must drop and no pass may itemize a restraint volume at or
+// above the cap.
+TEST(SchedVolumeCap, AggregateFastForwardDropsPassesOn1600OpBenchPoint) {
+  workloads::RandomCdfgOptions gen;
+  gen.target_ops = 1600;
+  gen.inputs = 4 + 1600 / 800;
+  auto w = workloads::make_random_cdfg(1600, gen);
+  pipeline::straighten(w.module);
+  const auto region = ir::linearize(w.module.thread.tree, w.loop);
+  const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+
+  sched::SchedulerOptions capped;  // the default cap
+  sched::SchedulerOptions uncapped = capped;
+  uncapped.restraint_volume_cap = 0;
+
+  const auto rc = sched::schedule_region(w.module.thread.dfg, region, latency,
+                                         w.module.ports.size(), capped);
+  const auto ru = sched::schedule_region(w.module.thread.dfg, region, latency,
+                                         w.module.ports.size(), uncapped);
+  ASSERT_TRUE(rc.success);
+  ASSERT_TRUE(ru.success);
+  EXPECT_EQ(rc.schedule.num_steps, ru.schedule.num_steps);
+  EXPECT_LT(rc.passes, ru.passes);
+
+  std::size_t capped_max = 0;
+  bool saw_aggregate = false;
+  for (const auto& rec : rc.history) {
+    capped_max = std::max(capped_max, rec.restraints.size());
+    saw_aggregate = saw_aggregate ||
+                    rec.action.find("over resource capacity") !=
+                        std::string::npos;
+  }
+  std::size_t uncapped_max = 0;
+  for (const auto& rec : ru.history) {
+    uncapped_max = std::max(uncapped_max, rec.restraints.size());
+  }
+  EXPECT_TRUE(saw_aggregate);
+  EXPECT_LT(capped_max,
+            static_cast<std::size_t>(capped.restraint_volume_cap));
+  EXPECT_GE(uncapped_max,
+            static_cast<std::size_t>(capped.restraint_volume_cap));
 }
 
 // ---- Serial ≡ threaded explore over the new scheduler -----------------------

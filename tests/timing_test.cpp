@@ -132,6 +132,54 @@ TEST(Engine, MatchesPureFunctions) {
                    register_slack_ps(1190, 1600, artisan90()));
 }
 
+// ---- Shared delay tables ----------------------------------------------------
+
+TEST(DelayTables, PrewarmMatchesLibraryValues) {
+  const auto& lib = artisan90();
+  const DelayTables tables = DelayTables::prewarm(lib);
+  const auto mul = static_cast<std::size_t>(FuClass::kMultiplier);
+  ASSERT_GT(tables.fu_delay_ps.size(), mul);
+  EXPECT_DOUBLE_EQ(tables.fu_delay_ps[mul][32],
+                   lib.fu_delay_ps(FuClass::kMultiplier, 32));
+  EXPECT_DOUBLE_EQ(tables.mux_delay_ps[2], lib.mux_delay_ps(2));
+}
+
+TEST(DelayTables, SharedEngineMatchesLocalEngine) {
+  const auto& lib = artisan90();
+  const DelayTables tables = DelayTables::prewarm(lib);
+  TimingEngine local(lib, 1600);
+  TimingEngine shared(lib, 1600, &tables);
+  PathQuery q;
+  q.operand_arrivals_ps = {40, 40};
+  q.cls = FuClass::kMultiplier;
+  q.width = 32;
+  q.in_mux_inputs = 2;
+  q.out_mux_inputs = 2;
+  EXPECT_DOUBLE_EQ(shared.output_arrival_ps(q), local.output_arrival_ps(q));
+  // A shared-table lookup counts as a cache hit from the very first query
+  // (that is the point: no cold misses in explore workers).
+  TimingEngine fresh(lib, 1600, &tables);
+  const auto hits0 = fresh.cache_hits();
+  fresh.fu_delay_ps(FuClass::kMultiplier, 32);
+  EXPECT_GT(fresh.cache_hits(), hits0);
+}
+
+TEST(DelayTables, WidthBeyondTablesFallsBackToLocalMemo) {
+  const auto& lib = artisan90();
+  const DelayTables tables = DelayTables::prewarm(lib, /*max_width=*/8,
+                                                  /*max_mux=*/4);
+  TimingEngine shared(lib, 1600, &tables);
+  // 32 bits is beyond the 8-bit prewarmed range: first lookup is a cold
+  // library call, the second hits the engine-local memo.
+  const double d1 = shared.fu_delay_ps(FuClass::kMultiplier, 32);
+  const auto hits0 = shared.cache_hits();
+  const double d2 = shared.fu_delay_ps(FuClass::kMultiplier, 32);
+  EXPECT_DOUBLE_EQ(d1, lib.fu_delay_ps(FuClass::kMultiplier, 32));
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_EQ(shared.cache_hits(), hits0 + 1);
+  EXPECT_DOUBLE_EQ(shared.mux_delay_ps(16), lib.mux_delay_ps(16));
+}
+
 // ---- Combinational cycle graph (Figure 6) ----------------------------------------
 
 TEST(CombCycle, DetectsTwoResourceCycle) {
