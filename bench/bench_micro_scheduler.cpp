@@ -200,8 +200,11 @@ double fitted_exponent(const std::vector<std::pair<int, double>>& points) {
 // Times one schedule_region per design size for `backend`, appending a
 // {ops, passes, success, total_ns, ns_per_pass} entry per size under the
 // current JSON array, and returns the (ops, ns_per_pass) points.
+// `warm_start` toggles trace-replay warm starts across relaxation passes
+// (both backends support them; the warm/cold delta is the per-size
+// warm-start win).
 std::vector<std::pair<int, double>> emit_backend_sweep(
-    JsonWriter& w, sched::BackendKind backend, int max_ops) {
+    JsonWriter& w, sched::BackendKind backend, int max_ops, bool warm_start) {
   std::vector<std::pair<int, double>> per_pass;
   for (int ops : {100, 400, 1600, 6400}) {
     if (ops > max_ops) continue;
@@ -211,6 +214,7 @@ std::vector<std::pair<int, double>> emit_backend_sweep(
     const auto latency = wl.module.thread.tree.stmt(wl.loop).latency;
     sched::SchedulerOptions opts;
     opts.backend = backend;
+    opts.warm_start = warm_start;
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = sched::schedule_region(wl.module.thread.dfg, region,
                                           latency, wl.module.ports.size(),
@@ -255,15 +259,33 @@ void emit_scheduler_json(const char* path, unsigned explore_threads) {
   w.key("schedule_ns_per_pass");
   w.begin_array();
   const auto per_pass =
-      emit_backend_sweep(w, sched::BackendKind::kList, 6400);
+      emit_backend_sweep(w, sched::BackendKind::kList, 6400, true);
   w.end_array();
-  // The SDC sweep stops at 1600 ops: its 6400-op point costs minutes of
-  // wall clock per run (the constraint re-solves are not yet warm-started
-  // across passes) for a number that is reported, never gated.
+  // The SDC sweeps stop at 1600 ops: the 6400-op point costs minutes of
+  // wall clock per run for a number that is reported, never gated. The
+  // cold sweep keeps the historical `schedule_ns_per_pass_sdc` meaning
+  // (every pass re-solved from scratch); the `_warm` sweep replays the
+  // validated prefix across relaxation passes, and the per-size delta is
+  // the SDC warm-start win tracked per commit.
   w.key("schedule_ns_per_pass_sdc");
   w.begin_array();
-  emit_backend_sweep(w, sched::BackendKind::kSdc, 1600);
+  const auto sdc_cold =
+      emit_backend_sweep(w, sched::BackendKind::kSdc, 1600, false);
   w.end_array();
+  w.key("schedule_ns_per_pass_sdc_warm");
+  w.begin_array();
+  const auto sdc_warm =
+      emit_backend_sweep(w, sched::BackendKind::kSdc, 1600, true);
+  w.end_array();
+  for (std::size_t i = 0; i < sdc_cold.size() && i < sdc_warm.size(); ++i) {
+    const auto [ops, cold_ns] = sdc_cold[i];
+    const auto [warm_ops, warm_ns] = sdc_warm[i];
+    std::printf("sdc warm start at %d ops: %.2f ms/pass cold vs %.2f ms/pass "
+                "warm (%.2fx)\n",
+                ops, cold_ns / 1e6, warm_ns / 1e6,
+                warm_ns > 0 ? cold_ns / warm_ns : 0.0);
+    (void)warm_ops;
+  }
   // Complexity fit over the size sweep; < 2.0 means the pass stays
   // subquadratic in the op count.
   const double exponent = fitted_exponent(per_pass);

@@ -3,6 +3,7 @@
 // failing passes at latency 1 and 2, the expert's add-state decisions, and
 // the final 3-state schedule on a single shared multiplier.
 #include <cstdio>
+#include <string>
 
 #include "core/report.hpp"
 #include "core/session.hpp"
@@ -63,13 +64,16 @@ int main() {
               r.sched.passes, r.sched.schedule.num_steps,
               r.sched.schedule.worst_slack_ps);
 
-  // The same example through both scheduler backends: the paper narrative
-  // above uses the list scheduler; the SDC backend must agree on
-  // feasibility, latency and resources while its pass structure (and
-  // timing-query count) may differ.
-  std::printf("Backend comparison (list vs sdc):\n");
+  // The same example through both scheduler backends and the automatic
+  // chooser: the paper narrative above uses the list scheduler; the SDC
+  // backend must agree on feasibility, latency and resources while its
+  // pass structure (and timing-query count) may differ; kAuto must
+  // resolve to one of the two, deterministically across repeated runs,
+  // and the result must report the resolved backend — never "auto".
+  std::printf("Backend comparison (list vs sdc vs auto):\n");
   for (const auto backend :
-       {sched::BackendKind::kList, sched::BackendKind::kSdc}) {
+       {sched::BackendKind::kList, sched::BackendKind::kSdc,
+        sched::BackendKind::kAuto}) {
     core::FlowOptions bopts;
     bopts.backend = backend;
     auto br = session.run(bopts);
@@ -78,10 +82,28 @@ int main() {
                   br.failure_reason.c_str());
       return 1;
     }
-    std::printf("  %-4s %d states, %d passes, %d relaxations, %llu timing "
+    std::string name = sched::backend_name(backend);
+    if (backend == sched::BackendKind::kAuto) {
+      if (br.sched.backend == sched::BackendKind::kAuto) {
+        std::printf("  auto FAILED: result reports the requested backend, "
+                    "not the resolved one\n");
+        return 1;
+      }
+      auto br2 = session.run(bopts);
+      if (!br2.success || br2.sched.backend != br.sched.backend) {
+        std::printf("  auto FAILED: resolution not deterministic (%s vs "
+                    "%s)\n",
+                    sched::backend_name(br.sched.backend),
+                    br2.success ? sched::backend_name(br2.sched.backend)
+                                : "failure");
+        return 1;
+      }
+      name += std::string("->") + sched::backend_name(br.sched.backend);
+    }
+    std::printf("  %-10s %d states, %d passes, %d relaxations, %llu timing "
                 "queries, worst slack %.0f ps\n",
-                sched::backend_name(backend), br.sched.schedule.num_steps,
-                br.sched.passes, br.sched.relaxations(),
+                name.c_str(), br.sched.schedule.num_steps, br.sched.passes,
+                br.sched.relaxations(),
                 static_cast<unsigned long long>(br.sched.timing_queries),
                 br.sched.schedule.worst_slack_ps);
   }

@@ -34,6 +34,13 @@ std::vector<int> ResourceSet::instance_bases() const {
   return bases;
 }
 
+InstanceNumbering ResourceSet::numbering() const {
+  InstanceNumbering n;
+  n.bases = instance_bases();
+  n.total = total_instances();
+  return n;
+}
+
 ResourceSet cluster_resources(const ir::Dfg& dfg,
                               const std::vector<OpId>& region_ops,
                               const tech::Library& lib) {

@@ -23,6 +23,20 @@ struct ResourcePool {
   std::string name;       ///< e.g. "mul32", "add32#1"
 };
 
+/// Dense global numbering of the instances of a ResourceSet: instance
+/// `inst` of pool `pool` is `bases[pool] + inst`, a contiguous index in
+/// [0, total). Flat per-instance tables (occupancy, forbidden bindings,
+/// per-instance op counts) are sized `total` and addressed through
+/// `global` so every consumer agrees on the numbering.
+struct InstanceNumbering {
+  std::vector<int> bases;  ///< first global index per pool (prefix sums)
+  int total = 0;           ///< instances across all pools
+
+  int global(int pool, int inst) const {
+    return bases[static_cast<std::size_t>(pool)] + inst;
+  }
+};
+
 struct ResourceSet {
   std::vector<ResourcePool> pools;
   /// Pool index per OpId; -1 for ops that need no function unit.
@@ -38,6 +52,9 @@ struct ResourceSet {
   /// First global instance index per pool (prefix sums of the counts):
   /// flat occupancy tables address instances as bases[pool] + instance.
   std::vector<int> instance_bases() const;
+  /// Both of the above as one value (the counts must not change while a
+  /// numbering is in use).
+  InstanceNumbering numbering() const;
 };
 
 /// Builds pools for the given region ops (count fields left at 0).

@@ -29,6 +29,16 @@ ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
   pt.backend = sched::backend_name(cfg.backend);
   try {
     FlowResult r = session.run(opts);
+    // Report the backend that actually ran (kAuto resolves per problem
+    // inside schedule_region). A run that failed before the schedule
+    // stage keeps the requested name — nothing was resolved.
+    const bool reached_schedule =
+        r.success ||
+        std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                    [](const Diagnostic& d) { return d.stage == "schedule"; });
+    if (reached_schedule) {
+      pt.backend = sched::backend_name(r.sched.backend);
+    }
     pt.sched_seconds = r.sched_seconds;
     pt.passes = r.sched.passes;
     pt.relaxations = r.sched.relaxations();

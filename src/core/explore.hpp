@@ -34,7 +34,9 @@ struct ExplorePoint {
   double sched_seconds = 0;  ///< wall-clock scheduling time
   int passes = 0;            ///< scheduling passes taken
   int relaxations = 0;       ///< expert relaxation actions applied
-  /// Which scheduler backend produced the point ("list" / "sdc").
+  /// Which scheduler backend produced the point ("list" / "sdc"). A
+  /// kAuto config reports the backend the scheduler resolved to; only a
+  /// run that failed before scheduling keeps "auto".
   std::string backend;
 };
 
@@ -44,7 +46,8 @@ struct ExploreConfig {
   int latency = 0;       ///< target LI (used as both min and max bound)
   int pipeline_ii = 0;   ///< 0 = sequential
   /// Scheduler backend for this configuration (backends can be swept
-  /// against each other in one grid).
+  /// against each other in one grid; kAuto lets the scheduler pick per
+  /// problem and the point reports the resolved choice).
   sched::BackendKind backend = sched::BackendKind::kList;
 };
 

@@ -32,7 +32,9 @@ namespace hls::core {
 struct FlowOptions {
   double tclk_ps = 1600;
   const tech::Library* lib = nullptr;  ///< defaults to artisan90
-  /// Scheduling backend (list scheduler or SDC; see sched/backend.hpp).
+  /// Scheduling backend (list, SDC, or kAuto to let the scheduler pick
+  /// per problem; see sched/backend.hpp). Reports — render_report,
+  /// render_json, ExplorePoint — always carry the resolved backend.
   sched::BackendKind backend = sched::BackendKind::kList;
   /// 0 = sequential micro-architecture; >0 = pipeline with this II.
   int pipeline_ii = 0;
@@ -46,6 +48,10 @@ struct FlowOptions {
   bool avoid_comb_cycles = true;
   bool use_mutual_exclusivity = true;
   bool allow_accept_slack = true;
+  /// Warm-start relaxation passes from the prior pass's decision trace
+  /// (both backends; bit-identical results either way). Exposed here so
+  /// warm/cold A/B comparisons can run at the flow/explore level.
+  bool warm_start = true;
   /// Emit Verilog text into the result (costs a little time).
   bool emit_verilog = true;
 };

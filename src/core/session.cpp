@@ -220,6 +220,7 @@ bool FlowRun::select_microarch() {
   sopts_.avoid_comb_cycles = options_.avoid_comb_cycles;
   sopts_.use_mutual_exclusivity = options_.use_mutual_exclusivity;
   sopts_.allow_accept_slack = options_.allow_accept_slack;
+  sopts_.warm_start = options_.warm_start;
 
   region_ = ir::linearize(m.thread.tree, result_.loop);
   result_.timings.microarch_seconds = seconds_since(t0);

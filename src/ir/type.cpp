@@ -32,7 +32,9 @@ std::int64_t type_max(Type t) {
     if (t.width == 64) return INT64_MAX;
     return (std::int64_t{1} << (t.width - 1)) - 1;
   }
-  if (t.width >= 64) return INT64_MAX;  // saturates at int64 max for u64
+  // u63's maximum IS INT64_MAX; u64 saturates there. Also keeps the
+  // shift below out of signed-overflow territory (1 << 63 then -1).
+  if (t.width >= 63) return INT64_MAX;
   return (std::int64_t{1} << t.width) - 1;
 }
 
@@ -46,10 +48,12 @@ int min_width_for(std::int64_t v, bool is_signed) {
     return 64;
   }
   if (v < 0) return 64;  // negative values are not representable unsigned
-  for (int w = 1; w <= 63; ++w) {
+  for (int w = 1; w <= 62; ++w) {
     if (v <= (std::int64_t{1} << w) - 1) return w;
   }
-  return 64;
+  // Every non-negative int64 fits u63 (its max is INT64_MAX); computing
+  // (1 << 63) - 1 to test it would itself overflow.
+  return 63;
 }
 
 }  // namespace hls::ir

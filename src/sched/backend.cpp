@@ -1,5 +1,6 @@
 #include "sched/backend.hpp"
 
+#include "sched/pass_scheduler.hpp"
 #include "sched/sdc_scheduler.hpp"
 
 namespace hls::sched {
@@ -8,35 +9,64 @@ const char* backend_name(BackendKind kind) {
   switch (kind) {
     case BackendKind::kList: return "list";
     case BackendKind::kSdc: return "sdc";
+    case BackendKind::kAuto: return "auto";
   }
   return "?";
 }
 
 namespace {
 
-/// The paper's timing-driven list scheduling pass, unchanged: one
-/// `run_pass` (pass_scheduler.cpp) per attempt, with warm-start replay.
+/// The paper's timing-driven list scheduling pass: one `run_pass`
+/// (pass_scheduler.cpp) per attempt over the shared dependence graph,
+/// with warm-start replay.
 class ListScheduler final : public SchedulerBackend {
  public:
-  using SchedulerBackend::SchedulerBackend;
+  ListScheduler(const Problem& problem, const SchedulerOptions& options)
+      : SchedulerBackend(problem, options),
+        dg_(build_dependence_graph(problem)) {}
 
   BackendKind kind() const override { return BackendKind::kList; }
   bool warm_startable() const override { return true; }
 
   PassOutcome run_pass(timing::TimingEngine& eng,
                        const WarmStart* warm) override {
-    return sched::run_pass(problem_, eng, warm);
+    return sched::run_pass(problem_, dg_, eng, warm);
   }
+
+ private:
+  /// Pass-invariant (the dependence rules only read static Problem
+  /// structure), so it is built once per schedule_region, not per pass.
+  DependenceGraph dg_;
 };
 
 }  // namespace
 
+BackendKind resolve_backend(const Problem& problem,
+                            const SchedulerOptions& options) {
+  if (options.backend != BackendKind::kAuto) return options.backend;
+  // Heuristic calibrated against BENCH_scheduler.json: the list backend
+  // is the cheapest per pass across the size sweep and wins the
+  // backend_explore comparison on feed-forward kernels, so it is the
+  // default. The SDC backend earns its constraint propagation on
+  // relaxation-heavy pipelined recurrences — II windows move whole SCC
+  // bodies at once instead of deferring member by member — as long as
+  // the design is small enough that its per-pass solve cost stays
+  // comparable (the SDC size sweep is capped at 1600 ops for a reason).
+  if (!problem.pipeline.enabled || problem.sccs.empty()) {
+    return BackendKind::kList;
+  }
+  constexpr std::size_t kSdcMaxOps = 1024;
+  if (problem.ops.size() > kSdcMaxOps) return BackendKind::kList;
+  return BackendKind::kSdc;
+}
+
 std::unique_ptr<SchedulerBackend> make_backend(const Problem& problem,
                                                const SchedulerOptions& options) {
-  switch (options.backend) {
+  switch (resolve_backend(problem, options)) {
     case BackendKind::kSdc:
       return std::make_unique<SdcScheduler>(problem, options);
     case BackendKind::kList:
+    case BackendKind::kAuto:  // unreachable: resolve_backend never returns it
       break;
   }
   return std::make_unique<ListScheduler>(problem, options);

@@ -16,8 +16,12 @@
 //  * ListScheduler (backend.cpp) — the paper's timing-driven list
 //    scheduling pass (pass_scheduler.cpp); supports warm starts.
 //  * SdcScheduler (sdc_scheduler.hpp) — difference-constraint
-//    formulation solved by an incremental longest-path core, with a
-//    legalizing binder; infeasibility is handed to the same expert.
+//    formulation solved by an incremental longest-path core; also
+//    warm-startable.
+// Both drive the shared sched::BindingEngine (binder.hpp) for
+// legalization, so restraints and binding semantics are structurally
+// identical. BackendKind::kAuto defers the choice to resolve_backend,
+// a deterministic per-problem heuristic.
 #pragma once
 
 #include <memory>
@@ -54,8 +58,19 @@ class SchedulerBackend {
   const SchedulerOptions& options_;
 };
 
-/// Constructs the backend selected by `options.backend`. The Problem and
-/// options must outlive the returned backend.
+/// Resolves `options.backend` to a concrete backend kind (never kAuto).
+/// Deterministic: a pure function of the problem shape, so repeated calls
+/// — and re-runs of the same configuration — always pick the same
+/// backend. The kAuto heuristic keys off recurrence presence (pipelined
+/// SCCs) and op count; its thresholds come from the per-backend figures
+/// tracked in BENCH_scheduler.json (schedule_ns_per_pass vs
+/// schedule_ns_per_pass_sdc* and the backend_explore comparison).
+BackendKind resolve_backend(const Problem& problem,
+                            const SchedulerOptions& options);
+
+/// Constructs the backend selected by `options.backend` (kAuto resolved
+/// via resolve_backend). The Problem and options must outlive the
+/// returned backend.
 std::unique_ptr<SchedulerBackend> make_backend(const Problem& problem,
                                                const SchedulerOptions& options);
 

@@ -14,43 +14,6 @@ int SchedulerResult::relaxations() const {
   return n;
 }
 
-namespace {
-
-/// Number of ops the current resource counts provably leave without an
-/// instance slot: for every pool, members beyond count x usable slots
-/// must fail their binding, each with at least one restraint. This is the
-/// "hopeless pass" detector behind SchedulerOptions::restraint_volume_cap
-/// (exclusive colocation can only lower the true figure, so the estimate
-/// is a floor on the restraint volume, not on feasibility).
-int provable_resource_overflow(const Problem& p) {
-  const int slots = p.pipeline.enabled ? p.pipeline.ii : p.num_steps;
-  int overflow = 0;
-  for (std::size_t i = 0; i < p.resources.pools.size(); ++i) {
-    // A multi-cycle member occupies `span` consecutive slots, so an
-    // instance hosts at most slots/span ops (back-to-back packing).
-    const int span = std::max(1, p.resources.pools[i].latency_cycles);
-    const int capacity = p.resources.pools[i].count * (slots / span);
-    overflow += std::max(0, p.pool_member_counts[i] - capacity);
-  }
-  return overflow;
-}
-
-/// States needed so every pool fits its members (sequential regions; for
-/// pipelined regions extra states do not add slots).
-int states_for_resources(const Problem& p) {
-  int needed = p.num_steps;
-  for (std::size_t i = 0; i < p.resources.pools.size(); ++i) {
-    const int count = p.resources.pools[i].count;
-    if (count <= 0 || p.pool_member_counts[i] == 0) continue;
-    const int span = std::max(1, p.resources.pools[i].latency_cycles);
-    needed = std::max(
-        needed, ((p.pool_member_counts[i] + count - 1) / count) * span);
-  }
-  return needed;
-}
-
-}  // namespace
-
 SchedulerResult schedule_region(const ir::Dfg& dfg,
                                 const ir::LinearRegion& region,
                                 ir::LatencyBound latency,
@@ -67,6 +30,11 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   p.avoid_comb_cycles = options.avoid_comb_cycles;
   p.exclusive_colocation = options.use_mutual_exclusivity;
 
+  // The result reports the *resolved* backend: a kAuto request resolves
+  // deterministically per problem (resolve_backend) and every consumer —
+  // render_report, render_json, ExplorePoint — sees what actually ran.
+  const BackendKind resolved = resolve_backend(p, options);
+
   // Recurrence bound: an SCC whose optimistic chain needs more states than
   // II can never satisfy the window constraint, no matter where the window
   // sits (the designer must raise II; the paper leaves II to the designer).
@@ -75,7 +43,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
       const int needed = scc_min_states(p, p.sccs[i]);
       if (needed > options.pipeline.ii) {
         SchedulerResult result;
-        result.backend = options.backend;
+        result.backend = resolved;
         result.failure_reason = strf(
             "recurrence infeasible: an inter-iteration dependency cycle "
             "(SCC #", i, ", ", p.sccs[i].size(), " ops) needs at least ",
@@ -101,7 +69,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   const bool warm_startable = options.warm_start && backend->warm_startable();
 
   SchedulerResult result;
-  result.backend = options.backend;
+  result.backend = backend->kind();
   // Warm-start state: the previous pass's decision trace plus the first
   // step the applied relaxation could have changed. A zero frontier (or an
   // invalidated trace) means a cold pass.

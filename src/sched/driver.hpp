@@ -13,14 +13,16 @@
 namespace hls::sched {
 
 /// Which scheduling algorithm runs inside the pass/relaxation loop. Both
-/// backends share the Problem construction, the expert system and the
-/// result/report shapes (see backend.hpp for the interface contract).
+/// backends share the Problem construction, the expert system, the
+/// BindingEngine legalization machinery and the result/report shapes (see
+/// backend.hpp for the interface contract).
 enum class BackendKind : std::uint8_t {
   kList,  ///< the paper's timing-driven list scheduler (default)
-  kSdc,   ///< difference-constraint core + legalizing binder
+  kSdc,   ///< difference-constraint core + shared binding engine
+  kAuto,  ///< resolve_backend picks list or SDC per problem
 };
 
-/// Stable lowercase name ("list" / "sdc") for reports and JSON.
+/// Stable lowercase name ("list" / "sdc" / "auto") for reports and JSON.
 const char* backend_name(BackendKind kind);
 
 struct SchedulerOptions {
@@ -29,7 +31,9 @@ struct SchedulerOptions {
   PipelineConfig pipeline;
   bool anchor_io = false;
 
-  /// Scheduling algorithm run inside the relaxation loop.
+  /// Scheduling algorithm run inside the relaxation loop. kAuto resolves
+  /// to list or SDC per problem (resolve_backend, backend.hpp); the
+  /// resolved choice is what SchedulerResult::backend reports.
   BackendKind backend = BackendKind::kList;
 
   /// Shared read-only unit-delay tables (timing::DelayTables), usually
@@ -51,9 +55,11 @@ struct SchedulerOptions {
   bool use_mutual_exclusivity = true;
   bool allow_accept_slack = true;
   /// Re-enter relaxation passes from the prior pass's decision trace,
-  /// re-solving only from the invalidation frontier onward. Results are
-  /// bit-identical to cold passes (golden suite enforced); disable to
-  /// force cold passes, e.g. for A/B determinism checks.
+  /// re-solving only from the invalidation frontier onward (both
+  /// backends; SDC replay also re-derives its solved constraint bounds
+  /// for the prefix). Results are bit-identical to cold passes (golden
+  /// suite enforced); disable to force cold passes, e.g. for A/B
+  /// determinism checks.
   bool warm_start = true;
 
   int max_passes = 128;
@@ -73,7 +79,9 @@ struct PassRecord {
 struct SchedulerResult {
   bool success = false;
   Schedule schedule;
-  /// The backend that produced (or failed to produce) the schedule.
+  /// The backend that produced (or failed to produce) the schedule: the
+  /// *resolved* backend, never kAuto — a kAuto request reports the
+  /// concrete choice resolve_backend made for this problem.
   BackendKind backend = BackendKind::kList;
   int passes = 0;
   std::vector<PassRecord> history;

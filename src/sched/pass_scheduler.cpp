@@ -1,32 +1,13 @@
 #include "sched/pass_scheduler.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
-
-#include "sched/priority.hpp"
-#include "support/diagnostics.hpp"
-#include "support/strings.hpp"
-#include "timing/comb_cycle.hpp"
 
 namespace hls::sched {
 
 using ir::kNoOp;
-using ir::Op;
 using ir::OpId;
-using ir::OpKind;
-using tech::FuClass;
 
 namespace {
-
-/// Why a particular instance refused a binding.
-enum class RefuseCause : std::uint8_t {
-  kBusy,
-  kSlack,
-  kCycle,
-  kForbidden,
-  kWindow,
-};
 
 // The pass keeps the classic list-scheduling semantics (pick the highest
 // priority ready op, bind it, defer on refusal) but replaces every
@@ -37,11 +18,10 @@ enum class RefuseCause : std::uint8_t {
 //    dropped into a release-step bucket and merged into a rank-ordered
 //    active set when its step begins — pick_ready is a set-front read, not
 //    an O(ops) scan;
-//  * occupancy and the forbidden set are dense vectors indexed by
-//    (instance_base[pool] + instance) * num_slots + slot;
-//  * mutual exclusivity comes from the Problem's precomputed bitset matrix
-//    and the exclusive-sharing predicate-availability check is hoisted out
-//    of the instance/slot loops (it only depends on the op and step);
+//  * binding, occupancy, timing verdicts and restraint aggregation are the
+//    shared BindingEngine's, and the active-set/trace scaffolding is the
+//    shared SolverHost's (binder.cpp) — this file contributes only the
+//    ready buckets and the step loop;
 //  * every decision is logged as a PassEvent so the next pass can warm
 //    start: replay the decision prefix the relaxation provably cannot have
 //    changed, then continue normally from the invalidation frontier.
@@ -49,27 +29,13 @@ enum class RefuseCause : std::uint8_t {
 // All of this is behavior-preserving: schedules, restraints and failure
 // lists are bit-identical to the full-rescan implementation (enforced by
 // the golden-hash determinism suite).
-class PassRunner {
+class PassRunner final : SolverHost {
  public:
-  PassRunner(const Problem& p, timing::TimingEngine& eng,
-             const WarmStart* warm)
-      : p_(p), dfg_(*p.dfg), eng_(eng), warm_(warm) {
-    placement_.assign(dfg_.size(), OpPlacement{});
-    failed_.assign(dfg_.size(), false);
-    priorities_ = compute_priorities(p);
-    rank_ = priority_ranks(p, priorities_);
-    order_.assign(p_.ops.size(), kNoOp);
-    for (OpId id : p_.ops) order_[static_cast<std::size_t>(rank_[id])] = id;
-    build_deps();
-    resource_base_ = p_.resources.instance_bases();
-    total_instances_ = p_.resources.total_instances();
-    num_slots_ = p_.pipeline.enabled ? p_.pipeline.ii : p_.num_steps;
-    occ_.assign(static_cast<std::size_t>(total_instances_) *
-                    static_cast<std::size_t>(num_slots_),
-                {});
-    inst_ops_.assign(static_cast<std::size_t>(total_instances_), 0);
-    refusals_.assign(dfg_.size(), {});
-    build_forbidden();
+  PassRunner(const Problem& p, const DependenceGraph& dg,
+             timing::TimingEngine& eng, const WarmStart* warm)
+      : SolverHost(p, dg, eng), warm_(warm) {
+    unmet_ = dg.base_unmet;
+    avail_.assign(dfg_.size(), 0);
     build_ready();
   }
 
@@ -84,12 +50,12 @@ class PassRunner {
       while (true) {
         const OpId best = pick_ready();
         if (best == kNoOp) break;
-        if (try_bind(best, e)) {
+        if (binder_.try_bind(best, e)) {
           // A new binding creates chaining and exclusive-sharing
           // opportunities; let deferred ops try this step again.
           ++deferred_epoch_;
         } else {
-          if (e >= start_deadline(best)) {
+          if (e >= binder_.start_deadline(best)) {
             fatal(best, e);
           } else {
             defer(best, e);
@@ -101,144 +67,27 @@ class PassRunner {
     }
     // Anything still unscheduled ran out of states.
     for (OpId id : p_.ops) {
-      if (!placement_[id].scheduled && !failed_[id]) {
+      if (!binder_.scheduled(id) && !binder_.op_failed(id)) {
         fatal_no_states(id, p_.num_steps - 1, PassEvent::Kind::kFatalFinal);
       }
     }
-
-    PassOutcome out;
-    out.success = std::none_of(p_.ops.begin(), p_.ops.end(),
-                               [&](OpId id) { return failed_[id]; });
-    out.schedule.num_steps = p_.num_steps;
-    out.schedule.pipeline = p_.pipeline;
-    out.schedule.resources = p_.resources;
-    out.schedule.placement = std::move(placement_);
-    out.restraints = std::move(restraints_);
-    out.failed_ops = std::move(failed_list_);
+    PassOutcome out = binder_.finish();
     out.trace = std::move(trace_);
-    if (out.success) {
-      out.schedule.worst_slack_ps =
-          finalize_timing(p_, out.schedule, eng_, &worst_slack_op_);
-      if (out.schedule.worst_slack_ps < -1e-9 && !p_.accept_negative_slack) {
-        // Mux growth after commit pushed a path over the clock period.
-        out.success = false;
-        Restraint r;
-        r.kind = RestraintKind::kNegativeSlack;
-        r.op = worst_slack_op_;
-        r.step = out.schedule.placement[worst_slack_op_].step;
-        r.pool = out.schedule.placement[worst_slack_op_].pool;
-        r.slack_ps = out.schedule.worst_slack_ps;
-        out.restraints.push_back(r);
-        out.failed_ops.push_back(worst_slack_op_);
-      }
-    }
     return out;
   }
 
-  OpId worst_slack_op_ = kNoOp;  // set by finalize via friend-ish access
-
  private:
-  // ---- Static tables ---------------------------------------------------------
-
-  void build_deps() {
-    deps_.assign(dfg_.size(), {});
-    data_users_.assign(dfg_.size(), {});
-    port_next_.assign(dfg_.size(), kNoOp);
-    unmet_.assign(dfg_.size(), 0);
-    avail_.assign(dfg_.size(), 0);
-    for (OpId id : p_.ops) {
-      const Op& o = dfg_.op(id);
-      auto& d = deps_[id];
-      for (std::size_t i = 0; i < o.operands.size(); ++i) {
-        if (o.kind == OpKind::kLoopMux && i == 1) continue;  // carried
-        const OpId x = o.operands[i];
-        if (x == kNoOp) continue;
-        if (!p_.in_region(x)) continue;  // consts / outer values: registered
-        d.push_back(x);
-      }
-      // Speculable ops execute regardless of their predicate (hardware
-      // speculation); only no-speculate ops (writes) wait for the enable.
-      if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
-        d.push_back(o.pred);
-      }
-      std::sort(d.begin(), d.end());
-      d.erase(std::unique(d.begin(), d.end()), d.end());
-    }
-    for (OpId id : p_.ops) {
-      for (OpId d : deps_[id]) data_users_[d].push_back(id);
-      unmet_[id] = static_cast<int>(deps_[id].size());
-    }
-    // Port write ordering is an extra pseudo-dependence on the previous
-    // write to the same port (availability = its placed step, no chaining
-    // exception).
-    for (const auto& writes : p_.port_writes) {
-      for (std::size_t i = 1; i < writes.size(); ++i) {
-        port_next_[writes[i - 1]] = writes[i];
-        ++unmet_[writes[i]];
-      }
-    }
-  }
-
-  void build_forbidden() {
-    if (p_.forbidden.empty()) return;
-    forbidden_.assign(dfg_.size() * static_cast<std::size_t>(total_instances_),
-                      0);
-    for (const auto& [op, pool, inst] : p_.forbidden) {
-      if (pool < 0 ||
-          pool >= static_cast<int>(p_.resources.pools.size()) ||
-          inst < 0 ||
-          inst >= p_.resources.pools[static_cast<std::size_t>(pool)].count) {
-        continue;
-      }
-      forbidden_[op * static_cast<std::size_t>(total_instances_) +
-                 static_cast<std::size_t>(resource_base_[static_cast<std::size_t>(
-                                              pool)] +
-                                          inst)] = 1;
-    }
-  }
-
-  bool is_forbidden(OpId id, int pool, int inst) const {
-    if (forbidden_.empty()) return false;
-    return forbidden_[id * static_cast<std::size_t>(total_instances_) +
-                      static_cast<std::size_t>(
-                          resource_base_[static_cast<std::size_t>(pool)] +
-                          inst)] != 0;
-  }
-
-  bool pool_shared(int pool) const {
-    return p_.pool_members(pool) >
-           p_.resources.pools[static_cast<std::size_t>(pool)].count;
-  }
-
-  int latency_of(OpId id) const {
-    const int pool = p_.resources.pool_of(id);
-    if (pool < 0) return 0;
-    return p_.resources.pools[static_cast<std::size_t>(pool)].latency_cycles;
-  }
-
-  /// Latest step at which execution may START (deadline on the result step
-  /// minus the unit latency).
-  int start_deadline(OpId id) const {
-    return p_.deadline(id) - latency_of(id);
-  }
-
-  int slot_of(int step) const {
-    return p_.pipeline.enabled ? step % p_.pipeline.ii : step;
-  }
-
-  // ---- Incremental readiness -------------------------------------------------
+  // ---- Incremental readiness -----------------------------------------------
 
   void build_ready() {
     buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
     deadline_buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
-    deferred_mark_.assign(dfg_.size(), 0);
-    defer_logged_.assign(dfg_.size(), false);
     for (OpId id : p_.ops) {
       if (unmet_[id] == 0) activate(id);
       // An op is examined for a missed deadline exactly once: at the first
       // step past its start deadline (readiness is monotone, so later
       // sweeps of the same op could never fire).
-      const int e0 = std::max(start_deadline(id), 0);
+      const int e0 = std::max(binder_.start_deadline(id), 0);
       if (e0 < p_.num_steps) {
         deadline_buckets_[static_cast<std::size_t>(e0)].push_back(id);
       }
@@ -248,7 +97,7 @@ class PassRunner {
   /// All dependences are placed; queue the op for the step where they are
   /// all available and its release permits a start.
   void activate(OpId id) {
-    if (failed_[id] || placement_[id].scheduled) return;
+    if (binder_.op_failed(id) || binder_.scheduled(id)) return;
     int act = std::max(avail_[id], p_.release(id));
     if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
       // Anchored I/O may only be placed on its home step.
@@ -262,13 +111,6 @@ class PassRunner {
       insert_active(id);
     } else {
       buckets_[static_cast<std::size_t>(act)].push_back(id);
-    }
-  }
-
-  void insert_active(OpId id) {
-    active_.insert(rank_[id]);
-    if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
-      step_anchored_.push_back(id);
     }
   }
 
@@ -287,40 +129,18 @@ class PassRunner {
     ++deferred_epoch_;  // the deferred set is per step
     step_anchored_.clear();
     for (OpId id : buckets_[static_cast<std::size_t>(e)]) {
-      if (placement_[id].scheduled || failed_[id]) continue;
+      if (binder_.scheduled(id) || binder_.op_failed(id)) continue;
       insert_active(id);
     }
   }
 
   void end_step() {
     // Anchored ops are only eligible on their home step.
-    for (OpId id : step_anchored_) active_.erase(rank_[id]);
+    for (OpId id : step_anchored_) active_.erase(po_.rank[id]);
     in_step_ = false;
   }
 
-  OpId pick_ready() const {
-    for (const int r : active_) {
-      const OpId id = order_[static_cast<std::size_t>(r)];
-      if (deferred_mark_[id] == deferred_epoch_) continue;
-      return id;
-    }
-    return kNoOp;
-  }
-
-  void defer(OpId id, int e) {
-    deferred_mark_[id] = deferred_epoch_;
-    // Only the first defer matters to the warm-start frontier (it has the
-    // op's minimum failed-bind step); skip the rest to bound the trace.
-    if (defer_logged_[id]) return;
-    defer_logged_[id] = true;
-    PassEvent ev;
-    ev.kind = PassEvent::Kind::kDefer;
-    ev.op = id;
-    ev.step = e;
-    trace_.events.push_back(std::move(ev));
-  }
-
-  // ---- Warm start ------------------------------------------------------------
+  // ---- Warm start ----------------------------------------------------------
 
   /// Replays the previous pass's decisions for every step before the
   /// frontier; state (placements, occupancy, ready queues, restraints)
@@ -343,674 +163,37 @@ class PassRunner {
     return frontier;
   }
 
-  void apply_replay(const PassEvent& ev) {
-    switch (ev.kind) {
-      case PassEvent::Kind::kCommit:
-        commit(ev.op, ev.pool, ev.instance, ev.step, ev.lat, ev.arrival_ps);
-        break;
-      case PassEvent::Kind::kDefer:
-        defer_logged_[ev.op] = true;
-        trace_.events.push_back(ev);
-        break;
-      case PassEvent::Kind::kFatalBind:
-      case PassEvent::Kind::kFatalSweep:
-        failed_[ev.op] = true;
-        failed_list_.push_back(ev.op);
-        active_.erase(rank_[ev.op]);
-        for (const Restraint& r : ev.restraints) restraints_.push_back(r);
-        trace_.events.push_back(ev);
-        break;
-      case PassEvent::Kind::kFatalFinal:
-        break;  // never replayed; the final loop re-derives these
-    }
-  }
+  // ---- Host callback (the engine reporting a release) ----------------------
 
-  // ---- Timing ----------------------------------------------------------------
-
-  double operand_arrival(OpId d, int e) const {
-    if (dfg_.is_const(d)) return 0;  // hard-wired constant
-    if (!p_.in_region(d)) return p_.lib->reg_clk_to_q_ps();
-    const OpPlacement& pl = placement_[d];
-    HLS_ASSERT(pl.scheduled, "operand not scheduled");
-    if (pl.step == e) return pl.arrival_ps;  // chained (or registered result)
-    return p_.lib->reg_clk_to_q_ps();
-  }
-
-  /// All data operands (carried edges excluded) plus, for no-speculate
-  /// ops, the predicate (its enable must settle before the clock edge).
-  /// Fills the reusable scratch buffer (one gather per try_bind, not one
-  /// per candidate instance).
-  void gather_arrivals(OpId id, int e) {
-    const Op& o = dfg_.op(id);
-    arrivals_.clear();
-    for (std::size_t i = 0; i < o.operands.size(); ++i) {
-      if (o.kind == OpKind::kLoopMux && i == 1) continue;
-      if (o.operands[i] == kNoOp) continue;
-      arrivals_.push_back(operand_arrival(o.operands[i], e));
-    }
-    if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
-      arrivals_.push_back(operand_arrival(o.pred, e));
-    }
-  }
-
-  // ---- Binding ----------------------------------------------------------------
-
-  struct Candidate {
-    int instance = -1;
-    double arrival = 0;
-    double slack = 0;
-  };
-
-  bool try_bind(OpId id, int e) {
-    const int pool = p_.resources.pool_of(id);
-    if (pool < 0) return bind_free(id, e);
-
-    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
-    const int lat = pdesc.latency_cycles;
-    if (lat > 0 && p_.pipeline.enabled && lat > p_.pipeline.ii) {
-      // A multi-cycle unit cannot be rebooked every II cycles.
-      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
-      return false;
-    }
-    if (e + lat >= p_.num_steps) {
-      // The registered result would land past the last state.
-      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
-      return false;
-    }
-
-    // SCC window feasibility at this step (checked once, not per instance).
-    if (!scc_window_ok(id, e + lat)) {
-      note_refusal(id, e, pool, -1, RefuseCause::kWindow);
-      return false;
-    }
-
-    gather_arrivals(id, e);
-    pq_.operand_arrivals_ps = arrivals_;  // one copy for all candidates
-    // Exclusive sharing needs the op's predicate available at this step;
-    // that is invariant across instances and slots, so check it once.
-    const Op& o = dfg_.op(id);
-    const bool excl_pred_ready =
-        o.pred != kNoOp && p_.in_region(o.pred) &&
-        placement_[o.pred].scheduled && placement_[o.pred].step <= e;
-
-    std::vector<Candidate> feasible_negative;
-    for (int inst = 0; inst < pdesc.count; ++inst) {
-      if (is_forbidden(id, pool, inst)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kForbidden);
-        continue;
-      }
-      if (!instance_free(id, pool, inst, e, lat, excl_pred_ready)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kBusy);
-        continue;
-      }
-      if (p_.avoid_comb_cycles && creates_comb_cycle(id, pool, inst, e)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kCycle);
-        continue;
-      }
-      // Timing.
-      double arrival = 0;
-      double slack = 0;
-      if (!candidate_timing(id, pool, inst, e, lat, &arrival, &slack)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kSlack, slack);
-        if (slack > -1e17) {
-          feasible_negative.push_back({inst, arrival, slack});
-        }
-        continue;
-      }
-      commit(id, pool, inst, e, lat, arrival);
-      return true;
-    }
-    if (p_.accept_negative_slack && !feasible_negative.empty()) {
-      // Last-resort mode: take the least-negative binding; logic synthesis
-      // will have to recover the slack with area (Table 4's mechanism).
-      auto best = std::max_element(
-          feasible_negative.begin(), feasible_negative.end(),
-          [](const Candidate& a, const Candidate& b) {
-            return a.slack < b.slack;
-          });
-      commit(id, pool, best->instance, e, lat, best->arrival);
-      return true;
-    }
-    return false;
-  }
-
-  bool bind_free(OpId id, int e) {
-    const Op& o = dfg_.op(id);
-    if (!scc_window_ok(id, e)) {
-      note_refusal(id, e, -1, -1, RefuseCause::kWindow);
-      return false;
-    }
-    // Write-port conflict: two writes to one port in one step are only
-    // allowed when mutually exclusive.
-    if (o.kind == OpKind::kWrite) {
-      for (OpId other : p_.port_writes[o.port]) {
-        if (other == id || !placement_[other].scheduled) continue;
-        const int other_slot = slot_of(placement_[other].step);
-        if (other_slot == slot_of(e) &&
-            !(p_.exclusive_colocation && p_.exclusive(id, other))) {
-          note_refusal(id, e, -1, -1, RefuseCause::kBusy);
-          return false;
-        }
-      }
-    }
-    gather_arrivals(id, e);
-    timing::PathQuery q;
-    q.operand_arrivals_ps = arrivals_;
-    q.cls = FuClass::kNone;
-    const double arrival =
-        o.kind == OpKind::kRead ? p_.lib->reg_clk_to_q_ps()
-                                : eng_.output_arrival_ps(q);
-    const double slack = eng_.register_slack_ps(arrival);
-    if (slack < -1e-9 && !p_.accept_negative_slack) {
-      note_refusal(id, e, -1, -1, RefuseCause::kSlack, slack);
-      return false;
-    }
-    commit(id, -1, -1, e, 0, arrival);
-    return true;
-  }
-
-  bool scc_window_ok(OpId id, int result_step) const {
-    if (!p_.pipeline.enabled) return true;
-    const int scc = p_.scc_of[id];
-    if (scc < 0) return true;
-    int lo = result_step;
-    int hi = result_step;
-    for (OpId member : p_.sccs[static_cast<std::size_t>(scc)]) {
-      if (member == id || !placement_[member].scheduled) continue;
-      lo = std::min(lo, placement_[member].step);
-      hi = std::max(hi, placement_[member].step);
-    }
-    return hi - lo <= p_.pipeline.ii - 1;
-  }
-
-  bool instance_free(OpId id, int pool, int inst, int e, int lat,
-                     bool excl_pred_ready) const {
-    const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
-    const int span = std::max(1, lat);
-    for (int s = e; s < e + span; ++s) {
-      if (s >= p_.num_steps) return false;
-      const auto& slot_ops =
-          occ_[static_cast<std::size_t>(g) *
-                   static_cast<std::size_t>(num_slots_) +
-               static_cast<std::size_t>(slot_of(s))];
-      for (OpId other : slot_ops) {
-        if (!(p_.exclusive_colocation && p_.exclusive(id, other))) {
-          return false;
-        }
-        if (!excl_pred_ready) return false;
-      }
-    }
-    return true;
-  }
-
-  bool creates_comb_cycle(OpId id, int pool, int inst, int e) const {
-    const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
-    for (OpId d : deps_[id]) {
-      const OpPlacement& pl = placement_[d];
-      if (pl.step != e || pl.pool < 0) continue;  // only chained FU deps
-      if (latency_of(d) > 0) continue;            // registered result
-      const int from =
-          resource_base_[static_cast<std::size_t>(pl.pool)] + pl.instance;
-      if (comb_graph_.would_create_cycle(from, me)) return true;
-    }
-    return false;
-  }
-
-  bool candidate_timing(OpId id, int pool, int inst, int e, int lat,
-                        double* arrival, double* slack) {
-    (void)id;
-    (void)e;
-    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
-    if (lat > 0) {
-      // Multi-cycle: operands must be registered at execution start.
-      for (double a : arrivals_) {
-        if (a > p_.lib->reg_clk_to_q_ps() + 1e-9) {
-          *slack = -1e18;  // not representable: needs registered inputs
-          *arrival = 0;
-          return false;
-        }
-      }
-      *arrival = p_.lib->reg_clk_to_q_ps();  // registered result
-      const double internal =
-          p_.lib->fu_delay_into_cycle_ps(pdesc.cls) + p_.lib->reg_setup_ps();
-      *slack = p_.tclk_ps - internal;
-      return *slack >= -1e-9;
-    }
-    const bool shared = pool_shared(pool);
-    const int n_ops =
-        inst_ops_[static_cast<std::size_t>(
-            resource_base_[static_cast<std::size_t>(pool)] + inst)] +
-        1;
-    pq_.cls = pdesc.cls;
-    pq_.width = pdesc.width;
-    pq_.in_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    pq_.out_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    *arrival = eng_.output_arrival_ps(pq_);
-    *slack = eng_.register_slack_ps(*arrival);
-    return *slack >= -1e-9;
-  }
-
-  void commit(OpId id, int pool, int inst, int e, int lat, double arrival) {
-    OpPlacement& pl = placement_[id];
-    pl.scheduled = true;
-    pl.step = e + lat;
-    pl.pool = pool;
-    pl.instance = inst;
-    pl.arrival_ps = arrival;
-    if (pool >= 0) {
-      const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
-      const int span = std::max(1, lat);
-      for (int s = e; s < e + span; ++s) {
-        occ_[static_cast<std::size_t>(g) *
-                 static_cast<std::size_t>(num_slots_) +
-             static_cast<std::size_t>(slot_of(s))]
-            .push_back(id);
-      }
-      ++inst_ops_[static_cast<std::size_t>(g)];
-      // Register chaining edges for false-cycle avoidance.
-      if (lat == 0) {
-        const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
-        for (OpId d : deps_[id]) {
-          const OpPlacement& dp = placement_[d];
-          if (dp.step == e + lat && dp.pool >= 0 && latency_of(d) == 0) {
-            comb_graph_.add_edge(
-                resource_base_[static_cast<std::size_t>(dp.pool)] +
-                    dp.instance,
-                me);
-          }
-        }
-      }
-    }
-    active_.erase(rank_[id]);
-
-    PassEvent ev;
-    ev.kind = PassEvent::Kind::kCommit;
-    ev.op = id;
-    ev.step = e;
-    ev.pool = pool;
-    ev.instance = inst;
-    ev.lat = lat;
-    ev.arrival_ps = arrival;
-    trace_.events.push_back(std::move(ev));
-
-    // Release consumers: the result is available to them from `res_avail`
-    // (chaining allows the commit step itself; otherwise the step after,
-    // unless the result is registered within the step).
-    const double thresh = p_.lib->reg_clk_to_q_ps() + 1e-9;
-    const int res_avail = p_.enable_chaining
-                              ? pl.step
-                              : pl.step + (arrival <= thresh ? 0 : 1);
-    for (OpId u : data_users_[id]) satisfy_dep(u, res_avail);
-    if (port_next_[id] != kNoOp) satisfy_dep(port_next_[id], pl.step);
-  }
-
-  // ---- Failure bookkeeping -------------------------------------------------------
-
-  void note_refusal(OpId id, int e, int pool, int inst, RefuseCause cause,
-                    double slack = 0) {
-    refusals_[id].push_back({e, pool, inst, cause, slack});
-  }
-
-  void record_fatal(OpId id, int e, PassEvent::Kind kind,
-                    std::size_t restraints_before) {
-    PassEvent ev;
-    ev.kind = kind;
-    ev.op = id;
-    ev.step = e;
-    ev.restraints.assign(restraints_.begin() +
-                             static_cast<std::ptrdiff_t>(restraints_before),
-                         restraints_.end());
-    trace_.events.push_back(std::move(ev));
-  }
-
-  void fatal(OpId id, int e) {
-    const std::size_t restraints_before = restraints_.size();
-    failed_[id] = true;
-    failed_list_.push_back(id);
-    active_.erase(rank_[id]);
-    // Aggregate the refusal causes at the deadline step into restraints.
-    const auto& refusals = refusals_[id];
-    bool any = false;
-    if (!refusals.empty()) {
-      int busy = 0;
-      int cycle_pool = -1;
-      int cycle_inst = -1;
-      double best_slack = -1e18;
-      bool slack_seen = false;
-      bool window_seen = false;
-      int pool = -1;
-      for (const auto& r : refusals) {
-        if (r.step != e) continue;
-        pool = std::max(pool, r.pool);
-        switch (r.cause) {
-          case RefuseCause::kBusy: ++busy; break;
-          case RefuseCause::kForbidden: ++busy; break;
-          case RefuseCause::kSlack:
-            slack_seen = true;
-            best_slack = std::max(best_slack, r.slack);
-            break;
-          case RefuseCause::kCycle:
-            cycle_pool = r.pool;
-            cycle_inst = r.instance;
-            break;
-          case RefuseCause::kWindow: window_seen = true; break;
-        }
-      }
-      if (busy > 0) {
-        Restraint r;
-        r.kind = RestraintKind::kNoResource;
-        r.op = id;
-        r.step = e;
-        r.pool = pool;
-        r.weight = busy;
-        restraints_.push_back(r);
-        any = true;
-      }
-      if (slack_seen) {
-        Restraint r;
-        r.kind = RestraintKind::kNegativeSlack;
-        r.op = id;
-        r.step = e;
-        r.pool = pool;
-        r.slack_ps = best_slack;
-        r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
-        restraints_.push_back(r);
-        any = true;
-      }
-      if (busy > 0 || slack_seen) {
-        // Fan-in cone analysis (paper IV.B): when a failed op chains after
-        // producers in the same state, the root cause may be THEIR pool
-        // (e.g. a multiplier forced into the last state drags its consumer
-        // over the clock). Emit secondary restraints against the chained
-        // producers with decayed weight.
-        for (OpId d : deps_[id]) {
-          const OpPlacement& dp = placement_[d];
-          if (!dp.scheduled || dp.step != e || dp.pool < 0) continue;
-          if (dp.arrival_ps <= p_.lib->reg_clk_to_q_ps() + 1e-9) continue;
-          // Only blame the producer when congestion delayed it: it sits
-          // later than its chain-feasible step, so more capacity in ITS
-          // pool could move it (and this op's chain) earlier.
-          if (p_.spans.spans[d].asap >= dp.step) continue;
-          Restraint r;
-          r.kind = RestraintKind::kNegativeSlack;
-          r.op = d;
-          r.step = e;
-          r.pool = dp.pool;
-          r.slack_ps = best_slack;
-          r.scc = p_.pipeline.enabled ? p_.scc_of[d] : -1;
-          r.weight = 0.5;
-          restraints_.push_back(r);
-        }
-      }
-      if (cycle_pool >= 0) {
-        Restraint r;
-        r.kind = RestraintKind::kCombCycle;
-        r.op = id;
-        r.step = e;
-        r.pool = cycle_pool;
-        r.instance = cycle_inst;
-        restraints_.push_back(r);
-        any = true;
-      }
-      if (window_seen) {
-        Restraint r;
-        r.kind = RestraintKind::kSccWindow;
-        r.op = id;
-        r.step = e;
-        r.scc = p_.scc_of[id];
-        restraints_.push_back(r);
-        any = true;
-      }
-    }
-    // Matches the historical behavior: an op that failed with no refusal
-    // at the deadline step is marked failed without a restraint (the
-    // no-states fallback bails out because `failed_` is already set).
-    (void)any;
-    record_fatal(id, e, PassEvent::Kind::kFatalBind, restraints_before);
-  }
-
-  void fatal_no_states(OpId id, int e, PassEvent::Kind kind) {
-    if (failed_[id]) return;  // already reported
-    const std::size_t restraints_before = restraints_.size();
-    failed_[id] = true;
-    failed_list_.push_back(id);
-    active_.erase(rank_[id]);
-    Restraint r;
-    r.kind = RestraintKind::kNoStates;
-    r.op = id;
-    r.step = e;
-    r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
-    // Secondary failures (a dependence already failed) weigh less so the
-    // expert is not flooded by the cascade.
-    r.weight = depends_on_failure(id) ? 0.25 : 1.0;
-    restraints_.push_back(r);
-    record_fatal(id, e, kind, restraints_before);
-  }
-
-  bool depends_on_failure(OpId id) const {
-    for (OpId d : deps_[id]) {
-      if (failed_[d]) return true;
-    }
-    return false;
+  void on_dep_satisfied(OpId user, int avail_step) override {
+    satisfy_dep(user, avail_step);
   }
 
   /// Ops whose deadline passed while their dependences never became ready.
   void sweep_missed_deadlines(int e) {
     for (OpId id : deadline_buckets_[static_cast<std::size_t>(e)]) {
-      if (placement_[id].scheduled || failed_[id]) continue;
+      if (binder_.scheduled(id) || binder_.op_failed(id)) continue;
       if (!deps_available_by(id, e)) {
         fatal_no_states(id, e, PassEvent::Kind::kFatalSweep);
       }
     }
   }
 
-  struct Refusal {
-    int step;
-    int pool;
-    int instance;
-    RefuseCause cause;
-    double slack;
-  };
-
-  const Problem& p_;
-  const ir::Dfg& dfg_;
-  timing::TimingEngine& eng_;
   const WarmStart* warm_;
-
-  std::vector<OpPlacement> placement_;
-  std::vector<bool> failed_;
-  std::vector<OpId> failed_list_;
-  std::vector<Priority> priorities_;
-  std::vector<int> rank_;       ///< OpId -> scheduling-order rank
-  std::vector<OpId> order_;     ///< rank -> OpId
-  std::vector<std::vector<OpId>> deps_;
-  std::vector<std::vector<OpId>> data_users_;  ///< reverse deps
-  std::vector<OpId> port_next_;  ///< next write on the same port
-  std::vector<int> unmet_;       ///< unplaced dependences per op
-  std::vector<int> avail_;       ///< max availability step over placed deps
+  std::vector<int> unmet_;  ///< unplaced dependences per op
+  std::vector<int> avail_;  ///< max availability step over placed deps
   std::vector<std::vector<OpId>> buckets_;           ///< activation per step
   std::vector<std::vector<OpId>> deadline_buckets_;  ///< sweep per step
-  std::set<int> active_;         ///< ranks of currently eligible ops
-  std::vector<OpId> step_anchored_;
-  std::vector<std::uint32_t> deferred_mark_;
-  std::vector<bool> defer_logged_;
-  std::uint32_t deferred_epoch_ = 1;
   int current_step_ = 0;
   bool in_step_ = false;
-  std::vector<int> resource_base_;
-  int total_instances_ = 0;
-  int num_slots_ = 1;
-  /// Occupants per (instance_base[pool]+inst) * num_slots + slot.
-  std::vector<std::vector<OpId>> occ_;
-  std::vector<int> inst_ops_;       ///< committed ops per global instance
-  std::vector<char> forbidden_;     ///< dense op x instance; empty = none
-  std::vector<double> arrivals_;    ///< scratch operand-arrival buffer
-  timing::PathQuery pq_;            ///< scratch query (arrivals set per bind)
-  timing::CombCycleGraph comb_graph_;
-  std::vector<Restraint> restraints_;
-  std::vector<std::vector<Refusal>> refusals_;  ///< per op
-  PassTrace trace_;
 };
 
 }  // namespace
 
-PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng,
-                     const WarmStart* warm) {
-  PassRunner runner(p, eng, warm);
+PassOutcome run_pass(const Problem& p, const DependenceGraph& dg,
+                     timing::TimingEngine& eng, const WarmStart* warm) {
+  PassRunner runner(p, dg, eng, warm);
   return runner.run();
-}
-
-double finalize_timing(const Problem& p, Schedule& s,
-                       timing::TimingEngine& eng, ir::OpId* worst_op_out) {
-  const ir::Dfg& dfg = *p.dfg;
-  // Final op count per instance determines the real mux sizes.
-  std::map<std::pair<int, int>, int> final_counts;
-  for (OpId id : p.ops) {
-    const OpPlacement& pl = s.placement[id];
-    if (pl.scheduled && pl.pool >= 0) {
-      ++final_counts[{pl.pool, pl.instance}];
-    }
-  }
-  double worst = 1e18;
-  OpId worst_op = kNoOp;
-  for (OpId id : dfg.topo_order()) {
-    OpPlacement& pl = s.placement[id];
-    if (!pl.scheduled || !p.in_region(id)) continue;
-    const Op& o = dfg.op(id);
-    std::vector<double> arrivals;
-    for (std::size_t i = 0; i < o.operands.size(); ++i) {
-      if (o.kind == OpKind::kLoopMux && i == 1) continue;
-      const OpId d = o.operands[i];
-      if (d == kNoOp) continue;
-      if (dfg.is_const(d)) {
-        arrivals.push_back(0);
-      } else if (!p.in_region(d) || s.placement[d].step != pl.step) {
-        arrivals.push_back(p.lib->reg_clk_to_q_ps());
-      } else {
-        arrivals.push_back(s.placement[d].arrival_ps);
-      }
-    }
-    double arrival;
-    if (pl.pool >= 0) {
-      const auto& pdesc =
-          s.resources.pools[static_cast<std::size_t>(pl.pool)];
-      if (pdesc.latency_cycles > 0) {
-        arrival = p.lib->reg_clk_to_q_ps();
-      } else {
-        const bool shared = p.pool_members(pl.pool) > pdesc.count;
-        const int n = final_counts[{pl.pool, pl.instance}];
-        timing::PathQuery q;
-        q.operand_arrivals_ps = arrivals;
-        q.cls = pdesc.cls;
-        q.width = pdesc.width;
-        q.in_mux_inputs = shared ? std::max(2, n) : 0;
-        q.out_mux_inputs = shared ? std::max(2, n) : 0;
-        arrival = eng.output_arrival_ps(q);
-      }
-    } else if (o.kind == OpKind::kRead) {
-      arrival = p.lib->reg_clk_to_q_ps();
-    } else {
-      timing::PathQuery q;
-      q.operand_arrivals_ps = arrivals;
-      q.cls = FuClass::kNone;
-      arrival = eng.output_arrival_ps(q);
-    }
-    pl.arrival_ps = arrival;
-    const double slack = eng.register_slack_ps(arrival);
-    if (slack < worst) {
-      worst = slack;
-      worst_op = id;
-    }
-  }
-  s.worst_slack_ps = worst == 1e18 ? 0 : worst;
-  if (worst_op_out != nullptr) *worst_op_out = worst_op;
-  return s.worst_slack_ps;
-}
-
-void check_schedule(const Problem& p, const Schedule& s) {
-  const ir::Dfg& dfg = *p.dfg;
-  auto fail = [&](const std::string& msg) {
-    throw InternalError(strf("schedule invariant violated: ", msg));
-  };
-  // Every region op scheduled in range with a resource when needed.
-  for (OpId id : p.ops) {
-    const OpPlacement& pl = s.placement[id];
-    if (!pl.scheduled) fail(strf("op %", id, " not scheduled"));
-    if (pl.step < 0 || pl.step >= s.num_steps) {
-      fail(strf("op %", id, " step out of range"));
-    }
-    const int pool = s.resources.pool_of(id);
-    if (pool >= 0 && pl.pool != pool) {
-      fail(strf("op %", id, " bound to wrong pool"));
-    }
-    if (pool >= 0 &&
-        (pl.instance < 0 ||
-         pl.instance >=
-             s.resources.pools[static_cast<std::size_t>(pool)].count)) {
-      fail(strf("op %", id, " instance out of range"));
-    }
-  }
-  // Dependences.
-  for (OpId id : p.ops) {
-    const Op& o = dfg.op(id);
-    for (std::size_t i = 0; i < o.operands.size(); ++i) {
-      if (o.kind == OpKind::kLoopMux && i == 1) continue;
-      const OpId d = o.operands[i];
-      if (d == kNoOp || dfg.is_const(d) || !p.in_region(d)) continue;
-      if (s.placement[d].step > s.placement[id].step) {
-        fail(strf("op %", id, " scheduled before operand %", d));
-      }
-    }
-  }
-  // Occupancy including pipeline-equivalent steps and multi-cycle spans.
-  std::map<std::tuple<int, int, int>, std::vector<OpId>> occ;
-  for (OpId id : p.ops) {
-    const OpPlacement& pl = s.placement[id];
-    if (pl.pool < 0) continue;
-    const int lat =
-        s.resources.pools[static_cast<std::size_t>(pl.pool)].latency_cycles;
-    const int start = pl.step - lat;
-    for (int t = start; t < start + std::max(1, lat); ++t) {
-      const int slot = s.kernel_step(t);
-      occ[{pl.pool, pl.instance, slot}].push_back(id);
-    }
-  }
-  for (const auto& [key, ops] : occ) {
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        if (!alloc::mutually_exclusive(dfg, ops[i], ops[j])) {
-          fail(strf("ops %", ops[i], " and %", ops[j],
-                    " share an instance slot without exclusivity"));
-        }
-      }
-    }
-  }
-  // SCC windows.
-  if (p.pipeline.enabled) {
-    for (const auto& scc : p.sccs) {
-      int lo = s.num_steps;
-      int hi = -1;
-      for (OpId id : scc) {
-        lo = std::min(lo, s.placement[id].step);
-        hi = std::max(hi, s.placement[id].step);
-      }
-      if (hi - lo > p.pipeline.ii - 1) {
-        fail(strf("SCC spans ", hi - lo + 1, " states > II=", p.pipeline.ii));
-      }
-    }
-  }
-  // Port write order.
-  for (const auto& writes : p.port_writes) {
-    for (std::size_t i = 1; i < writes.size(); ++i) {
-      if (s.placement[writes[i - 1]].step > s.placement[writes[i]].step) {
-        fail("port writes out of order");
-      }
-    }
-  }
-  // Timing.
-  if (!p.accept_negative_slack && s.worst_slack_ps < -1e-9) {
-    fail(strf("worst slack ", s.worst_slack_ps, "ps"));
-  }
 }
 
 }  // namespace hls::sched

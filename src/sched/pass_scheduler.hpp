@@ -3,77 +3,27 @@
 // resource instance, with chaining, multi-cycle units, combinational-cycle
 // avoidance, predicate-exclusive sharing, and — for pipelined regions —
 // equivalent-edge resource exclusion and SCC window constraints.
+//
+// The binding/legalization machinery itself (occupancy, forbidden table,
+// timing verdicts, commit/release, restraint aggregation) lives in the
+// shared sched::BindingEngine (binder.hpp); this pass contributes the
+// solver core: incremental ready-list serving in priority order with a
+// once-per-op missed-deadline sweep, plus warm-start trace replay.
 #pragma once
 
-#include "sched/problem.hpp"
-#include "sched/restraint.hpp"
+#include "sched/binder.hpp"
 #include "timing/engine.hpp"
 
 namespace hls::sched {
 
-/// One decision the pass took, in decision order. The trace makes warm
-/// starts possible: after a relaxation, the next pass replays the prefix
-/// of decisions the action provably cannot have changed and only re-runs
-/// the binding loops from the invalidation frontier on.
-struct PassEvent {
-  enum class Kind : std::uint8_t {
-    kCommit,      ///< op bound (pool/instance/arrival recorded)
-    kDefer,       ///< try_bind failed before the deadline; op retried later
-    kFatalBind,   ///< try_bind failed at the deadline (restraints recorded)
-    kFatalSweep,  ///< dependences never became ready by the deadline
-    kFatalFinal,  ///< left unscheduled after the last state (re-derived,
-                  ///< never replayed)
-  };
-  Kind kind = Kind::kCommit;
-  ir::OpId op = ir::kNoOp;
-  int step = -1;  ///< decision step (start step for commits)
-  int pool = -1;
-  int instance = -1;
-  int lat = 0;
-  double arrival_ps = 0;
-  /// kFatal*: the restraints this failure pushed, replayed verbatim.
-  std::vector<Restraint> restraints;
-};
-
-struct PassTrace {
-  std::vector<PassEvent> events;
-};
-
-/// Warm-start request: replay `trace` events at steps < `frontier_step`,
-/// then schedule normally from the frontier. The caller guarantees (via
-/// warm_start_frontier) that the applied relaxation cannot change any
-/// decision before the frontier.
-struct WarmStart {
-  const PassTrace* trace = nullptr;
-  int frontier_step = 0;
-};
-
-struct PassOutcome {
-  bool success = false;
-  Schedule schedule;  ///< complete on success; partial placement on failure
-  std::vector<Restraint> restraints;
-  std::vector<ir::OpId> failed_ops;
-  PassTrace trace;  ///< decision log for the next pass's warm start
-};
-
 /// Runs one pass over the problem. Does not mutate the problem; the expert
-/// system applies relaxations between passes. With `warm`, the prior
-/// pass's decisions before the frontier are replayed instead of re-solved;
-/// the outcome is bit-identical to a cold pass.
-PassOutcome run_pass(const Problem& p, timing::TimingEngine& eng,
+/// system applies relaxations between passes. `dg` must be the problem's
+/// dependence graph (build_dependence_graph), typically cached by the
+/// backend across passes. With `warm`, the prior pass's decisions before
+/// the frontier are replayed instead of re-solved; the outcome is
+/// bit-identical to a cold pass.
+PassOutcome run_pass(const Problem& p, const DependenceGraph& dg,
+                     timing::TimingEngine& eng,
                      const WarmStart* warm = nullptr);
-
-/// Recomputes all arrival times with the final sharing-mux sizes (commits
-/// during the pass use the mux size seen at bind time; later ops can grow
-/// a mux from 2 to 3+ inputs). Stores per-op arrivals and the worst slack
-/// in the schedule; returns the worst slack.
-double finalize_timing(const Problem& p, Schedule& s,
-                       timing::TimingEngine& eng,
-                       ir::OpId* worst_op_out = nullptr);
-
-/// Asserts every schedule invariant (dependences, occupancy incl.
-/// pipeline-equivalent steps, SCC windows, port write order, timing).
-/// Throws InternalError with a description on the first violation.
-void check_schedule(const Problem& p, const Schedule& s);
 
 }  // namespace hls::sched

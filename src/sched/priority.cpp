@@ -43,4 +43,14 @@ std::vector<int> priority_ranks(const Problem& p,
   return rank;
 }
 
+PriorityOrder compute_priority_order(const Problem& p) {
+  PriorityOrder po;
+  po.rank = priority_ranks(p, compute_priorities(p));
+  po.order.assign(p.ops.size(), ir::kNoOp);
+  for (ir::OpId id : p.ops) {
+    po.order[static_cast<std::size_t>(po.rank[id])] = id;
+  }
+  return po;
+}
+
 }  // namespace hls::sched

@@ -40,4 +40,14 @@ std::vector<Priority> compute_priorities(const Problem& p);
 std::vector<int> priority_ranks(const Problem& p,
                                 const std::vector<Priority>& priorities);
 
+/// The rank table and its inverse, recomputed once per pass (spans — and
+/// with them mobilities — change between relaxation passes). Both backends
+/// serve their ready sets in this order.
+struct PriorityOrder {
+  std::vector<int> rank;        ///< OpId -> scheduling-order rank
+  std::vector<ir::OpId> order;  ///< rank -> OpId
+};
+
+PriorityOrder compute_priority_order(const Problem& p);
+
 }  // namespace hls::sched

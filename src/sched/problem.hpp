@@ -74,6 +74,14 @@ struct Problem {
   bool in_region(ir::OpId id) const {
     return id < spans.spans.size() && spans.spans[id].in_region;
   }
+  /// Latency in cycles of the op's resource pool (0 for ops that need no
+  /// function unit). Both scheduler backends and the binding engine key
+  /// start-deadline and result-step arithmetic off this.
+  int pool_latency(ir::OpId id) const {
+    const int pool = resources.pool_of(id);
+    if (pool < 0) return 0;
+    return resources.pools[static_cast<std::size_t>(pool)].latency_cycles;
+  }
   /// Effective deadline step for an op (ALAP clamped by its SCC window).
   int deadline(ir::OpId id) const;
   /// Earliest step for an op (ASAP clamped by its SCC window).

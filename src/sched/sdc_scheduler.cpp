@@ -2,72 +2,27 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
-
-#include "sched/priority.hpp"
-#include "support/diagnostics.hpp"
-#include "timing/comb_cycle.hpp"
 
 namespace hls::sched {
 
 using ir::kNoOp;
-using ir::Op;
 using ir::OpId;
-using ir::OpKind;
-using tech::FuClass;
-
-namespace {
-
-int pool_latency(const Problem& p, OpId id) {
-  const int pool = p.resources.pool_of(id);
-  if (pool < 0) return 0;
-  return p.resources.pools[static_cast<std::size_t>(pool)].latency_cycles;
-}
-
-}  // namespace
 
 SdcScheduler::SdcScheduler(const Problem& p, const SchedulerOptions& options)
-    : SchedulerBackend(p, options) {
+    : SchedulerBackend(p, options), dg_(build_dependence_graph(p)) {
   const ir::Dfg& dfg = *p.dfg;
-  deps_.assign(dfg.size(), {});
-  users_.assign(dfg.size(), {});
-  port_next_.assign(dfg.size(), kNoOp);
-  base_unmet_.assign(dfg.size(), 0);
   out_.assign(dfg.size(), {});
-
-  // Dependence structure: identical rules to the list pass (carried
-  // loop-mux edges excluded, constants and out-of-region values come from
-  // registers, no-speculate ops additionally wait for their predicate).
   for (OpId id : p.ops) {
-    const Op& o = dfg.op(id);
-    auto& d = deps_[id];
-    for (std::size_t i = 0; i < o.operands.size(); ++i) {
-      if (o.kind == OpKind::kLoopMux && i == 1) continue;  // carried
-      const OpId x = o.operands[i];
-      if (x == kNoOp || !p.in_region(x)) continue;
-      d.push_back(x);
-    }
-    if (o.pred != kNoOp && o.no_speculate && p.in_region(o.pred)) {
-      d.push_back(o.pred);
-    }
-    std::sort(d.begin(), d.end());
-    d.erase(std::unique(d.begin(), d.end()), d.end());
-  }
-  for (OpId id : p.ops) {
-    for (OpId d : deps_[id]) {
-      users_[d].push_back(id);
+    for (OpId d : dg_.deps[id]) {
       // x_consumer >= x_producer + latency: the result step of the
       // producer is the earliest chainable start of the consumer.
-      out_[d].push_back({id, pool_latency(p, d)});
+      out_[d].push_back({id, p.pool_latency(d)});
     }
-    base_unmet_[id] = static_cast<int>(deps_[id].size());
   }
   // Port write order: consecutive writes to one port may share a step
   // (when mutually exclusive) but never reorder.
   for (const auto& writes : p.port_writes) {
     for (std::size_t i = 1; i < writes.size(); ++i) {
-      port_next_[writes[i - 1]] = writes[i];
-      ++base_unmet_[writes[i]];
       out_[writes[i - 1]].push_back({writes[i], 0});
     }
   }
@@ -82,7 +37,7 @@ SdcScheduler::SdcScheduler(const Problem& p, const SchedulerOptions& options)
         for (OpId b : scc) {
           if (a == b) continue;
           out_[a].push_back(
-              {b, pool_latency(p, a) - pool_latency(p, b) -
+              {b, p.pool_latency(a) - p.pool_latency(b) -
                       (p.pipeline.ii - 1)});
         }
       }
@@ -92,109 +47,58 @@ SdcScheduler::SdcScheduler(const Problem& p, const SchedulerOptions& options)
 
 namespace {
 
-/// Why a particular instance refused a binding (same vocabulary as the
-/// list pass; the aggregation into restraints mirrors it too).
-enum class RefuseCause : std::uint8_t {
-  kBusy,
-  kSlack,
-  kCycle,
-  kForbidden,
-  kWindow,
-};
-
 // One SDC scheduling attempt. The constraint system's least fixpoint
 // (longest path from the implicit source) gives every op its earliest
-// start `x_`; the binder walks the steps in order binding ready ops in
-// priority order exactly like the list pass, but a failed step raises the
-// op's lower bound and re-propagates it through the constraint graph, so
-// dependent ops and II-window partners are never attempted at steps the
-// system already excludes.
-class SdcPass {
+// start `x_`; the solver walks the steps in order offering ready ops to
+// the shared BindingEngine in priority order exactly like the list pass,
+// but a failed step raises the op's lower bound and re-propagates it
+// through the constraint graph, so dependent ops and II-window partners
+// are never attempted at steps the system already excludes. Binding,
+// restraints and the active-set/trace scaffolding are the shared
+// BindingEngine/SolverHost (binder.cpp); this file contributes only the
+// constraint core and its bound-aware ready buckets.
+class SdcPass final : SolverHost {
  public:
   SdcPass(const Problem& p,
           const std::vector<std::vector<SdcScheduler::Edge>>& out,
-          const std::vector<std::vector<OpId>>& deps,
-          const std::vector<std::vector<OpId>>& users,
-          const std::vector<OpId>& port_next,
-          const std::vector<int>& base_unmet, timing::TimingEngine& eng)
-      : p_(p),
-        dfg_(*p.dfg),
-        out_(out),
-        deps_(deps),
-        users_(users),
-        port_next_(port_next),
-        eng_(eng) {
-    placement_.assign(dfg_.size(), OpPlacement{});
-    failed_.assign(dfg_.size(), false);
-    unmet_ = base_unmet;
+          const DependenceGraph& dg, timing::TimingEngine& eng,
+          const WarmStart* warm)
+      : SolverHost(p, dg, eng), out_(out), warm_(warm) {
+    unmet_ = dg.base_unmet;
     avail_.assign(dfg_.size(), 0);
-    priorities_ = compute_priorities(p_);
-    rank_ = priority_ranks(p_, priorities_);
-    order_.assign(p_.ops.size(), kNoOp);
-    for (OpId id : p_.ops) order_[static_cast<std::size_t>(rank_[id])] = id;
-    resource_base_ = p_.resources.instance_bases();
-    total_instances_ = p_.resources.total_instances();
-    num_slots_ = p_.pipeline.enabled ? p_.pipeline.ii : p_.num_steps;
-    occ_.assign(static_cast<std::size_t>(total_instances_) *
-                    static_cast<std::size_t>(num_slots_),
-                {});
-    inst_ops_.assign(static_cast<std::size_t>(total_instances_), 0);
-    refusals_.assign(dfg_.size(), {});
-    deferred_mark_.assign(dfg_.size(), 0);
-    build_forbidden();
     solve_initial();
     build_ready();
   }
 
   PassOutcome run() {
-    for (int e = 0; e < p_.num_steps; ++e) {
+    int first = 0;
+    if (warm_ != nullptr && warm_->trace != nullptr &&
+        warm_->frontier_step > 0) {
+      first = replay_prefix();
+    }
+    for (int e = first; e < p_.num_steps; ++e) {
       begin_step(e);
       while (true) {
         const OpId best = pick_ready();
         if (best == kNoOp) break;
-        if (try_bind(best, e)) {
+        if (binder_.try_bind(best, e)) {
           ++deferred_epoch_;  // retry deferred ops: new chaining chances
-        } else if (e >= start_deadline(best)) {
+        } else if (e >= binder_.start_deadline(best)) {
           fatal(best, e);
         } else {
-          deferred_mark_[best] = deferred_epoch_;
+          defer(best, e);
         }
       }
       end_step(e);
       sweep_missed_deadlines(e);
     }
     for (OpId id : p_.ops) {
-      if (!placement_[id].scheduled && !failed_[id]) {
-        fatal_no_states(id, p_.num_steps - 1);
+      if (!binder_.scheduled(id) && !binder_.op_failed(id)) {
+        fatal_no_states(id, p_.num_steps - 1, PassEvent::Kind::kFatalFinal);
       }
     }
-
-    PassOutcome out;
-    out.success = std::none_of(p_.ops.begin(), p_.ops.end(),
-                               [&](OpId id) { return failed_[id]; });
-    out.schedule.num_steps = p_.num_steps;
-    out.schedule.pipeline = p_.pipeline;
-    out.schedule.resources = p_.resources;
-    out.schedule.placement = std::move(placement_);
-    out.restraints = std::move(restraints_);
-    out.failed_ops = std::move(failed_list_);
-    if (out.success) {
-      OpId worst_op = kNoOp;
-      out.schedule.worst_slack_ps =
-          finalize_timing(p_, out.schedule, eng_, &worst_op);
-      if (out.schedule.worst_slack_ps < -1e-9 && !p_.accept_negative_slack) {
-        // Mux growth after commit pushed a path over the clock period.
-        out.success = false;
-        Restraint r;
-        r.kind = RestraintKind::kNegativeSlack;
-        r.op = worst_op;
-        r.step = out.schedule.placement[worst_op].step;
-        r.pool = out.schedule.placement[worst_op].pool;
-        r.slack_ps = out.schedule.worst_slack_ps;
-        out.restraints.push_back(r);
-        out.failed_ops.push_back(worst_op);
-      }
-    }
+    PassOutcome out = binder_.finish();
+    out.trace = std::move(trace_);
     return out;
   }
 
@@ -220,7 +124,9 @@ class SdcPass {
         // A committed op's start is final; constraints that would move it
         // cannot fire (its partners took the bound into account when it
         // was placed, and the window check at bind time guards the rest).
-        if (placement_[edge.to].scheduled || failed_[edge.to]) continue;
+        if (binder_.scheduled(edge.to) || binder_.op_failed(edge.to)) {
+          continue;
+        }
         x_[edge.to] = bound;
         if (changed != nullptr) changed->push_back(edge.to);
         if (!in_queue_[edge.to]) {
@@ -234,6 +140,7 @@ class SdcPass {
   void solve_initial() {
     x_.assign(dfg_.size(), 0);
     in_queue_.assign(dfg_.size(), 0);
+    changed_mark_.assign(dfg_.size(), 0);
     std::deque<OpId> queue;
     for (OpId id : p_.ops) {
       x_[id] = p_.release(id);
@@ -253,30 +160,25 @@ class SdcPass {
     in_queue_[id] = 1;
     changed_scratch_.clear();
     relax(queue, &changed_scratch_);
+    // relax() appends an op once per bound rise; re-bucket each changed
+    // op once (at its now-final bound), not once per rise.
+    ++changed_epoch_;
     for (const OpId c : changed_scratch_) {
-      if (placement_[c].scheduled || failed_[c]) continue;
-      if (active_.erase(rank_[c]) > 0 || unmet_[c] == 0) enqueue(c);
+      if (changed_mark_[c] == changed_epoch_) continue;
+      changed_mark_[c] = changed_epoch_;
+      if (binder_.scheduled(c) || binder_.op_failed(c)) continue;
+      if (active_.erase(po_.rank[c]) > 0 || unmet_[c] == 0) enqueue(c);
     }
   }
 
   // ---- Readiness ------------------------------------------------------------
-
-  int latency_of(OpId id) const { return pool_latency(p_, id); }
-
-  /// Latest step at which execution may START (deadline on the result
-  /// step minus the unit latency).
-  int start_deadline(OpId id) const { return p_.deadline(id) - latency_of(id); }
-
-  int slot_of(int step) const {
-    return p_.pipeline.enabled ? step % p_.pipeline.ii : step;
-  }
 
   void build_ready() {
     buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
     deadline_buckets_.assign(static_cast<std::size_t>(p_.num_steps), {});
     for (OpId id : p_.ops) {
       if (unmet_[id] == 0) enqueue(id);
-      const int e0 = std::max(start_deadline(id), 0);
+      const int e0 = std::max(binder_.start_deadline(id), 0);
       if (e0 < p_.num_steps) {
         deadline_buckets_[static_cast<std::size_t>(e0)].push_back(id);
       }
@@ -284,7 +186,9 @@ class SdcPass {
   }
 
   void enqueue(OpId id) {
-    if (failed_[id] || placement_[id].scheduled || unmet_[id] != 0) return;
+    if (binder_.op_failed(id) || binder_.scheduled(id) || unmet_[id] != 0) {
+      return;
+    }
     // Earliest step the binder may still look at `id`: its constraint
     // bound, the availability of its committed dependences, and the
     // earliest undrained step — once a step has ended, its bucket has
@@ -309,13 +213,6 @@ class SdcPass {
     }
   }
 
-  void insert_active(OpId id) {
-    active_.insert(rank_[id]);
-    if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
-      step_anchored_.push_back(id);
-    }
-  }
-
   void satisfy_dep(OpId u, int avail_step) {
     avail_[u] = std::max(avail_[u], avail_step);
     if (--unmet_[u] == 0) enqueue(u);
@@ -331,7 +228,7 @@ class SdcPass {
     ++deferred_epoch_;
     step_anchored_.clear();
     for (OpId id : buckets_[static_cast<std::size_t>(e)]) {
-      if (placement_[id].scheduled || failed_[id]) continue;
+      if (binder_.scheduled(id) || binder_.op_failed(id)) continue;
       // A bucket entry was placed when the op's earliest step was `e`;
       // the bound only grows, so an entry whose bound moved is stale (a
       // newer entry exists at the later bucket).
@@ -351,494 +248,100 @@ class SdcPass {
     // that could not bind here gets its lower bound raised — this is how
     // resource conflicts enter the constraint system, and the propagation
     // moves dependents and window partners before they are attempted.
-    for (OpId id : step_anchored_) active_.erase(rank_[id]);
+    for (OpId id : step_anchored_) active_.erase(po_.rank[id]);
     in_step_ = false;
     deferred_scratch_.clear();
     for (const int r : active_) {
-      deferred_scratch_.push_back(order_[static_cast<std::size_t>(r)]);
+      deferred_scratch_.push_back(po_.order[static_cast<std::size_t>(r)]);
     }
     for (OpId id : deferred_scratch_) {
       raise_bound(id, e + 1);
-      if (x_[id] >= p_.num_steps) active_.erase(rank_[id]);
+      if (x_[id] >= p_.num_steps) active_.erase(po_.rank[id]);
     }
   }
 
-  OpId pick_ready() const {
-    for (const int r : active_) {
-      const OpId id = order_[static_cast<std::size_t>(r)];
-      if (deferred_mark_[id] == deferred_epoch_) continue;
-      return id;
-    }
-    return kNoOp;
-  }
+  // ---- Warm start -----------------------------------------------------------
 
-  // ---- Forbidden table ------------------------------------------------------
-
-  void build_forbidden() {
-    if (p_.forbidden.empty()) return;
-    forbidden_.assign(dfg_.size() * static_cast<std::size_t>(total_instances_),
-                      0);
-    for (const auto& [op, pool, inst] : p_.forbidden) {
-      if (pool < 0 || pool >= static_cast<int>(p_.resources.pools.size()) ||
-          inst < 0 ||
-          inst >= p_.resources.pools[static_cast<std::size_t>(pool)].count) {
-        continue;
+  /// Replays the previous pass's decisions for every step before the
+  /// frontier. Commits and fatals come from the trace; the end-of-step
+  /// bound raising runs normally over the replayed state, so the solved
+  /// x_ bounds learned before the frontier are re-established without a
+  /// single timing query or instance probe.
+  int replay_prefix() {
+    const auto& events = warm_->trace->events;
+    const int frontier = std::min(warm_->frontier_step, p_.num_steps);
+    std::size_t idx = 0;
+    for (int e = 0; e < frontier; ++e) {
+      begin_step(e);
+      // Bind-loop decisions (commits, defers, deadline fatals) replay
+      // first, exactly where they happened; the step's sweep fatals are
+      // the tail of its event run and must wait until after end_step.
+      while (idx < events.size() &&
+             events[idx].kind != PassEvent::Kind::kFatalFinal &&
+             events[idx].kind != PassEvent::Kind::kFatalSweep &&
+             events[idx].step == e) {
+        apply_replay(events[idx]);
+        ++idx;
       }
-      forbidden_[op * static_cast<std::size_t>(total_instances_) +
-                 static_cast<std::size_t>(
-                     resource_base_[static_cast<std::size_t>(pool)] + inst)] =
-          1;
-    }
-  }
-
-  bool is_forbidden(OpId id, int pool, int inst) const {
-    if (forbidden_.empty()) return false;
-    return forbidden_[id * static_cast<std::size_t>(total_instances_) +
-                      static_cast<std::size_t>(
-                          resource_base_[static_cast<std::size_t>(pool)] +
-                          inst)] != 0;
-  }
-
-  // ---- Timing ---------------------------------------------------------------
-
-  double operand_arrival(OpId d, int e) const {
-    if (dfg_.is_const(d)) return 0;  // hard-wired constant
-    if (!p_.in_region(d)) return p_.lib->reg_clk_to_q_ps();
-    const OpPlacement& pl = placement_[d];
-    HLS_ASSERT(pl.scheduled, "operand not scheduled");
-    if (pl.step == e) return pl.arrival_ps;  // chained (or registered)
-    return p_.lib->reg_clk_to_q_ps();
-  }
-
-  void gather_arrivals(OpId id, int e) {
-    const Op& o = dfg_.op(id);
-    arrivals_.clear();
-    for (std::size_t i = 0; i < o.operands.size(); ++i) {
-      if (o.kind == OpKind::kLoopMux && i == 1) continue;
-      if (o.operands[i] == kNoOp) continue;
-      arrivals_.push_back(operand_arrival(o.operands[i], e));
-    }
-    if (o.pred != kNoOp && o.no_speculate && p_.in_region(o.pred)) {
-      arrivals_.push_back(operand_arrival(o.pred, e));
-    }
-  }
-
-  bool pool_shared(int pool) const {
-    return p_.pool_members(pool) >
-           p_.resources.pools[static_cast<std::size_t>(pool)].count;
-  }
-
-  bool candidate_timing(int pool, int inst, int lat, double* arrival,
-                        double* slack) {
-    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
-    if (lat > 0) {
-      // Multi-cycle: operands must be registered at execution start.
-      for (double a : arrivals_) {
-        if (a > p_.lib->reg_clk_to_q_ps() + 1e-9) {
-          *slack = -1e18;  // not representable: needs registered inputs
-          *arrival = 0;
-          return false;
-        }
-      }
-      *arrival = p_.lib->reg_clk_to_q_ps();  // registered result
-      const double internal =
-          p_.lib->fu_delay_into_cycle_ps(pdesc.cls) + p_.lib->reg_setup_ps();
-      *slack = p_.tclk_ps - internal;
-      return *slack >= -1e-9;
-    }
-    const bool shared = pool_shared(pool);
-    const int n_ops =
-        inst_ops_[static_cast<std::size_t>(
-            resource_base_[static_cast<std::size_t>(pool)] + inst)] +
-        1;
-    pq_.cls = pdesc.cls;
-    pq_.width = pdesc.width;
-    pq_.in_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    pq_.out_mux_inputs = shared ? std::max(2, n_ops) : 0;
-    *arrival = eng_.output_arrival_ps(pq_);
-    *slack = eng_.register_slack_ps(*arrival);
-    return *slack >= -1e-9;
-  }
-
-  // ---- Binding --------------------------------------------------------------
-
-  struct Candidate {
-    int instance = -1;
-    double arrival = 0;
-    double slack = 0;
-  };
-
-  bool scc_window_ok(OpId id, int result_step) const {
-    if (!p_.pipeline.enabled) return true;
-    const int scc = p_.scc_of[id];
-    if (scc < 0) return true;
-    int lo = result_step;
-    int hi = result_step;
-    for (OpId member : p_.sccs[static_cast<std::size_t>(scc)]) {
-      if (member == id || !placement_[member].scheduled) continue;
-      lo = std::min(lo, placement_[member].step);
-      hi = std::max(hi, placement_[member].step);
-    }
-    return hi - lo <= p_.pipeline.ii - 1;
-  }
-
-  bool instance_free(OpId id, int pool, int inst, int e, int lat,
-                     bool excl_pred_ready) const {
-    const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
-    const int span = std::max(1, lat);
-    for (int s = e; s < e + span; ++s) {
-      if (s >= p_.num_steps) return false;
-      const auto& slot_ops =
-          occ_[static_cast<std::size_t>(g) *
-                   static_cast<std::size_t>(num_slots_) +
-               static_cast<std::size_t>(slot_of(s))];
-      for (OpId other : slot_ops) {
-        if (!(p_.exclusive_colocation && p_.exclusive(id, other))) {
-          return false;
-        }
-        if (!excl_pred_ready) return false;
+      // At step end the active set is exactly the recorded pass's
+      // deferred set, so the normal bound raising re-derives the same
+      // constraint-system state a cold pass would reach.
+      end_step(e);
+      // Sweep fatals were recorded after end_step in the cold pass;
+      // applying them before it would mark the swept ops failed during
+      // the bound raising and cut relax() propagation paths that run
+      // through them (warm bounds would lag cold ones).
+      while (idx < events.size() &&
+             events[idx].kind == PassEvent::Kind::kFatalSweep &&
+             events[idx].step == e) {
+        apply_replay(events[idx]);
+        ++idx;
       }
     }
-    return true;
+    return frontier;
   }
 
-  bool creates_comb_cycle(OpId id, int pool, int inst, int e) const {
-    const int me = resource_base_[static_cast<std::size_t>(pool)] + inst;
-    for (OpId d : deps_[id]) {
-      const OpPlacement& pl = placement_[d];
-      if (pl.step != e || pl.pool < 0) continue;  // only chained FU deps
-      if (latency_of(d) > 0) continue;            // registered result
-      const int from =
-          resource_base_[static_cast<std::size_t>(pl.pool)] + pl.instance;
-      if (comb_graph_.would_create_cycle(from, me)) return true;
-    }
-    return false;
-  }
+  // ---- Host callback (the engine reporting a release) ------------------------
 
-  bool try_bind(OpId id, int e) {
-    const int pool = p_.resources.pool_of(id);
-    if (pool < 0) return bind_free(id, e);
-
-    const auto& pdesc = p_.resources.pools[static_cast<std::size_t>(pool)];
-    const int lat = pdesc.latency_cycles;
-    if (lat > 0 && p_.pipeline.enabled && lat > p_.pipeline.ii) {
-      // A multi-cycle unit cannot be rebooked every II cycles.
-      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
-      return false;
-    }
-    if (e + lat >= p_.num_steps) {
-      // The registered result would land past the last state.
-      note_refusal(id, e, pool, -1, RefuseCause::kBusy);
-      return false;
-    }
-    if (!scc_window_ok(id, e + lat)) {
-      note_refusal(id, e, pool, -1, RefuseCause::kWindow);
-      return false;
-    }
-
-    gather_arrivals(id, e);
-    pq_.operand_arrivals_ps = arrivals_;  // one copy for all candidates
-    const Op& o = dfg_.op(id);
-    const bool excl_pred_ready =
-        o.pred != kNoOp && p_.in_region(o.pred) &&
-        placement_[o.pred].scheduled && placement_[o.pred].step <= e;
-
-    std::vector<Candidate> feasible_negative;
-    for (int inst = 0; inst < pdesc.count; ++inst) {
-      if (is_forbidden(id, pool, inst)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kForbidden);
-        continue;
-      }
-      if (!instance_free(id, pool, inst, e, lat, excl_pred_ready)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kBusy);
-        continue;
-      }
-      if (p_.avoid_comb_cycles && creates_comb_cycle(id, pool, inst, e)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kCycle);
-        continue;
-      }
-      double arrival = 0;
-      double slack = 0;
-      if (!candidate_timing(pool, inst, lat, &arrival, &slack)) {
-        note_refusal(id, e, pool, inst, RefuseCause::kSlack, slack);
-        if (slack > -1e17) {
-          feasible_negative.push_back({inst, arrival, slack});
-        }
-        continue;
-      }
-      commit(id, pool, inst, e, lat, arrival);
-      return true;
-    }
-    if (p_.accept_negative_slack && !feasible_negative.empty()) {
-      // Last-resort mode: take the least-negative binding; logic
-      // synthesis recovers the slack with area (Table 4's mechanism).
-      auto best = std::max_element(
-          feasible_negative.begin(), feasible_negative.end(),
-          [](const Candidate& a, const Candidate& b) {
-            return a.slack < b.slack;
-          });
-      commit(id, pool, best->instance, e, lat, best->arrival);
-      return true;
-    }
-    return false;
-  }
-
-  bool bind_free(OpId id, int e) {
-    const Op& o = dfg_.op(id);
-    if (!scc_window_ok(id, e)) {
-      note_refusal(id, e, -1, -1, RefuseCause::kWindow);
-      return false;
-    }
-    if (o.kind == OpKind::kWrite) {
-      for (OpId other : p_.port_writes[o.port]) {
-        if (other == id || !placement_[other].scheduled) continue;
-        const int other_slot = slot_of(placement_[other].step);
-        if (other_slot == slot_of(e) &&
-            !(p_.exclusive_colocation && p_.exclusive(id, other))) {
-          note_refusal(id, e, -1, -1, RefuseCause::kBusy);
-          return false;
-        }
-      }
-    }
-    gather_arrivals(id, e);
-    timing::PathQuery q;
-    q.operand_arrivals_ps = arrivals_;
-    q.cls = FuClass::kNone;
-    const double arrival =
-        o.kind == OpKind::kRead ? p_.lib->reg_clk_to_q_ps()
-                                : eng_.output_arrival_ps(q);
-    const double slack = eng_.register_slack_ps(arrival);
-    if (slack < -1e-9 && !p_.accept_negative_slack) {
-      note_refusal(id, e, -1, -1, RefuseCause::kSlack, slack);
-      return false;
-    }
-    commit(id, -1, -1, e, 0, arrival);
-    return true;
-  }
-
-  void commit(OpId id, int pool, int inst, int e, int lat, double arrival) {
-    OpPlacement& pl = placement_[id];
-    pl.scheduled = true;
-    pl.step = e + lat;
-    pl.pool = pool;
-    pl.instance = inst;
-    pl.arrival_ps = arrival;
-    if (pool >= 0) {
-      const int g = resource_base_[static_cast<std::size_t>(pool)] + inst;
-      const int span = std::max(1, lat);
-      for (int s = e; s < e + span; ++s) {
-        occ_[static_cast<std::size_t>(g) *
-                 static_cast<std::size_t>(num_slots_) +
-             static_cast<std::size_t>(slot_of(s))]
-            .push_back(id);
-      }
-      ++inst_ops_[static_cast<std::size_t>(g)];
-      if (lat == 0) {
-        for (OpId d : deps_[id]) {
-          const OpPlacement& dp = placement_[d];
-          if (dp.step == e + lat && dp.pool >= 0 && latency_of(d) == 0) {
-            comb_graph_.add_edge(
-                resource_base_[static_cast<std::size_t>(dp.pool)] +
-                    dp.instance,
-                g);
-          }
-        }
-      }
-    }
-    active_.erase(rank_[id]);
-    // Release consumers (chaining allows the commit step itself;
-    // otherwise the step after, unless the result is registered).
-    const double thresh = p_.lib->reg_clk_to_q_ps() + 1e-9;
-    const int res_avail = p_.enable_chaining
-                              ? pl.step
-                              : pl.step + (arrival <= thresh ? 0 : 1);
-    for (OpId u : users_[id]) satisfy_dep(u, res_avail);
-    if (port_next_[id] != kNoOp) satisfy_dep(port_next_[id], pl.step);
-  }
-
-  // ---- Failure bookkeeping --------------------------------------------------
-
-  void note_refusal(OpId id, int e, int pool, int inst, RefuseCause cause,
-                    double slack = 0) {
-    refusals_[id].push_back({e, pool, inst, cause, slack});
-  }
-
-  void fatal(OpId id, int e) {
-    failed_[id] = true;
-    failed_list_.push_back(id);
-    active_.erase(rank_[id]);
-    // Aggregate the refusal causes at the deadline step into restraints,
-    // mirroring the list pass's vocabulary so the expert reasons the same
-    // way about either backend's failures.
-    const auto& refusals = refusals_[id];
-    int busy = 0;
-    int cycle_pool = -1;
-    int cycle_inst = -1;
-    double best_slack = -1e18;
-    bool slack_seen = false;
-    bool window_seen = false;
-    int pool = -1;
-    for (const auto& r : refusals) {
-      if (r.step != e) continue;
-      pool = std::max(pool, r.pool);
-      switch (r.cause) {
-        case RefuseCause::kBusy: ++busy; break;
-        case RefuseCause::kForbidden: ++busy; break;
-        case RefuseCause::kSlack:
-          slack_seen = true;
-          best_slack = std::max(best_slack, r.slack);
-          break;
-        case RefuseCause::kCycle:
-          cycle_pool = r.pool;
-          cycle_inst = r.instance;
-          break;
-        case RefuseCause::kWindow: window_seen = true; break;
-      }
-    }
-    if (busy > 0) {
-      Restraint r;
-      r.kind = RestraintKind::kNoResource;
-      r.op = id;
-      r.step = e;
-      r.pool = pool;
-      r.weight = busy;
-      restraints_.push_back(r);
-    }
-    if (slack_seen) {
-      Restraint r;
-      r.kind = RestraintKind::kNegativeSlack;
-      r.op = id;
-      r.step = e;
-      r.pool = pool;
-      r.slack_ps = best_slack;
-      r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
-      restraints_.push_back(r);
-    }
-    if (busy > 0 || slack_seen) {
-      // Fan-in cone analysis (paper IV.B): blame congestion-delayed
-      // chained producers with decayed weight.
-      for (OpId d : deps_[id]) {
-        const OpPlacement& dp = placement_[d];
-        if (!dp.scheduled || dp.step != e || dp.pool < 0) continue;
-        if (dp.arrival_ps <= p_.lib->reg_clk_to_q_ps() + 1e-9) continue;
-        if (p_.spans.spans[d].asap >= dp.step) continue;
-        Restraint r;
-        r.kind = RestraintKind::kNegativeSlack;
-        r.op = d;
-        r.step = e;
-        r.pool = dp.pool;
-        r.slack_ps = best_slack;
-        r.scc = p_.pipeline.enabled ? p_.scc_of[d] : -1;
-        r.weight = 0.5;
-        restraints_.push_back(r);
-      }
-    }
-    if (cycle_pool >= 0) {
-      Restraint r;
-      r.kind = RestraintKind::kCombCycle;
-      r.op = id;
-      r.step = e;
-      r.pool = cycle_pool;
-      r.instance = cycle_inst;
-      restraints_.push_back(r);
-    }
-    if (window_seen) {
-      Restraint r;
-      r.kind = RestraintKind::kSccWindow;
-      r.op = id;
-      r.step = e;
-      r.scc = p_.scc_of[id];
-      restraints_.push_back(r);
-    }
-  }
-
-  bool depends_on_failure(OpId id) const {
-    for (OpId d : deps_[id]) {
-      if (failed_[d]) return true;
-    }
-    return false;
-  }
-
-  void fatal_no_states(OpId id, int e) {
-    if (failed_[id]) return;  // already reported
-    failed_[id] = true;
-    failed_list_.push_back(id);
-    active_.erase(rank_[id]);
-    Restraint r;
-    r.kind = RestraintKind::kNoStates;
-    r.op = id;
-    r.step = e;
-    r.scc = p_.pipeline.enabled ? p_.scc_of[id] : -1;
-    r.weight = depends_on_failure(id) ? 0.25 : 1.0;
-    restraints_.push_back(r);
+  void on_dep_satisfied(OpId user, int avail_step) override {
+    satisfy_dep(user, avail_step);
   }
 
   /// Ops whose deadline passed while their dependences never became
   /// ready (including dependences on already-failed ops).
   void sweep_missed_deadlines(int e) {
     for (OpId id : deadline_buckets_[static_cast<std::size_t>(e)]) {
-      if (placement_[id].scheduled || failed_[id]) continue;
-      if (!deps_available_by(id, e)) fatal_no_states(id, e);
+      if (binder_.scheduled(id) || binder_.op_failed(id)) continue;
+      if (!deps_available_by(id, e)) {
+        fatal_no_states(id, e, PassEvent::Kind::kFatalSweep);
+      }
     }
   }
 
-  struct Refusal {
-    int step;
-    int pool;
-    int instance;
-    RefuseCause cause;
-    double slack;
-  };
-
-  const Problem& p_;
-  const ir::Dfg& dfg_;
   const std::vector<std::vector<SdcScheduler::Edge>>& out_;
-  const std::vector<std::vector<OpId>>& deps_;
-  const std::vector<std::vector<OpId>>& users_;
-  const std::vector<OpId>& port_next_;
-  timing::TimingEngine& eng_;
+  const WarmStart* warm_;
 
-  std::vector<OpPlacement> placement_;
-  std::vector<bool> failed_;
-  std::vector<OpId> failed_list_;
-  std::vector<Priority> priorities_;
-  std::vector<int> rank_;
-  std::vector<OpId> order_;
   std::vector<int> unmet_;
   std::vector<int> avail_;
   std::vector<int> x_;          ///< constraint lower bound per op (start step)
   std::vector<char> in_queue_;  ///< Bellman-Ford work-queue membership
   std::vector<OpId> changed_scratch_;
+  std::vector<std::uint32_t> changed_mark_;  ///< raise_bound dedup epochs
+  std::uint32_t changed_epoch_ = 0;
   std::vector<OpId> deferred_scratch_;
   std::vector<std::vector<OpId>> buckets_;
   std::vector<std::vector<OpId>> deadline_buckets_;
-  std::set<int> active_;
-  std::vector<OpId> step_anchored_;
-  std::vector<std::uint32_t> deferred_mark_;
-  std::uint32_t deferred_epoch_ = 1;
   /// -1 until the first begin_step, so pre-pass enqueues (build_ready)
   /// land in bucket 0 rather than being floored past it.
   int current_step_ = -1;
   bool in_step_ = false;
-  std::vector<int> resource_base_;
-  int total_instances_ = 0;
-  int num_slots_ = 1;
-  std::vector<std::vector<OpId>> occ_;
-  std::vector<int> inst_ops_;
-  std::vector<char> forbidden_;
-  std::vector<double> arrivals_;
-  timing::PathQuery pq_;
-  timing::CombCycleGraph comb_graph_;
-  std::vector<Restraint> restraints_;
-  std::vector<std::vector<Refusal>> refusals_;
 };
 
 }  // namespace
 
 PassOutcome SdcScheduler::run_pass(timing::TimingEngine& eng,
                                    const WarmStart* warm) {
-  (void)warm;  // SDC passes are not warm-started (warm_startable() = false)
-  SdcPass pass(problem_, out_, deps_, users_, port_next_, base_unmet_, eng);
+  SdcPass pass(problem_, out_, dg_, eng, warm);
   return pass.run();
 }
 

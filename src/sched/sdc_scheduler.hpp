@@ -12,12 +12,24 @@
 // dependent op (and every II-window partner) moves with it before any
 // doomed binding attempt is made.
 //
-// The binder itself shares the list scheduler's semantics: the same
-// priority order, chaining/timing verdicts, exclusive colocation,
-// combinational-cycle avoidance and restraint vocabulary — a failed pass
-// hands the same restraint kinds to the same expert system (expert.cpp),
-// so both backends relax identically and remain comparable point for
-// point (see tests/sched_golden_test.cpp's backend-equivalence suite).
+// Binding itself is the shared sched::BindingEngine (binder.hpp) — the
+// same component the list pass drives — so chaining/slack verdicts,
+// exclusive colocation, comb-cycle avoidance and the restraint
+// vocabulary are structurally identical across backends, and a failed
+// pass hands the same restraint kinds to the same expert system
+// (expert.cpp). This backend keeps only the solver core: the constraint
+// system, bound raising, and the ready buckets it serves the engine from.
+//
+// SDC passes warm-start like list passes: each pass records its decision
+// trace (commits, first defers, fatals), and after a relaxation the next
+// pass replays the prefix before the driver-computed invalidation
+// frontier. Replay re-applies the committed bindings through the engine
+// and re-derives the constraint bounds for the prefix by running the
+// normal end-of-step bound raising over the replayed state — the solved
+// x_ lower bounds learned before the frontier persist without a single
+// timing query or instance probe, and only the region the expert action
+// can reach is re-solved. Results are bit-identical to cold passes
+// (enforced by the golden suite's SDC warm/cold A/B).
 #pragma once
 
 #include "sched/backend.hpp"
@@ -29,6 +41,7 @@ class SdcScheduler final : public SchedulerBackend {
   SdcScheduler(const Problem& problem, const SchedulerOptions& options);
 
   BackendKind kind() const override { return BackendKind::kSdc; }
+  bool warm_startable() const override { return true; }
   PassOutcome run_pass(timing::TimingEngine& eng,
                        const WarmStart* warm) override;
 
@@ -39,13 +52,9 @@ class SdcScheduler final : public SchedulerBackend {
   };
 
  private:
-  // Pass-invariant structure, built once per schedule_region: the
-  // dependence graph (with the same carried-edge / predicate /
-  // port-order rules as the list pass) and the static constraint edges.
-  std::vector<std::vector<ir::OpId>> deps_;
-  std::vector<std::vector<ir::OpId>> users_;
-  std::vector<ir::OpId> port_next_;
-  std::vector<int> base_unmet_;
+  // Pass-invariant structure, built once per schedule_region: the shared
+  // dependence graph (binder.hpp's rules) and the static constraint edges.
+  DependenceGraph dg_;
   std::vector<std::vector<Edge>> out_;  ///< constraint adjacency, by source
 };
 

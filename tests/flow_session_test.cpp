@@ -212,6 +212,43 @@ TEST(FlowBackend, ExploreSweepsBackendsInOneGrid) {
   EXPECT_EQ(pts[0].latency, pts[1].latency);
 }
 
+TEST(FlowBackend, AutoReportsResolvedBackendInReportAndJson) {
+  const FlowSession session(workloads::make_idct8());
+  FlowOptions o;
+  o.backend = sched::BackendKind::kAuto;
+  auto r = session.run(o);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  // IDCT is feed-forward: kAuto resolves to the list backend, and every
+  // report carries the resolved kind, never "auto".
+  EXPECT_EQ(r.sched.backend, sched::BackendKind::kList);
+  EXPECT_NE(render_report(r).find("backend: list"), std::string::npos);
+  EXPECT_EQ(render_json(r).find("\"backend\":\"auto\""), std::string::npos);
+}
+
+// ---- Warm-start plumbing ----------------------------------------------------
+
+// FlowOptions::warm_start reaches the scheduler, and warm/cold runs stay
+// byte-identical at the flow level for both backends (the bit-level A/B
+// lives in sched_golden_test; this pins the core-layer plumbing).
+TEST(FlowBackend, WarmStartToggleKeepsResultsIdentical) {
+  const FlowSession session(workloads::make_idct8());
+  for (const auto backend :
+       {sched::BackendKind::kList, sched::BackendKind::kSdc}) {
+    FlowOptions warm;
+    warm.backend = backend;
+    warm.pipeline_ii = 8;
+    FlowOptions cold = warm;
+    cold.warm_start = false;
+    auto rw = session.run(warm);
+    auto rc = session.run(cold);
+    ASSERT_EQ(rw.success, rc.success) << sched::backend_name(backend);
+    EXPECT_EQ(fingerprint(rw), fingerprint(rc))
+        << sched::backend_name(backend);
+    EXPECT_EQ(rw.sched.passes, rc.sched.passes)
+        << sched::backend_name(backend);
+  }
+}
+
 // ---- Shared timing tables --------------------------------------------------
 
 TEST(FlowSession, SharedTimingTablesDoNotChangeResults) {

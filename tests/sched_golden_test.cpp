@@ -231,6 +231,50 @@ TEST(SchedGolden, WarmStartedPassesMatchColdPassesBitExactly) {
   }
 }
 
+// SDC passes warm-start through the same driver path as list passes
+// (trace replay up to the invalidation frontier, plus re-derived
+// constraint bounds for the prefix); the A/B mirrors the list suite but
+// covers II ∈ {0, 1, 2} and pins a relaxation-heavy sized design so the
+// AddResource/ForbidBinding frontier rules fire for the SDC replay too.
+TEST(SchedGolden, SdcWarmStartedPassesMatchColdPassesBitExactly) {
+  auto designs = workloads::suite();
+  workloads::RandomCdfgOptions sized;
+  sized.target_ops = 400;
+  designs.push_back(workloads::make_random_cdfg(400, sized));
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto& w = designs[i];
+    // The appended 400-op design is expensive through the SDC core; its
+    // relaxation-heavy sequential run alone covers the frontier rules.
+    const bool sized_design = i + 1 == designs.size();
+    for (int ii : {0, 1, 2}) {
+      if (sized_design && ii > 0) continue;
+      workloads::Workload wl = w;  // straighten mutates the module
+      pipeline::straighten(wl.module);
+      const auto region = ir::linearize(wl.module.thread.tree, wl.loop);
+      const auto latency = wl.module.thread.tree.stmt(wl.loop).latency;
+
+      sched::SchedulerOptions cold;
+      cold.backend = sched::BackendKind::kSdc;
+      cold.warm_start = false;
+      if (ii > 0) {
+        cold.pipeline.enabled = true;
+        cold.pipeline.ii = ii;
+      }
+      sched::SchedulerOptions warm = cold;
+      warm.warm_start = true;
+
+      const auto r_cold = sched::schedule_region(
+          wl.module.thread.dfg, region, latency, wl.module.ports.size(),
+          cold);
+      const auto r_warm = sched::schedule_region(
+          wl.module.thread.dfg, region, latency, wl.module.ports.size(),
+          warm);
+      EXPECT_EQ(scheduler_fingerprint(r_cold), scheduler_fingerprint(r_warm))
+          << w.name << " at II=" << ii << " [sdc]";
+    }
+  }
+}
+
 // ---- Backend equivalence: SDC vs list ---------------------------------------
 
 // Structural validity of a schedule, checked from first principles (not
@@ -371,6 +415,90 @@ TEST(SchedBackends, SdcMatchesListOnFeasibilityLatencyAndIi) {
       expect_structurally_valid(w, region, rs, label + " [sdc]");
       expect_structurally_valid(w, region, rl, label + " [list]");
     }
+  }
+}
+
+// ---- Backend auto-selection -------------------------------------------------
+
+// kAuto must (a) resolve deterministically — the same configuration
+// always runs the same backend — and (b) report the *resolved* backend in
+// SchedulerResult::backend, never kAuto itself.
+TEST(SchedBackends, AutoResolvesDeterministicallyAndReportsResolvedKind) {
+  for (const auto& w0 : workloads::suite()) {
+    for (int ii : {0, 2}) {
+      workloads::Workload w = w0;
+      pipeline::straighten(w.module);
+      const auto region = ir::linearize(w.module.thread.tree, w.loop);
+      const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+
+      sched::SchedulerOptions opts;
+      opts.backend = sched::BackendKind::kAuto;
+      if (ii > 0) {
+        opts.pipeline.enabled = true;
+        opts.pipeline.ii = ii;
+      }
+      const auto r1 = sched::schedule_region(w.module.thread.dfg, region,
+                                             latency, w.module.ports.size(),
+                                             opts);
+      const auto r2 = sched::schedule_region(w.module.thread.dfg, region,
+                                             latency, w.module.ports.size(),
+                                             opts);
+      const std::string label = w.name + " at II=" + std::to_string(ii);
+      EXPECT_NE(r1.backend, sched::BackendKind::kAuto) << label;
+      EXPECT_EQ(r1.backend, r2.backend) << label << ": resolution must be"
+                                        << " deterministic";
+      EXPECT_EQ(r1.success, r2.success) << label;
+      // Sequential regions (no recurrences) resolve to the list backend.
+      if (ii == 0) {
+        EXPECT_EQ(r1.backend, sched::BackendKind::kList) << label;
+      }
+    }
+  }
+}
+
+// kAuto routes recurrence-bearing pipelined kernels to the SDC backend
+// (the constraint system moves SCC bodies as one) and everything
+// feed-forward to the list backend.
+TEST(SchedBackends, AutoPicksSdcForPipelinedRecurrences) {
+  // crc32 carries a loop recurrence; at II=2 its SCCs survive into the
+  // pipelined problem.
+  for (const auto& w0 : workloads::suite()) {
+    if (w0.name != "crc32") continue;
+    workloads::Workload w = w0;
+    pipeline::straighten(w.module);
+    const auto region = ir::linearize(w.module.thread.tree, w.loop);
+    const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+    sched::SchedulerOptions opts;
+    opts.backend = sched::BackendKind::kAuto;
+    opts.pipeline.enabled = true;
+    opts.pipeline.ii = 2;
+    const auto r = sched::schedule_region(w.module.thread.dfg, region,
+                                          latency, w.module.ports.size(),
+                                          opts);
+    EXPECT_EQ(r.backend, sched::BackendKind::kSdc);
+  }
+}
+
+// An explore grid with kAuto configs reports the resolved backend per
+// point ("list"/"sdc"), not "auto".
+TEST(SchedBackends, ExplorePointsReportResolvedBackendForAuto) {
+  const FlowSession session(workloads::make_idct8());
+  std::vector<ExploreConfig> grid;
+  ExploreConfig cfg;
+  cfg.curve = "auto";
+  cfg.tclk_ps = 1600;
+  cfg.latency = 16;
+  cfg.pipeline_ii = 0;
+  cfg.backend = sched::BackendKind::kAuto;
+  grid.push_back(cfg);
+  cfg.pipeline_ii = 8;
+  cfg.latency = 16;
+  grid.push_back(cfg);
+  const auto pts = explore(session, grid, {});
+  ASSERT_EQ(pts.size(), 2u);
+  for (const auto& pt : pts) {
+    EXPECT_TRUE(pt.backend == "list" || pt.backend == "sdc")
+        << "curve=" << pt.curve << " reported backend=" << pt.backend;
   }
 }
 
