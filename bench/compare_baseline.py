@@ -11,6 +11,11 @@ Two checks:
  * the fitted complexity exponent must stay below max-exponent — a
    hardware-independent guard against reintroducing quadratic rescans.
 
+Malformed input is a hard failure, not a silent pass: a bench refactor
+that renames or drops a metric key must break this gate loudly (exit 2
+with the missing key named), never dilute it. `--allow-missing-exponent`
+is the one escape hatch, for baselines predating the complexity fit.
+
 The explore speedup is deliberately NOT gated: it is hardware dependent
 and meaningless on single-thread runners (see the speedup_meaningful
 flag in the JSON).
@@ -20,8 +25,48 @@ import json
 import sys
 
 
-def per_pass_by_ops(doc):
-    return {e["ops"]: e["ns_per_pass"] for e in doc["schedule_ns_per_pass"]}
+class SchemaError(Exception):
+    """A required metric key is missing or has the wrong shape."""
+
+
+def per_pass_by_ops(doc, label):
+    entries = doc.get("schedule_ns_per_pass")
+    if entries is None:
+        raise SchemaError(f"{label}: missing key 'schedule_ns_per_pass'")
+    if not isinstance(entries, list) or not entries:
+        raise SchemaError(
+            f"{label}: 'schedule_ns_per_pass' must be a non-empty list"
+        )
+    out = {}
+    for i, entry in enumerate(entries):
+        for key in ("ops", "ns_per_pass"):
+            if not isinstance(entry, dict) or key not in entry:
+                raise SchemaError(
+                    f"{label}: schedule_ns_per_pass[{i}] missing key '{key}'"
+                )
+        out[entry["ops"]] = entry["ns_per_pass"]
+    return out
+
+
+def fitted_exponent(doc, label, required):
+    exponent = doc.get("complexity", {}).get("fitted_exponent")
+    if exponent is None and required:
+        raise SchemaError(
+            f"{label}: missing key 'complexity.fitted_exponent' "
+            "(pass --allow-missing-exponent only for baselines that "
+            "predate the complexity fit)"
+        )
+    return exponent
+
+
+def load(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise SchemaError(f"{label}: cannot read {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise SchemaError(f"{label}: {path} is not valid JSON: {e}") from e
 
 
 def main():
@@ -30,16 +75,25 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--max-ratio", type=float, default=1.5)
     ap.add_argument("--max-exponent", type=float, default=2.0)
+    ap.add_argument(
+        "--allow-missing-exponent",
+        action="store_true",
+        help="tolerate a current file without complexity.fitted_exponent",
+    )
     args = ap.parse_args()
 
-    with open(args.current) as f:
-        current_doc = json.load(f)
-    current = per_pass_by_ops(current_doc)
-    with open(args.baseline) as f:
-        baseline = per_pass_by_ops(json.load(f))
+    try:
+        current_doc = load(args.current, "current")
+        current = per_pass_by_ops(current_doc, "current")
+        baseline = per_pass_by_ops(load(args.baseline, "baseline"), "baseline")
+        exponent = fitted_exponent(
+            current_doc, "current", required=not args.allow_missing_exponent
+        )
+    except SchemaError as e:
+        print(f"scheduler perf gate: malformed input: {e}", file=sys.stderr)
+        return 2
 
     failures = []
-    exponent = current_doc.get("complexity", {}).get("fitted_exponent")
     if exponent is not None:
         status = "FAIL" if exponent >= args.max_exponent else "ok"
         print(
@@ -51,6 +105,16 @@ def main():
                 f"fitted exponent {exponent:.2f} >= {args.max_exponent}"
                 " (pass cost is no longer subquadratic)"
             )
+    # The size sets must match exactly: a missing size means the bench
+    # silently stopped measuring it; an extra size means the baseline is
+    # stale. Either way the per-size ratios below would compare
+    # incommensurate runs.
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        failures.append(
+            f"sizes {extra} present in current but absent from baseline "
+            "(regenerate bench/baseline_scheduler.json)"
+        )
     for ops, base_ns in sorted(baseline.items()):
         cur_ns = current.get(ops)
         if cur_ns is None:

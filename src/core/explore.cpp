@@ -10,9 +10,8 @@
 
 namespace hls::core {
 
-namespace {
-
-ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
+ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
+                       RunPointExtras* extras) {
   ExplorePoint pt;
   pt.curve = cfg.curve;
   pt.tclk_ps = cfg.tclk_ps;
@@ -26,6 +25,10 @@ ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
   opts.latency_min = cfg.latency;
   opts.latency_max = cfg.latency;
   opts.emit_verilog = false;
+  if (extras != nullptr) {
+    opts.seed = extras->seed;
+    opts.record_seed = extras->record_seed;
+  }
   pt.backend = sched::backend_name(cfg.backend);
   try {
     FlowResult r = session.run(opts);
@@ -42,11 +45,16 @@ ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
     pt.sched_seconds = r.sched_seconds;
     pt.passes = r.sched.passes;
     pt.relaxations = r.sched.relaxations();
+    pt.seed_use = sched::seed_use_name(r.sched.seed_use);
     if (r.success) {
       pt.feasible = true;
       pt.delay_ns = r.delay_ns;
       pt.area = r.area.total();
       pt.power_mw = r.power.total_mw();
+      if (extras != nullptr && extras->record_seed) {
+        extras->seed_out = std::move(r.sched.seed_out);
+        extras->seed_recorded = true;
+      }
     } else {
       pt.failure = r.failure_reason;
     }
@@ -57,8 +65,6 @@ ExplorePoint run_config(const FlowSession& session, const ExploreConfig& cfg) {
   }
   return pt;
 }
-
-}  // namespace
 
 std::vector<ExplorePoint> explore(const FlowSession& session,
                                   const std::vector<ExploreConfig>& configs,
@@ -86,7 +92,7 @@ std::vector<ExplorePoint> explore(const FlowSession& session,
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
-      points[i] = run_config(session, configs[i]);
+      points[i] = run_point(session, configs[i]);
       report(points[i]);
     }
     return points;
@@ -101,7 +107,7 @@ std::vector<ExplorePoint> explore(const FlowSession& session,
     for (std::size_t i = next.fetch_add(1); i < configs.size();
          i = next.fetch_add(1)) {
       try {
-        points[i] = run_config(session, configs[i]);
+        points[i] = run_point(session, configs[i]);
         report(points[i]);
       } catch (...) {
         errors[i] = std::current_exception();

@@ -38,6 +38,10 @@ struct ExplorePoint {
   /// kAuto config reports the backend the scheduler resolved to; only a
   /// run that failed before scheduling keeps "auto".
   std::string backend;
+  /// How the run used a cross-run scheduling seed, when one was offered
+  /// through RunPointExtras ("none" / "replay" / "seeded" / "miss"; see
+  /// sched::SeedUse). Plain explore() runs always report "none".
+  std::string seed_use = "none";
 };
 
 struct ExploreConfig {
@@ -64,6 +68,29 @@ struct ExploreOptions {
                      std::size_t total)>
       progress;
 };
+
+/// Seed plumbing for run_point: lets a serving layer thread a
+/// sched::ScheduleSeed from a finished neighboring configuration into a
+/// run, and capture the run's own seed for later reuse. Exploration's
+/// determinism contract is preserved because a seed can only change pass
+/// counts, never the schedule (the driver restarts cold on a seed miss).
+struct RunPointExtras {
+  /// Seed to offer the scheduler (must describe the same module; the
+  /// pointee must outlive the call). nullptr = cold.
+  const sched::ScheduleSeed* seed = nullptr;
+  /// Record this run's transferable state into `seed_out`.
+  bool record_seed = false;
+  /// Filled when record_seed is set and the run succeeded.
+  sched::ScheduleSeed seed_out;
+  bool seed_recorded = false;
+};
+
+/// Runs ONE configuration against `session`'s compiled module — the same
+/// routine explore() fans out over its worker pool, exposed for callers
+/// (e.g. the serve layer) that manage their own pools and want seed
+/// plumbing. Thread-safe for concurrent calls on one session.
+ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
+                       RunPointExtras* extras = nullptr);
 
 /// Runs one flow per configuration against `session`'s compiled module,
 /// fanning out across `options.threads` workers.

@@ -54,6 +54,16 @@ struct FlowOptions {
   bool warm_start = true;
   /// Emit Verilog text into the result (costs a little time).
   bool emit_verilog = true;
+
+  /// Cross-run scheduling seed (sched::ScheduleSeed) from a finished run
+  /// on the SAME module — the serve layer's trace cache feeds this.
+  /// Incompatible seeds are ignored, exact-config seeds replay bit-exact
+  /// in one pass, and neighbor seeds only track the cold ladder, so the
+  /// result is never changed by seeding (SchedulerResult::seed_use
+  /// reports what happened). The pointee must outlive the run.
+  const sched::ScheduleSeed* seed = nullptr;
+  /// Record a ScheduleSeed into SchedulerResult::seed_out on success.
+  bool record_seed = false;
 };
 
 /// Checks a FlowOptions for values that would cause undefined behavior

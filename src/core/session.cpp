@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "ir/print.hpp"
 #include "ir/validate.hpp"
 #include "opt/pass.hpp"
 #include "pipeline/straighten.hpp"
@@ -16,6 +17,17 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// FNV-1a over the canonical module dump. The dump is deterministic (op
+/// and statement ids are assigned in construction order), so structurally
+/// identical workloads — regardless of their display name — hash equal.
+std::uint64_t fnv1a(std::string_view text, std::uint64_t h) {
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace
@@ -106,6 +118,15 @@ FlowSession::FlowSession(workloads::Workload workload,
       delay_tables_ = std::make_shared<const timing::DelayTables>(
           timing::DelayTables::prewarm(tech::artisan90()));
     }
+    // Hash the post-front-end IR with the display name normalized away, so
+    // the serve layer's session cache collides renamed-but-identical
+    // designs. The dump is taken AFTER optimize + predicate: equal hashes
+    // mean equal scheduling inputs, which is the cache's contract.
+    ir::Module canonical = compiled_;
+    canonical.name = "m";
+    module_hash_ =
+        fnv1a(ir::print_module(canonical),
+              fnv1a("loop", 0xcbf29ce484222325ULL) ^ (loop_ * 0x9e3779b97f4a7c15ULL));
   }
   compile_seconds_ = seconds_since(t0);
 }
@@ -221,6 +242,8 @@ bool FlowRun::select_microarch() {
   sopts_.use_mutual_exclusivity = options_.use_mutual_exclusivity;
   sopts_.allow_accept_slack = options_.allow_accept_slack;
   sopts_.warm_start = options_.warm_start;
+  sopts_.seed = options_.seed;
+  sopts_.record_seed = options_.record_seed;
 
   region_ = ir::linearize(m.thread.tree, result_.loop);
   result_.timings.microarch_seconds = seconds_since(t0);

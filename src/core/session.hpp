@@ -112,6 +112,14 @@ class FlowSession {
   const ir::Module& module() const { return compiled_; }
   ir::StmtId loop() const { return loop_; }
 
+  /// Stable 64-bit hash of the compiled module (post-optimizer IR dump
+  /// plus the schedulable loop id; the workload *name* is deliberately
+  /// excluded so renamed but structurally identical designs collide).
+  /// This is the serve layer's session-cache key: two submissions with
+  /// equal hashes schedule identically under equal options, so the second
+  /// can skip the front end entirely. Computed once at construction.
+  std::uint64_t module_hash() const { return module_hash_; }
+
   /// True when compilation produced no error diagnostics.
   bool ok() const;
   /// Compile-time diagnostics (stage "compile").
@@ -139,6 +147,7 @@ class FlowSession {
   std::string name_;
   ir::Module compiled_;
   ir::StmtId loop_ = ir::kNoStmt;
+  std::uint64_t module_hash_ = 0;
   std::vector<Diagnostic> diags_;
   double compile_seconds_ = 0;
   std::shared_ptr<const timing::DelayTables> delay_tables_;

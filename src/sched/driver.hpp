@@ -25,6 +25,51 @@ enum class BackendKind : std::uint8_t {
 /// Stable lowercase name ("list" / "sdc" / "auto") for reports and JSON.
 const char* backend_name(BackendKind kind);
 
+/// A finished run's transferable scheduling state, recorded when
+/// SchedulerOptions::record_seed is on and replayed into a later run via
+/// SchedulerOptions::seed. Two levels of reuse:
+///
+///  * Exact replay — the seed came from the *same* module under the
+///    *same* configuration (tclk, II, latency, backend, feature
+///    switches). The recorded relaxations are re-applied up front and the
+///    final pass replays in full through the PR-5 warm-start path, so the
+///    run completes in one pass with near-zero timing queries. Bit-exact
+///    by the warm ≡ cold guarantee.
+///  * Neighbor seeding — the seed came from an adjacent design-space
+///    point (same module/II/latency, neighboring tclk). The solve runs
+///    the cold relaxation ladder UNCHANGED — every expert decision
+///    depends on the previous pass's restraint set, which depends on the
+///    clock period, so skipping ladder passes on a neighbor's recipe
+///    could land on a different (valid but non-canonical) schedule. The
+///    donor recipe is instead matched against the ladder as it unfolds:
+///    a full match reports SeedUse::kSeeded (the donor predicted this
+///    solve; an exact-config resubmission will replay in one pass), any
+///    divergence reports kMiss. Neighbor seeds therefore never change
+///    results OR pass counts; the serve-layer golden suite pins
+///    seeded ≡ cold over the workload suite grid on both backends.
+struct ScheduleSeed {
+  // Donor configuration, checked by the compatibility rules.
+  double tclk_ps = 0;
+  int num_steps = 0;  ///< donor's final LI
+  bool pipelined = false;
+  int ii = 0;
+  BackendKind backend = BackendKind::kList;  ///< donor's *resolved* backend
+  /// Relaxations the donor's expert walk applied, in application order.
+  std::vector<Action> actions;
+  /// Decision trace of the donor's final (successful) pass; replayed in
+  /// full on an exact configuration match.
+  PassTrace final_trace;
+};
+
+/// How a run used (or ignored) SchedulerOptions::seed.
+enum class SeedUse : std::uint8_t {
+  kNone,    ///< no seed offered
+  kReplay,  ///< exact-config seed: final pass replayed wholesale
+  kSeeded,  ///< neighbor seed's recipe matched the cold ladder end to end
+  kMiss,    ///< seed incompatible, replay failed, or recipe diverged
+};
+const char* seed_use_name(SeedUse use);
+
 struct SchedulerOptions {
   double tclk_ps = 1600;
   const tech::Library* lib = nullptr;  ///< defaults to artisan90
@@ -63,6 +108,13 @@ struct SchedulerOptions {
   bool warm_start = true;
 
   int max_passes = 128;
+
+  /// Cross-run seed (see ScheduleSeed). Must describe the same module;
+  /// incompatible seeds are ignored (SeedUse::kMiss reports why not).
+  const ScheduleSeed* seed = nullptr;
+  /// Record a ScheduleSeed for this run into SchedulerResult::seed_out on
+  /// success (costs one trace copy per run; off by default).
+  bool record_seed = false;
 };
 
 struct PassRecord {
@@ -87,6 +139,12 @@ struct SchedulerResult {
   std::vector<PassRecord> history;
   std::uint64_t timing_queries = 0;
   std::string failure_reason;  ///< set when success == false
+
+  /// How the offered seed was used (kNone when none was offered).
+  SeedUse seed_use = SeedUse::kNone;
+  /// Recorded transferable state (only when options.record_seed and the
+  /// run succeeded); what the serve layer's trace cache stores.
+  ScheduleSeed seed_out;
 
   /// Number of relaxation actions applied across all passes (Figure 9's
   /// driver of scheduling time, alongside the pass count).

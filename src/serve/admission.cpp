@@ -1,0 +1,121 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::serve {
+
+std::vector<MicroBatch> micro_batches(std::size_t n, int cap) {
+  std::vector<MicroBatch> batches;
+  if (n == 0) return batches;
+  const std::size_t step =
+      cap <= 0 ? n : static_cast<std::size_t>(cap);
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    batches.push_back({begin, std::min(n, begin + step)});
+  }
+  return batches;
+}
+
+// ---- CapacityScheduler -----------------------------------------------------
+
+CapacityScheduler::CapacityScheduler(int max_inflight)
+    : max_inflight_(std::max(1, max_inflight)) {}
+
+void CapacityScheduler::enqueue(std::int64_t job, std::uint64_t module_hash) {
+  HLS_ASSERT(pending_.find(job) == pending_.end() &&
+                 inflight_.find(job) == inflight_.end(),
+             "duplicate job id enqueued");
+  pending_.emplace(job, module_hash);
+}
+
+std::vector<std::int64_t> CapacityScheduler::admit() {
+  std::vector<std::int64_t> admitted;
+  // std::map iterates in ascending id order — exactly the admission order
+  // the determinism contract requires.
+  for (auto it = pending_.begin();
+       it != pending_.end() &&
+       inflight_.size() < static_cast<std::size_t>(max_inflight_);) {
+    if (busy_modules_.find(it->second) != busy_modules_.end()) {
+      ++it;  // module busy: skip, don't block later jobs
+      continue;
+    }
+    inflight_.emplace(it->first, it->second);
+    busy_modules_.insert(it->second);
+    admitted.push_back(it->first);
+    it = pending_.erase(it);
+  }
+  return admitted;
+}
+
+void CapacityScheduler::finish(std::int64_t job) {
+  const auto it = inflight_.find(job);
+  HLS_ASSERT(it != inflight_.end(), "finish() on a job not in flight");
+  busy_modules_.erase(busy_modules_.find(it->second));
+  inflight_.erase(it);
+}
+
+std::vector<std::int64_t> CapacityScheduler::set_capacity(int max_inflight) {
+  max_inflight_ = std::max(1, max_inflight);
+  std::vector<std::int64_t> evicted;
+  while (inflight_.size() > static_cast<std::size_t>(max_inflight_)) {
+    // Evict the newest admission: lowest ids were admitted first and their
+    // output is due first, so they keep their slots.
+    const auto last = std::prev(inflight_.end());
+    busy_modules_.erase(busy_modules_.find(last->second));
+    pending_.emplace(last->first, last->second);
+    evicted.push_back(last->first);
+    inflight_.erase(last);
+  }
+  std::sort(evicted.begin(), evicted.end());
+  return evicted;
+}
+
+std::vector<std::int64_t> CapacityScheduler::inflight() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(inflight_.size());
+  for (const auto& [id, hash] : inflight_) ids.push_back(id);
+  return ids;
+}
+
+// ---- LruEvictionPolicy -----------------------------------------------------
+
+void LruEvictionPolicy::touch(std::uint64_t key, std::uint64_t tick) {
+  last_use_[key] = tick;
+}
+
+void LruEvictionPolicy::pin(std::uint64_t key) { ++pins_[key]; }
+
+void LruEvictionPolicy::unpin(std::uint64_t key) {
+  const auto it = pins_.find(key);
+  HLS_ASSERT(it != pins_.end() && it->second > 0, "unpin without pin");
+  if (--it->second == 0) pins_.erase(it);
+}
+
+void LruEvictionPolicy::erase(std::uint64_t key) {
+  HLS_ASSERT(!pinned(key), "erasing a pinned key");
+  last_use_.erase(key);
+}
+
+bool LruEvictionPolicy::pinned(std::uint64_t key) const {
+  const auto it = pins_.find(key);
+  return it != pins_.end() && it->second > 0;
+}
+
+bool LruEvictionPolicy::victim(std::uint64_t* out) const {
+  bool found = false;
+  std::uint64_t best_key = 0;
+  std::uint64_t best_tick = 0;
+  for (const auto& [key, tick] : last_use_) {
+    if (pinned(key)) continue;
+    if (!found || tick < best_tick) {
+      found = true;
+      best_key = key;
+      best_tick = tick;
+    }
+  }
+  if (found) *out = best_key;
+  return found;
+}
+
+}  // namespace hls::serve

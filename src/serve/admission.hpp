@@ -1,0 +1,107 @@
+// Capacity-aware admission for the serving layer (modeled on LLM-serving
+// capacity schedulers: deterministic admission, micro-batching, and an
+// eviction policy that never touches in-flight state).
+//
+// Everything here is deliberately single-threaded and deterministic: the
+// serve engine calls it only from the round loop, and every decision is a
+// pure function of (job ids, module hashes, capacity), never of thread
+// timing or arrival order. That is one third of the serve determinism
+// contract (docs/SERVE.md); the others are round-barrier trace-cache
+// commits (cache.hpp) and id-ordered output flushing (server.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace hls::serve {
+
+/// A contiguous [begin, end) slice of a job's point list — one round's
+/// worth of work for that job.
+struct MicroBatch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits `n` work items into batches of at most `cap` items each, in
+/// order. cap <= 0 means "no cap": everything in one batch. n == 0 yields
+/// no batches.
+std::vector<MicroBatch> micro_batches(std::size_t n, int cap);
+
+/// Admits jobs under an in-flight cap, in job-id order, with at most one
+/// in-flight job per module hash.
+///
+/// The per-module exclusion serializes same-design jobs so a later job
+/// always sees every trace-cache entry its predecessor committed — maximal
+/// cache reuse, and the admission order (hence the output stream) stays a
+/// pure function of the job set.
+class CapacityScheduler {
+ public:
+  /// max_inflight <= 0 is treated as 1 (capacity zero would deadlock).
+  explicit CapacityScheduler(int max_inflight);
+
+  /// Queues a job. Ids must be unique (enforced by the server at intake).
+  void enqueue(std::int64_t job, std::uint64_t module_hash);
+
+  /// Admits pending jobs in ascending id order while capacity remains and
+  /// no in-flight job shares the module hash. Returns the ids admitted by
+  /// this call, in id order. A pending job whose module is busy is
+  /// SKIPPED, not blocking: later jobs on other modules may still admit
+  /// (head-of-line blocking would tie throughput to module mix).
+  std::vector<std::int64_t> admit();
+
+  /// Marks an in-flight job finished, freeing its capacity and module.
+  void finish(std::int64_t job);
+
+  /// Changes the in-flight cap. When the new cap is below the current
+  /// in-flight count, the HIGHEST-id in-flight jobs are evicted and
+  /// requeued as pending (lowest ids keep their slots — they were admitted
+  /// first and their results are due first). Returns the evicted ids in
+  /// ascending order. The server reruns a requeued job's remaining points;
+  /// completed points are never re-emitted.
+  std::vector<std::int64_t> set_capacity(int max_inflight);
+
+  int capacity() const { return max_inflight_; }
+  /// In-flight ids in ascending order.
+  std::vector<std::int64_t> inflight() const;
+  std::size_t pending_count() const { return pending_.size(); }
+  bool idle() const { return pending_.empty() && inflight_.empty(); }
+
+ private:
+  int max_inflight_ = 1;
+  std::map<std::int64_t, std::uint64_t> pending_;   // id → module hash
+  std::map<std::int64_t, std::uint64_t> inflight_;  // id → module hash
+  std::multiset<std::uint64_t> busy_modules_;
+};
+
+/// LRU eviction over pinnable keys: the victim is the least-recently-used
+/// unpinned key. Pinned keys (in-flight sessions) are never victims, no
+/// matter how stale. Ticks come from the caller (the serve engine uses a
+/// monotone counter); equal ticks break deterministically toward the
+/// smallest key.
+class LruEvictionPolicy {
+ public:
+  /// Inserts or refreshes a key's recency.
+  void touch(std::uint64_t key, std::uint64_t tick);
+  void pin(std::uint64_t key);
+  void unpin(std::uint64_t key);
+  void erase(std::uint64_t key);
+
+  bool pinned(std::uint64_t key) const;
+  bool contains(std::uint64_t key) const {
+    return last_use_.find(key) != last_use_.end();
+  }
+  std::size_t size() const { return last_use_.size(); }
+
+  /// The LRU unpinned key, or false when every key is pinned (or empty).
+  bool victim(std::uint64_t* out) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_use_;  // key → tick
+  std::map<std::uint64_t, int> pins_;                // key → pin count
+};
+
+}  // namespace hls::serve

@@ -1,0 +1,160 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::serve {
+
+// ---- SessionCache ----------------------------------------------------------
+
+SessionCache::SessionCache(std::size_t max_sessions)
+    : max_sessions_(std::max<std::size_t>(1, max_sessions)) {}
+
+SessionCache::Acquired SessionCache::acquire(
+    const std::string& key, const std::function<workloads::Workload()>& make,
+    std::uint64_t tick) {
+  Acquired out;
+  // Level 1: spec-key memo — the same submission text seen before. This is
+  // the path that skips the front end without even building the workload.
+  if (const auto memo = spec_memo_.find(key); memo != spec_memo_.end()) {
+    const auto it = sessions_.find(memo->second);
+    HLS_ASSERT(it != sessions_.end(), "spec memo points at evicted session");
+    ++hits_;
+    policy_.touch(it->first, tick);
+    out.session = it->second;
+    out.module_hash = it->first;
+    out.cache_hit = true;
+    return out;
+  }
+  ++misses_;
+  auto session = std::make_shared<core::FlowSession>(make());
+  if (!session->ok()) {
+    // Compile failures are returned for diagnosis but never cached: their
+    // module hash is meaningless and the job fails at admission anyway.
+    out.session = std::move(session);
+    return out;
+  }
+  const std::uint64_t hash = session->module_hash();
+  // Level 2: post-compile collision — a renamed but structurally identical
+  // design. The fresh compile is discarded in favor of the cached session
+  // (same scheduling inputs by the module_hash contract), and this spec
+  // key is memoized so the NEXT submission skips the front end too.
+  if (const auto it = sessions_.find(hash); it != sessions_.end()) {
+    spec_memo_.emplace(key, hash);
+    policy_.touch(hash, tick);
+    out.session = it->second;
+    out.module_hash = hash;
+    out.cache_hit = true;
+    return out;
+  }
+  sessions_.emplace(hash, session);
+  spec_memo_.emplace(key, hash);
+  policy_.touch(hash, tick);
+  evict_to_capacity();
+  out.session = std::move(session);
+  out.module_hash = hash;
+  return out;
+}
+
+void SessionCache::evict_to_capacity() {
+  while (sessions_.size() > max_sessions_) {
+    std::uint64_t victim = 0;
+    if (!policy_.victim(&victim)) return;  // everything pinned: over-commit
+    sessions_.erase(victim);
+    policy_.erase(victim);
+    for (auto it = spec_memo_.begin(); it != spec_memo_.end();) {
+      it = it->second == victim ? spec_memo_.erase(it) : std::next(it);
+    }
+    ++evictions_;
+  }
+}
+
+// ---- TraceCache ------------------------------------------------------------
+
+TraceCache::TraceCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+
+TraceCache::Hit TraceCache::lookup(const TraceKey& key, double tclk_ps) {
+  ++lookups_;
+  Hit hit;
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.empty()) {
+    ++misses_;
+    return hit;
+  }
+  const std::map<double, Entry>& bucket = it->second;
+  if (const auto exact = bucket.find(tclk_ps); exact != bucket.end()) {
+    ++exact_hits_;
+    hit.seed = &exact->second.seed;
+    hit.exact = true;
+    return hit;
+  }
+  // Nearest neighbor by |Δtclk|; the map iterates ascending, and strict
+  // `<` keeps the first (smaller-period) candidate on a tie.
+  const Entry* best = nullptr;
+  double best_distance = 0;
+  for (const auto& [tclk, entry] : bucket) {
+    const double distance = std::abs(tclk - tclk_ps);
+    if (best == nullptr || distance < best_distance) {
+      best = &entry;
+      best_distance = distance;
+    }
+  }
+  ++neighbor_hits_;
+  hit.seed = &best->seed;
+  hit.exact = false;
+  return hit;
+}
+
+void TraceCache::insert(const TraceKey& key, sched::ScheduleSeed seed) {
+  std::map<double, Entry>& bucket = entries_[key];
+  const double tclk = seed.tclk_ps;
+  const auto it = bucket.find(tclk);
+  if (it == bucket.end()) ++total_;
+  Entry entry;
+  entry.seed = std::move(seed);
+  entry.stamp = next_stamp_++;
+  bucket.insert_or_assign(tclk, std::move(entry));
+  ++insertions_;
+  evict_to_capacity();
+}
+
+void TraceCache::invalidate_module(std::uint64_t module_hash) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.module_hash == module_hash) {
+      total_ -= it->second.size();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TraceCache::evict_to_capacity() {
+  while (total_ > max_entries_) {
+    // Eldest stamp across every bucket. Linear, but the cache is small
+    // (hundreds of entries) and eviction runs only at round barriers.
+    std::map<TraceKey, std::map<double, Entry>>::iterator eldest_key =
+        entries_.end();
+    std::map<double, Entry>::iterator eldest_entry;
+    for (auto key_it = entries_.begin(); key_it != entries_.end(); ++key_it) {
+      for (auto e = key_it->second.begin(); e != key_it->second.end(); ++e) {
+        if (eldest_key == entries_.end() ||
+            e->second.stamp < eldest_entry->second.stamp) {
+          eldest_key = key_it;
+          eldest_entry = e;
+        }
+      }
+    }
+    HLS_ASSERT(eldest_key != entries_.end(), "trace cache size out of sync");
+    eldest_key->second.erase(eldest_entry);
+    if (eldest_key->second.empty()) entries_.erase(eldest_key);
+    --total_;
+    ++evictions_;
+  }
+}
+
+}  // namespace hls::serve

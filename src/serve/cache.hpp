@@ -1,0 +1,168 @@
+// The serving layer's two caches (docs/SERVE.md has the full contract):
+//
+//  * SessionCache — compiled FlowSessions keyed by module identity, so a
+//    repeat submission of the same design (even renamed) skips the front
+//    end (optimize + predicate + validate) entirely. LRU, size-bounded,
+//    and in-flight sessions are pinned: eviction can never invalidate a
+//    running job.
+//
+//  * TraceCache — cross-config warm-start seeds (sched::ScheduleSeed)
+//    keyed by (module hash, II, latency, resolved-ish backend), bucketed
+//    by clock period. An exact-tclk hit replays the donor's final pass
+//    wholesale (one pass, bit-exact); a neighbor hit (nearest tclk,
+//    deterministic tie-break) rides along the cold ladder, confirming
+//    when the donor's recipe predicted the solve (docs/SCHEDULER.md
+//    explains why neighbor seeds must never skip passes). Entries are
+//    committed only at round barriers and in (job, point) order, which
+//    keeps lookups — and therefore pass counts and the output stream —
+//    independent of thread timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/session.hpp"
+#include "sched/driver.hpp"
+#include "serve/admission.hpp"
+
+namespace hls::serve {
+
+// ---- SessionCache ----------------------------------------------------------
+
+class SessionCache {
+ public:
+  /// Keeps at most `max_sessions` compiled sessions (minimum 1).
+  explicit SessionCache(std::size_t max_sessions);
+
+  struct Acquired {
+    std::shared_ptr<core::FlowSession> session;
+    std::uint64_t module_hash = 0;
+    /// True when the front end was skipped (spec-key memo hit, or the
+    /// freshly compiled module hashed equal to a cached one).
+    bool cache_hit = false;
+  };
+
+  /// Returns the session for `key` (see serve::spec_key), compiling via
+  /// `make` on a miss. Two distinct spec keys whose workloads compile to
+  /// the same module (FlowSession::module_hash) share one session. A
+  /// session that failed to compile is returned but never cached — the
+  /// caller surfaces its diagnostics and moves on. `tick` stamps recency
+  /// for LRU eviction. Not thread-safe: the serve engine calls it only
+  /// from the round loop.
+  Acquired acquire(const std::string& key,
+                   const std::function<workloads::Workload()>& make,
+                   std::uint64_t tick);
+
+  /// Pins / unpins a session against eviction while a job runs on it.
+  void pin(std::uint64_t module_hash) { policy_.pin(module_hash); }
+  void unpin(std::uint64_t module_hash) { policy_.unpin(module_hash); }
+
+  bool contains(std::uint64_t module_hash) const {
+    return sessions_.find(module_hash) != sessions_.end();
+  }
+  std::size_t size() const { return sessions_.size(); }
+  std::size_t capacity() const { return max_sessions_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_capacity();
+
+  std::size_t max_sessions_;
+  std::map<std::uint64_t, std::shared_ptr<core::FlowSession>> sessions_;
+  /// spec key → module hash memo, so a repeat submission skips the front
+  /// end without compiling. Memo entries whose session was evicted are
+  /// dropped with it (a stale memo would claim a hit the cache can't
+  /// serve).
+  std::map<std::string, std::uint64_t> spec_memo_;
+  LruEvictionPolicy policy_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+// ---- TraceCache ------------------------------------------------------------
+
+/// Cache key: everything that must match EXACTLY for a seed to transfer.
+/// Clock period is deliberately not part of the key — it indexes entries
+/// WITHIN a key, because neighboring-tclk seeds are the cross-config reuse
+/// the cache exists for.
+struct TraceKey {
+  std::uint64_t module_hash = 0;
+  int ii = 0;       ///< 0 = sequential
+  int latency = 0;  ///< requested LI bound (ExploreConfig::latency)
+  sched::BackendKind backend = sched::BackendKind::kList;  ///< as requested
+
+  bool operator<(const TraceKey& o) const {
+    if (module_hash != o.module_hash) return module_hash < o.module_hash;
+    if (ii != o.ii) return ii < o.ii;
+    if (latency != o.latency) return latency < o.latency;
+    return backend < o.backend;
+  }
+};
+
+class TraceCache {
+ public:
+  /// Keeps at most `max_entries` seeds total (minimum 1); the eldest
+  /// insertion is evicted first (FIFO — deterministic and cheap; recency
+  /// tracking would make lookups mutating).
+  explicit TraceCache(std::size_t max_entries);
+
+  struct Hit {
+    const sched::ScheduleSeed* seed = nullptr;  ///< null = miss
+    /// True when the donor's tclk matches exactly (full final-pass
+    /// replay); false for a nearest-neighbor donor.
+    bool exact = false;
+  };
+
+  /// Finds a donor for (key, tclk_ps): the exact tclk bucket when present,
+  /// else the nearest tclk (ties toward the smaller period). The pointer
+  /// is valid until the next insert(); the serve engine copies the seed
+  /// into its work item before fanning out.
+  Hit lookup(const TraceKey& key, double tclk_ps);
+
+  /// Stores a finished run's seed under (key, seed.tclk_ps), replacing any
+  /// previous entry in that bucket, then evicts eldest-first down to
+  /// capacity. Call only at deterministic commit points (round barriers).
+  void insert(const TraceKey& key, sched::ScheduleSeed seed);
+
+  /// Drops every entry for a module (used when its session is evicted:
+  /// seeds for a design the cache can no longer name are dead weight).
+  void invalidate_module(std::uint64_t module_hash);
+
+  std::size_t size() const { return total_; }
+  std::size_t capacity() const { return max_entries_; }
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t exact_hits() const { return exact_hits_; }
+  std::uint64_t neighbor_hits() const { return neighbor_hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t insertions() const { return insertions_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    sched::ScheduleSeed seed;
+    std::uint64_t stamp = 0;  ///< insertion counter, for FIFO eviction
+  };
+
+  void evict_to_capacity();
+
+  std::size_t max_entries_;
+  std::map<TraceKey, std::map<double, Entry>> entries_;
+  std::size_t total_ = 0;
+  std::uint64_t next_stamp_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t exact_hits_ = 0;
+  std::uint64_t neighbor_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hls::serve

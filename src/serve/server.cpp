@@ -1,0 +1,338 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace hls::serve {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string ServeStats::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("stats");
+  w.begin_object();
+  w.key("jobs"), w.value(jobs);
+  w.key("points"), w.value(points);
+  w.key("points_failed"), w.value(points_failed);
+  w.key("rounds"), w.value(rounds);
+  w.key("sessions_compiled"), w.value(sessions_compiled);
+  w.key("session_cache_hits"), w.value(session_cache_hits);
+  w.key("session_evictions"), w.value(session_evictions);
+  w.key("trace_lookups"), w.value(trace_lookups);
+  w.key("trace_exact_hits"), w.value(trace_exact_hits);
+  w.key("trace_neighbor_hits"), w.value(trace_neighbor_hits);
+  w.key("trace_misses"), w.value(trace_misses);
+  w.key("trace_evictions"), w.value(trace_evictions);
+  w.key("seed_replays"), w.value(seed_replays);
+  w.key("seed_wins"), w.value(seed_wins);
+  w.key("seed_misses"), w.value(seed_misses);
+  w.key("total_passes"), w.value(total_passes);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+struct Server::ActiveJob {
+  JobRequest req;
+  std::shared_ptr<core::FlowSession> session;
+  std::uint64_t module_hash = 0;
+  bool session_hit = false;
+  std::size_t next_point = 0;
+  std::uint64_t failures = 0;
+};
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      sessions_(options.max_sessions),
+      traces_(options.max_trace_entries) {}
+
+Server::~Server() = default;
+
+bool Server::submit(JobRequest job, std::string* error) {
+  auto reject = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (job.id < 0) return reject("job id must be non-negative");
+  for (const JobRequest& q : queued_) {
+    if (q.id == job.id) {
+      return reject(strf("duplicate job id ", job.id));
+    }
+  }
+  if (job.points.empty()) return reject("job has no configurations");
+  if (job.workload.empty() && job.source.empty()) {
+    return reject("job names no workload");
+  }
+  queued_.push_back(std::move(job));
+  return true;
+}
+
+std::size_t Server::submit_text(std::string_view text,
+                                std::vector<std::string>* errors) {
+  std::vector<JobRequest> jobs;
+  if (!parse_jobs(text, &jobs, errors)) return 0;
+  std::size_t accepted = 0;
+  for (JobRequest& job : jobs) {
+    std::string error;
+    if (submit(std::move(job), &error)) {
+      ++accepted;
+    } else if (errors != nullptr) {
+      errors->push_back(std::move(error));
+    }
+  }
+  return accepted;
+}
+
+void Server::drain(const std::function<void(const std::string& line)>& sink) {
+  // Arrival order is irrelevant from here on: jobs are processed strictly
+  // by id, which is what makes randomized submission orders byte-identical.
+  std::map<std::int64_t, JobRequest> pending;
+  CapacityScheduler admission(options_.max_inflight);
+  for (JobRequest& job : queued_) {
+    const std::int64_t id = job.id;
+    admission.enqueue(id, fnv1a(spec_key(job)));
+    pending.emplace(id, std::move(job));
+  }
+  stats_.jobs += queued_.size();
+  queued_.clear();
+
+  // One result line per point. Every field is deterministic — wall-clock
+  // timings are deliberately absent (they would break byte-stability).
+  auto point_line = [](std::int64_t job, std::size_t index,
+                       const core::ExploreConfig& cfg,
+                       const core::ExplorePoint& pt) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("job"), w.value(static_cast<std::int64_t>(job));
+    w.key("point"), w.value(static_cast<std::uint64_t>(index));
+    w.key("curve"), w.value(pt.curve);
+    w.key("tclk_ps"), w.value(pt.tclk_ps);
+    w.key("latency"), w.value(static_cast<std::int64_t>(pt.latency));
+    w.key("ii"), w.value(static_cast<std::int64_t>(cfg.pipeline_ii));
+    w.key("pipelined"), w.value(pt.pipelined);
+    w.key("backend"), w.value(pt.backend);
+    w.key("feasible"), w.value(pt.feasible);
+    if (pt.feasible) {
+      w.key("delay_ns"), w.value(pt.delay_ns);
+      w.key("area"), w.value(pt.area);
+      w.key("power_mw"), w.value(pt.power_mw);
+    } else {
+      w.key("failure"), w.value(pt.failure);
+    }
+    w.key("passes"), w.value(static_cast<std::int64_t>(pt.passes));
+    w.key("relaxations"), w.value(static_cast<std::int64_t>(pt.relaxations));
+    w.key("seed_use"), w.value(pt.seed_use);
+    w.end_object();
+    return w.str();
+  };
+
+  std::map<std::int64_t, ActiveJob> active;
+  while (!admission.idle()) {
+    ++tick_;
+
+    // ---- Admission (serial, id order) ----------------------------------
+    for (const std::int64_t id : admission.admit()) {
+      JobRequest req = std::move(pending.at(id));
+      pending.erase(id);
+      std::string resolve_error;
+      SessionCache::Acquired acq = sessions_.acquire(
+          spec_key(req),
+          [&]() -> workloads::Workload {
+            workloads::Workload w;
+            if (!resolve_workload(req, &w, &resolve_error)) return {};
+            return w;
+          },
+          tick_);
+      if (!resolve_error.empty() || !acq.session->ok()) {
+        std::string message = resolve_error;
+        if (message.empty()) {
+          for (const Diagnostic& d : acq.session->diagnostics()) {
+            if (d.severity == Severity::kError) {
+              message = d.to_string();
+              break;
+            }
+          }
+        }
+        JsonWriter w;
+        w.begin_object();
+        w.key("job"), w.value(id);
+        w.key("error"), w.value(message);
+        w.end_object();
+        sink(w.str());
+        admission.finish(id);
+        continue;
+      }
+      sessions_.pin(acq.module_hash);
+      ActiveJob aj;
+      aj.req = std::move(req);
+      aj.session = std::move(acq.session);
+      aj.module_hash = acq.module_hash;
+      aj.session_hit = acq.cache_hit;
+      active.emplace(id, std::move(aj));
+    }
+    if (active.empty()) continue;  // admitted jobs all failed to compile
+
+    // ---- Build the round: one micro-batch per job, seeds resolved NOW --
+    // Seed resolution happens before any worker starts, in (job, point)
+    // order, and each work item COPIES its seed: lookups can never race
+    // commits, and a mid-round cache eviction cannot invalidate a seed a
+    // worker is reading.
+    struct Work {
+      std::int64_t job = 0;
+      std::size_t index = 0;
+      const core::ExploreConfig* cfg = nullptr;
+      core::FlowSession* session = nullptr;
+      TraceKey key;
+      bool has_seed = false;
+      sched::ScheduleSeed seed;
+      core::RunPointExtras extras;
+      core::ExplorePoint pt;
+    };
+    std::vector<Work> work;
+    for (auto& [id, aj] : active) {
+      const std::size_t remaining = aj.req.points.size() - aj.next_point;
+      const std::size_t take =
+          options_.micro_batch <= 0
+              ? remaining
+              : std::min(remaining,
+                         static_cast<std::size_t>(options_.micro_batch));
+      for (std::size_t i = 0; i < take; ++i) {
+        Work item;
+        item.job = id;
+        item.index = aj.next_point + i;
+        item.cfg = &aj.req.points[item.index];
+        item.session = aj.session.get();
+        item.key = TraceKey{aj.module_hash, item.cfg->pipeline_ii,
+                            item.cfg->latency, item.cfg->backend};
+        if (options_.trace_cache) {
+          const TraceCache::Hit hit =
+              traces_.lookup(item.key, item.cfg->tclk_ps);
+          if (hit.seed != nullptr) {
+            item.seed = *hit.seed;
+            item.has_seed = true;
+          }
+        }
+        work.push_back(std::move(item));
+      }
+      aj.next_point += take;
+    }
+    ++stats_.rounds;
+
+    // ---- Fan out over the worker pool (barrier) ------------------------
+    auto run_item = [&](Work& item) {
+      item.extras.seed = item.has_seed ? &item.seed : nullptr;
+      item.extras.record_seed = options_.trace_cache;
+      item.pt = core::run_point(*item.session, *item.cfg, &item.extras);
+    };
+    std::size_t threads = 1;
+    if (options_.threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    } else if (options_.threads > 0) {
+      threads = static_cast<std::size_t>(options_.threads);
+    }
+    threads = std::min(threads, work.size());
+    if (threads <= 1) {
+      for (Work& item : work) run_item(item);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::exception_ptr> errors(work.size());
+      auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < work.size();
+             i = next.fetch_add(1)) {
+          try {
+            run_item(work[i]);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+
+    // ---- Commit + emit at the barrier, in (job, point) order -----------
+    for (Work& item : work) {
+      sink(point_line(item.job, item.index, *item.cfg, item.pt));
+      ++stats_.points;
+      stats_.total_passes += static_cast<std::uint64_t>(item.pt.passes);
+      if (item.pt.seed_use == "replay") ++stats_.seed_replays;
+      if (item.pt.seed_use == "seeded") ++stats_.seed_wins;
+      if (item.pt.seed_use == "miss") ++stats_.seed_misses;
+      if (!item.pt.feasible) {
+        ++stats_.points_failed;
+        ++active.at(item.job).failures;
+      }
+      if (options_.trace_cache && item.extras.seed_recorded) {
+        traces_.insert(item.key, std::move(item.extras.seed_out));
+      }
+    }
+
+    // ---- Retire finished jobs (id order) -------------------------------
+    for (auto it = active.begin(); it != active.end();) {
+      ActiveJob& aj = it->second;
+      if (aj.next_point < aj.req.points.size()) {
+        ++it;
+        continue;
+      }
+      JsonWriter w;
+      w.begin_object();
+      w.key("job"), w.value(it->first);
+      w.key("done"), w.value(true);
+      w.key("points"),
+          w.value(static_cast<std::uint64_t>(aj.req.points.size()));
+      w.key("failures"), w.value(aj.failures);
+      w.key("session_cache_hit"), w.value(aj.session_hit);
+      w.key("module"), w.value(hex64(aj.module_hash));
+      w.end_object();
+      sink(w.str());
+      sessions_.unpin(aj.module_hash);
+      admission.finish(it->first);
+      it = active.erase(it);
+    }
+  }
+
+  // Cache counters are cumulative across drain() calls, mirroring the
+  // cache lifetimes.
+  stats_.sessions_compiled = sessions_.misses();
+  stats_.session_cache_hits = sessions_.hits();
+  stats_.session_evictions = sessions_.evictions();
+  stats_.trace_lookups = traces_.lookups();
+  stats_.trace_exact_hits = traces_.exact_hits();
+  stats_.trace_neighbor_hits = traces_.neighbor_hits();
+  stats_.trace_misses = traces_.misses();
+  stats_.trace_evictions = traces_.evictions();
+  if (options_.emit_stats) sink(stats_.to_json());
+}
+
+}  // namespace hls::serve

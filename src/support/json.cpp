@@ -1,6 +1,7 @@
 #include "support/json.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/diagnostics.hpp"
 
@@ -112,6 +113,329 @@ void JsonWriter::value(bool v) {
 void JsonWriter::null() {
   pre_value();
   out_ += "null";
+}
+
+// ---- JsonValue -------------------------------------------------------------
+
+std::int64_t JsonValue::as_int(std::int64_t fallback) const {
+  if (!is_number()) return fallback;
+  return static_cast<std::int64_t>(number_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  // Last occurrence wins, matching common readers; scan back to front.
+  for (std::size_t i = keys_.size(); i > 0; --i) {
+    if (keys_[i - 1] == key) return &items_[i - 1];
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view dotted) const {
+  const JsonValue* cur = this;
+  while (cur != nullptr && !dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view head =
+        dot == std::string_view::npos ? dotted : dotted.substr(0, dot);
+    dotted = dot == std::string_view::npos ? std::string_view()
+                                           : dotted.substr(dot + 1);
+    cur = cur->find(head);
+  }
+  return cur;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  HLS_ASSERT(is_array(), "push_back on non-array JsonValue");
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  HLS_ASSERT(is_object(), "set on non-object JsonValue");
+  keys_.push_back(std::move(key));
+  items_.push_back(std::move(v));
+}
+
+// ---- parse_json ------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      int line = 1, col = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      *error_ = std::to_string(line) + ":" + std::to_string(col) + ": " +
+                message;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        *out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        *out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        *out = JsonValue::make_null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::make_object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->set(std::move(key), std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::make_array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->push_back(std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    std::string s;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) return fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — job files are ASCII in
+          // practice and lossless round-tripping is not a goal here).
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else if (code < 0x800) {
+            s += static_cast<char>(0xC0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+    *out = std::move(s);
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                         peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                         peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    *out = JsonValue::make_number(v);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  JsonParser p(text, error);
+  JsonValue v;
+  if (!p.parse(&v)) {
+    *out = JsonValue::make_null();
+    return false;
+  }
+  *out = std::move(v);
+  return true;
 }
 
 }  // namespace hls

@@ -1,4 +1,6 @@
-// Minimal streaming JSON writer for machine-readable reports.
+// Minimal streaming JSON writer for machine-readable reports, plus a
+// small recursive-descent reader (JsonValue / parse_json) for the inputs
+// the serve layer accepts (job files, socket requests).
 //
 // Usage:
 //   JsonWriter w;
@@ -10,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hls {
@@ -51,5 +55,68 @@ class JsonWriter {
   std::vector<Level> stack_;
   std::string out_;
 };
+
+/// Parsed JSON document node. Objects keep their members in source order
+/// (and duplicate keys resolve to the last occurrence, like every common
+/// reader), so iterating a parsed job file is deterministic.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  const JsonValue& at(std::size_t i) const { return items_[i]; }
+
+  /// Object member lookup; returns nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// `find` that also accepts dotted paths ("stats.passes").
+  const JsonValue* find_path(std::string_view dotted) const;
+
+  // Builder hooks used by the parser (and tests that assemble documents).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array();
+  static JsonValue make_object();
+  void push_back(JsonValue v);                       ///< arrays
+  void set(std::string key, JsonValue v);            ///< objects
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;       ///< array items / object values
+  std::vector<std::string> keys_;      ///< object keys, parallel to items_
+};
+
+/// Parses one JSON document. On malformed input returns nullopt-like null
+/// and sets `*error` (never throws): "<line>:<col>: message".
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
 
 }  // namespace hls
