@@ -21,6 +21,28 @@ struct ResourcePool {
   int count = 0;          ///< number of instances (set by the estimator)
   int latency_cycles = 0; ///< >0 for multi-cycle units
   std::string name;       ///< e.g. "mul32", "add32#1"
+
+  /// Memory pools (cls == kMemPort, built from a mem::MemorySpec array
+  /// rather than by clustering): instances are bank-major,
+  /// `instance = bank * ports_per_bank() + offset`, offsets laid out
+  /// [read-only)[write-only)[read-write). `count` is kept equal to
+  /// `banks * ports_per_bank()` by every relaxation action.
+  bool is_memory = false;
+  int mem_array = -1;        ///< index into MemorySpec::arrays
+  int banks = 1;
+  int bank_read_ports = 0;
+  int bank_write_ports = 0;
+  int bank_rw_ports = 0;
+
+  int ports_per_bank() const {
+    return bank_read_ports + bank_write_ports + bank_rw_ports;
+  }
+  /// Direction compatibility of a within-bank port offset (memory pools).
+  bool offset_reads(int offset) const {
+    return offset < bank_read_ports ||
+           offset >= bank_read_ports + bank_write_ports;
+  }
+  bool offset_writes(int offset) const { return offset >= bank_read_ports; }
 };
 
 /// Dense global numbering of the instances of a ResourceSet: instance

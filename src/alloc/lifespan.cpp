@@ -28,7 +28,9 @@ double optimistic_fu_delay(const Dfg& dfg, OpId id, const tech::Library& lib) {
 
 LifespanResult compute_lifespans(const Dfg& dfg, const LinearRegion& region,
                                  int num_steps, const tech::Library& lib,
-                                 double tclk_ps, bool anchor_io) {
+                                 double tclk_ps, bool anchor_io,
+                                 const std::vector<int>* window_min,
+                                 const std::vector<int>* window_max) {
   HLS_ASSERT(num_steps >= 1, "region needs at least one step");
   LifespanResult out;
   out.spans.assign(dfg.size(), OpSpan{});
@@ -122,6 +124,16 @@ LifespanResult compute_lifespans(const Dfg& dfg, const LinearRegion& region,
       sp.asap = std::max(sp.asap, home[id]);
       if (sp.asap != step) sp.asap_arrival_ps = launch + fu;
     }
+    // Timing-window lower bound: the op may not start before wmin, and
+    // because consumers read sp.asap the pin propagates downstream.
+    if (window_min != nullptr && !window_min->empty() &&
+        (*window_min)[id] >= 0) {
+      const int wmin = std::min((*window_min)[id], num_steps - 1);
+      if (wmin > sp.asap) {
+        sp.asap = wmin;
+        sp.asap_arrival_ps = launch + fu;
+      }
+    }
   }
 
   // ---- ALAP: mirrored backward chain packing --------------------------------
@@ -165,6 +177,18 @@ LifespanResult compute_lifespans(const Dfg& dfg, const LinearRegion& region,
     if (mc_latency > 0) {
       cuts += mc_latency;
       t = 0;
+    }
+    // Timing-window upper bound, folded into the cut count *before* it is
+    // stored so producers of the windowed op inherit the earlier deadline
+    // (unlike the anchor_io clamp below, which is op-local by design: home
+    // steps already order the whole timed region).
+    if (window_max != nullptr && !window_max->empty() &&
+        (*window_max)[id] >= 0) {
+      const int floor_cuts = num_steps - 1 - (*window_max)[id];
+      if (floor_cuts > cuts) {
+        cuts = floor_cuts;
+        t = fu;  // the window acts as a register boundary below the op
+      }
     }
     tail[id] = t;
     cuts_below[id] = cuts;

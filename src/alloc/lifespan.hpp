@@ -34,9 +34,19 @@ struct LifespanResult {
 /// Computes spans for all ops of `region` over `num_steps` control steps.
 /// If `anchor_io` is true (timed regions), reads/writes are pinned to their
 /// home step.
+///
+/// `window_min` / `window_max` (optional, indexed by OpId, -1 = none) fold
+/// absolute I/O timing windows (mem::WindowSpec) into the spans: the ASAP
+/// pass clamps an op's earliest step up to window_min (propagating to its
+/// consumers), and the ALAP pass folds window_max into the register-cut
+/// count *before* it is stored, so producers of a windowed op are pulled
+/// earlier too. Both scheduler backends then enforce the window purely
+/// through release()/deadline().
 LifespanResult compute_lifespans(const ir::Dfg& dfg,
                                  const ir::LinearRegion& region,
                                  int num_steps, const tech::Library& lib,
-                                 double tclk_ps, bool anchor_io);
+                                 double tclk_ps, bool anchor_io,
+                                 const std::vector<int>* window_min = nullptr,
+                                 const std::vector<int>* window_max = nullptr);
 
 }  // namespace hls::alloc

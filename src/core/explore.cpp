@@ -24,6 +24,7 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
   opts.pipeline_ii = cfg.pipeline_ii;
   opts.latency_min = cfg.latency;
   opts.latency_max = cfg.latency;
+  opts.memory_aware = cfg.memory_aware;
   opts.emit_verilog = false;
   if (extras != nullptr) {
     opts.seed = extras->seed;
@@ -46,6 +47,12 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
     pt.passes = r.sched.passes;
     pt.relaxations = r.sched.relaxations();
     pt.seed_use = sched::seed_use_name(r.sched.seed_use);
+    pt.memory_restraints = r.sched.memory_restraints;
+    for (const alloc::ResourcePool& pool : r.sched.schedule.resources.pools) {
+      if (!pool.is_memory) continue;
+      pt.mem_banks += pool.banks;
+      pt.mem_ports += pool.count;
+    }
     if (r.success) {
       pt.feasible = true;
       pt.delay_ns = r.delay_ns;
@@ -57,6 +64,15 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
       }
     } else {
       pt.failure = r.failure_reason;
+      // Lead with the structured coordinates of the diagnostic that
+      // failed the run (the last error is the one that stopped it).
+      for (auto it = r.diagnostics.rbegin(); it != r.diagnostics.rend();
+           ++it) {
+        if (it->severity != Severity::kError) continue;
+        pt.failure = strf("[", it->stage, "/", it->code, "] ",
+                          r.failure_reason);
+        break;
+      }
     }
   } catch (const InternalError& e) {
     // Clock infeasible for the library (e.g. a multiplier cannot fit):

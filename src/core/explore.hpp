@@ -26,8 +26,10 @@ struct ExplorePoint {
   double area = 0;
   double power_mw = 0;
   bool feasible = false;
-  /// Why the configuration is infeasible (rendered diagnostics; empty when
-  /// feasible).
+  /// Why the configuration is infeasible; empty when feasible. Prefixed
+  /// with the failing diagnostic's structured coordinates —
+  /// "[stage/code] message" — so grid consumers can classify failures
+  /// (options vs compile vs schedule) without parsing the free-form text.
   std::string failure;
 
   // Figure 9-style profiling of the run that produced the point.
@@ -42,6 +44,17 @@ struct ExplorePoint {
   /// through RunPointExtras ("none" / "replay" / "seeded" / "miss"; see
   /// sched::SeedUse). Plain explore() runs always report "none".
   std::string seed_use = "none";
+
+  // Memory constraint family observability (all 0 for memory-free
+  // designs; see mem/memory.hpp and docs/MEMORY.md).
+  /// Bank-conflict / port-pressure / window-miss restraints across all
+  /// scheduling passes.
+  int memory_restraints = 0;
+  /// Total banks across the schedule's memory pools, post-relaxation
+  /// (re-bank raises this above the spec's starting value).
+  int mem_banks = 0;
+  /// Total port instances across the memory pools, post-relaxation.
+  int mem_ports = 0;
 };
 
 struct ExploreConfig {
@@ -53,6 +66,9 @@ struct ExploreConfig {
   /// against each other in one grid; kAuto lets the scheduler pick per
   /// problem and the point reports the resolved choice).
   sched::BackendKind backend = sched::BackendKind::kList;
+  /// Honor the session workload's mem::MemorySpec (FlowOptions::
+  /// memory_aware). Off = memory-blind baseline for the same grid point.
+  bool memory_aware = true;
 };
 
 struct ExploreOptions {

@@ -48,6 +48,10 @@ struct FlowOptions {
   bool avoid_comb_cycles = true;
   bool use_mutual_exclusivity = true;
   bool allow_accept_slack = true;
+  /// Honor the workload's mem::MemorySpec (banked arrays, port counts,
+  /// I/O timing windows; docs/MEMORY.md). Off = schedule as if the spec
+  /// were empty — the memory-blind baseline for A/B comparisons.
+  bool memory_aware = true;
   /// Warm-start relaxation passes from the prior pass's decision trace
   /// (both backends; bit-identical results either way). Exposed here so
   /// warm/cold A/B comparisons can run at the flow/explore level.

@@ -48,6 +48,26 @@ std::string render_report(const FlowResult& r) {
     }
     out += t.to_string();
   }
+  {
+    // Memory pools get their own table: banks and per-bank ports are the
+    // relaxable quantities (docs/MEMORY.md), and the restraint count shows
+    // whether the expert had to relax them at all.
+    bool any = false;
+    for (const auto& p : r.sched.schedule.resources.pools) {
+      any = any || p.is_memory;
+    }
+    if (any) {
+      out += strf("\nMemory (", r.sched.memory_restraints,
+                  " memory restraints):\n");
+      TextTable t({"array", "banks", "ports/bank", "total ports"});
+      for (const auto& p : r.sched.schedule.resources.pools) {
+        if (!p.is_memory) continue;
+        t.row({p.name, strf(p.banks), strf(p.ports_per_bank()),
+               strf(p.count)});
+      }
+      out += t.to_string();
+    }
+  }
   out += strf("\nArea: fu=", fmt_fixed(r.area.functional_units, 0),
               " mux=", fmt_fixed(r.area.sharing_muxes, 0),
               " reg=", fmt_fixed(r.area.registers, 0),
@@ -130,6 +150,27 @@ std::string render_json(const FlowResult& r) {
       w.end_object();
     }
     w.end_array();
+    w.key("memory");
+    w.begin_object();
+    w.key("restraints");
+    w.value(r.sched.memory_restraints);
+    w.key("arrays");
+    w.begin_array();
+    for (const auto& p : r.sched.schedule.resources.pools) {
+      if (!p.is_memory) continue;
+      w.begin_object();
+      w.key("name");
+      w.value(p.name);
+      w.key("banks");
+      w.value(p.banks);
+      w.key("ports_per_bank");
+      w.value(p.ports_per_bank());
+      w.key("total_ports");
+      w.value(p.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
   } else {
     w.key("reason");
     w.value(r.failure_reason);

@@ -75,7 +75,8 @@ FlowSession::FlowSession(workloads::Workload workload,
                          const SessionOptions& options)
     : name_(workload.name.empty() ? workload.module.name : workload.name),
       compiled_(std::move(workload.module)),
-      loop_(workload.loop) {
+      loop_(workload.loop),
+      memory_(std::move(workload.memory)) {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Validation runs BEFORE any transformation: the optimizer and the
@@ -127,6 +128,12 @@ FlowSession::FlowSession(workloads::Workload workload,
     module_hash_ =
         fnv1a(ir::print_module(canonical),
               fnv1a("loop", 0xcbf29ce484222325ULL) ^ (loop_ * 0x9e3779b97f4a7c15ULL));
+    // Memory constraints change scheduling, so they must key the serve
+    // cache too. Folded in only when present, keeping every memory-free
+    // design's hash (and cached entries) unchanged.
+    if (!memory_.empty()) {
+      module_hash_ = fnv1a(memory_.canonical_dump(), module_hash_);
+    }
   }
   compile_seconds_ = seconds_since(t0);
 }
@@ -143,14 +150,15 @@ FlowRun FlowSession::begin(FlowOptions options) const& {
   // compiled module stays untouched, which is what makes concurrent runs
   // over one session safe.
   return FlowRun(std::move(options), std::make_unique<ir::Module>(compiled_),
-                 loop_, compile_seconds_, diags_, delay_tables_);
+                 loop_, compile_seconds_, diags_, delay_tables_, memory_);
 }
 
 FlowRun FlowSession::begin(FlowOptions options) && {
   // The session is expiring: hand its module over instead of cloning.
   return FlowRun(std::move(options),
                  std::make_unique<ir::Module>(std::move(compiled_)), loop_,
-                 compile_seconds_, diags_, std::move(delay_tables_));
+                 compile_seconds_, diags_, std::move(delay_tables_),
+                 std::move(memory_));
 }
 
 FlowResult FlowSession::run(const FlowOptions& options) const& {
@@ -170,8 +178,10 @@ FlowResult FlowSession::run(const FlowOptions& options) && {
 FlowRun::FlowRun(FlowOptions options, std::unique_ptr<ir::Module> module,
                  ir::StmtId loop, double compile_seconds,
                  const std::vector<Diagnostic>& session_diags,
-                 std::shared_ptr<const timing::DelayTables> shared_delays)
+                 std::shared_ptr<const timing::DelayTables> shared_delays,
+                 mem::MemorySpec memory)
     : options_(std::move(options)),
+      memory_(std::move(memory)),
       shared_delays_(std::move(shared_delays)) {
   result_.module = std::move(module);
   result_.loop = loop;
@@ -242,6 +252,9 @@ bool FlowRun::select_microarch() {
   sopts_.use_mutual_exclusivity = options_.use_mutual_exclusivity;
   sopts_.allow_accept_slack = options_.allow_accept_slack;
   sopts_.warm_start = options_.warm_start;
+  // sopts_ points at the run's own copy (not the session's) so the &&
+  // facade — which expires the session before schedule() runs — is safe.
+  if (options_.memory_aware && !memory_.empty()) sopts_.memory = &memory_;
   sopts_.seed = options_.seed;
   sopts_.record_seed = options_.record_seed;
 

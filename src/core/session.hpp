@@ -72,7 +72,8 @@ class FlowRun {
   FlowRun(FlowOptions options, std::unique_ptr<ir::Module> module,
           ir::StmtId loop, double compile_seconds,
           const std::vector<Diagnostic>& session_diags,
-          std::shared_ptr<const timing::DelayTables> shared_delays);
+          std::shared_ptr<const timing::DelayTables> shared_delays,
+          mem::MemorySpec memory);
 
   void fail(std::string stage, std::string code, std::string message);
 
@@ -88,6 +89,9 @@ class FlowRun {
   FlowOptions options_;
   FlowResult result_;
   Stage next_ = Stage::kMicroarch;
+  /// The workload's memory constraints; sopts_.memory points here (the
+  /// run owns a copy so the && facade can expire the session).
+  mem::MemorySpec memory_;
   /// Keeps the session's prewarmed delay tables alive for the schedule
   /// stage even when the session itself has expired (the && facade).
   std::shared_ptr<const timing::DelayTables> shared_delays_;
@@ -111,6 +115,8 @@ class FlowSession {
   /// The immutable compiled module. Never mutated after construction.
   const ir::Module& module() const { return compiled_; }
   ir::StmtId loop() const { return loop_; }
+  /// The workload's memory constraints (empty for most designs).
+  const mem::MemorySpec& memory() const { return memory_; }
 
   /// Stable 64-bit hash of the compiled module (post-optimizer IR dump
   /// plus the schedulable loop id; the workload *name* is deliberately
@@ -147,6 +153,7 @@ class FlowSession {
   std::string name_;
   ir::Module compiled_;
   ir::StmtId loop_ = ir::kNoStmt;
+  mem::MemorySpec memory_;
   std::uint64_t module_hash_ = 0;
   std::vector<Diagnostic> diags_;
   double compile_seconds_ = 0;

@@ -1,0 +1,84 @@
+#include "mem/memory.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace hls::mem {
+
+int ArraySpec::bank_of(int elem) const {
+  HLS_ASSERT(elem >= 0 && elem < num_elems, "bank_of: element ", elem,
+             " outside array ", name, " [0,", num_elems, ")");
+  if (banks <= 1) return 0;
+  if (interleaved) return elem % banks;
+  const int block = (num_elems + banks - 1) / banks;
+  return elem / block;
+}
+
+int MemorySpec::array_for_port(int port) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    const ArraySpec& a = arrays[i];
+    if (port >= a.first_port && port < a.first_port + a.num_elems) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void MemorySpec::validate() const {
+  for (const ArraySpec& a : arrays) {
+    HLS_ASSERT(a.first_port >= 0 && a.num_elems > 0, "memory array ", a.name,
+               ": empty or negative port range");
+    HLS_ASSERT(a.banks >= 1 && a.banks <= a.max_banks, "memory array ", a.name,
+               ": banks ", a.banks, " outside [1,", a.max_banks, "]");
+    HLS_ASSERT(a.ports_per_bank() >= 1, "memory array ", a.name,
+               ": no ports per bank");
+    HLS_ASSERT(a.bank_read_ports >= 0 && a.bank_write_ports >= 0 &&
+                   a.bank_rw_ports >= 0,
+               "memory array ", a.name, ": negative port count");
+    HLS_ASSERT(a.ports_per_bank() <= a.max_ports_per_bank,
+               "memory array ", a.name, ": ports per bank ",
+               a.ports_per_bank(), " exceed limit ", a.max_ports_per_bank);
+    HLS_ASSERT(a.latency_cycles >= 0, "memory array ", a.name,
+               ": negative latency");
+    // Arrays must not overlap: every covered port maps to exactly one.
+    for (int e = 0; e < a.num_elems; ++e) {
+      int covered = 0;
+      for (const ArraySpec& b : arrays) {
+        if (a.first_port + e >= b.first_port &&
+            a.first_port + e < b.first_port + b.num_elems) {
+          ++covered;
+        }
+      }
+      HLS_ASSERT(covered == 1, "memory arrays overlap at port ",
+                 a.first_port + e);
+    }
+  }
+  for (const WindowSpec& w : windows) {
+    HLS_ASSERT(w.port >= 0, "window on negative port ", w.port);
+    HLS_ASSERT(w.min_step >= 0 && w.max_step >= w.min_step, "window on port ",
+               w.port, ": inverted range [", w.min_step, ",", w.max_step, "]");
+    HLS_ASSERT(w.max_step_limit < 0 || w.max_step_limit >= w.max_step,
+               "window on port ", w.port, ": limit below max_step");
+  }
+}
+
+std::string MemorySpec::canonical_dump() const {
+  if (empty()) return {};
+  std::ostringstream os;
+  for (const ArraySpec& a : arrays) {
+    os << "array " << a.name << " ports=[" << a.first_port << ","
+       << a.first_port + a.num_elems << ") banks=" << a.banks << "/"
+       << a.max_banks << " r=" << a.bank_read_ports
+       << " w=" << a.bank_write_ports << " rw=" << a.bank_rw_ports << "/"
+       << a.max_ports_per_bank << " lat=" << a.latency_cycles
+       << (a.interleaved ? " interleaved" : " blocked") << "\n";
+  }
+  for (const WindowSpec& w : windows) {
+    os << "window port=" << w.port << " [" << w.min_step << "," << w.max_step
+       << "] limit=" << w.max_step_limit << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hls::mem

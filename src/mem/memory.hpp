@@ -1,0 +1,101 @@
+// Memory as a schedulable resource: banked arrays with typed ports, and
+// I/O timing windows pinning designated operations to a step range.
+//
+// The paper's expert system relaxes timing and functional-unit restraints;
+// this subsystem adds the third backend-independent constraint family
+// (ROADMAP): memory banks/ports (Corre et al., "Memory Aware High-Level
+// Synthesis for Embedded Systems") and I/O timing windows (Coussy et al.,
+// "High-level synthesis under I/O Timing and Memory constraints").
+//
+// Model: a `MemorySpec` maps contiguous module-port ranges onto banked
+// arrays. Element index = port - first_port; the placement map assigns
+// each element to a bank (interleaved `elem % banks` or blocked). Each
+// bank exposes `bank_read_ports` read-only, `bank_write_ports` write-only
+// and `bank_rw_ports` read/write ports; a load/store op must bind to a
+// port of its own bank with a compatible direction. The scheduler turns
+// each array into one `alloc::ResourcePool` whose instances are laid out
+// bank-major:
+//
+//   instance = bank * ports_per_bank + offset
+//   offset in [0, R)        read-only ports
+//   offset in [R, R+W)      write-only ports
+//   offset in [R+W, R+W+RW) read/write ports
+//
+// so bank-conflict detection rides the engine's existing flat-occupancy
+// machinery unchanged. `WindowSpec` pins all accesses of one port into an
+// absolute `[min_step, max_step]` range, folded into the ASAP/ALAP spans
+// so both backends (list and SDC) enforce it through release()/deadline()
+// with zero backend-specific code; in the SDC backend the clamped spans
+// become ordinary difference constraints on the step variables.
+//
+// Relaxation limits live in the spec: `max_ports_per_bank` bounds the
+// expert's add-mem-port action, `max_banks` bounds re-banking, and
+// `WindowSpec::max_step_limit` bounds window widening (-1 = fixed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hls::mem {
+
+/// One banked array mapped onto a contiguous range of module ports.
+struct ArraySpec {
+  std::string name;
+  int first_port = 0;  ///< module port index of element 0
+  int num_elems = 0;   ///< ports [first_port, first_port + num_elems)
+  int banks = 1;
+  int bank_read_ports = 0;   ///< read-only ports per bank
+  int bank_write_ports = 0;  ///< write-only ports per bank
+  int bank_rw_ports = 1;     ///< read/write ports per bank
+  int latency_cycles = 0;    ///< access latency (0 = combinational)
+  /// Relaxation headroom for the expert system.
+  int max_banks = 1;          ///< re-banking doubles banks up to this
+  int max_ports_per_bank = 1; ///< add-mem-port grows RW ports up to this
+  /// true: element e lives in bank e % banks (stride-1 friendly);
+  /// false: blocked placement, bank e / ceil(num_elems / banks).
+  bool interleaved = true;
+
+  int ports_per_bank() const {
+    return bank_read_ports + bank_write_ports + bank_rw_ports;
+  }
+  /// Bank of element `elem` under the current placement map.
+  int bank_of(int elem) const;
+  /// True when pool instance offset `offset` (within a bank) can serve a
+  /// read / a write.
+  bool offset_reads(int offset) const {
+    return offset < bank_read_ports ||
+           offset >= bank_read_ports + bank_write_ports;
+  }
+  bool offset_writes(int offset) const { return offset >= bank_read_ports; }
+};
+
+/// Absolute timing window on all accesses of one module port:
+/// the op must be scheduled into step ∈ [min_step, max_step].
+struct WindowSpec {
+  int port = 0;
+  int min_step = 0;
+  int max_step = 0;
+  /// Widening bound for the expert's widen-window action; -1 = the window
+  /// is a hard contract and must not be relaxed.
+  int max_step_limit = -1;
+};
+
+/// The complete memory constraint family for one workload.
+struct MemorySpec {
+  std::vector<ArraySpec> arrays;
+  std::vector<WindowSpec> windows;
+
+  bool empty() const { return arrays.empty() && windows.empty(); }
+  /// Index into `arrays` of the array covering module port `port`,
+  /// or -1 when the port is unconstrained.
+  int array_for_port(int port) const;
+  /// Throws InternalError (HLS_ASSERT) on an ill-formed spec: overlapping
+  /// arrays, non-positive bank/port counts, inverted windows.
+  void validate() const;
+  /// Canonical one-line dump, folded into the module hash so memory
+  /// constraints key caches the same way the IR does. Empty specs dump
+  /// to the empty string (memory-free hashes unchanged).
+  std::string canonical_dump() const;
+};
+
+}  // namespace hls::mem

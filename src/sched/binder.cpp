@@ -200,6 +200,44 @@ bool BindingEngine::creates_comb_cycle(OpId id, int pool, int inst,
   return false;
 }
 
+bool BindingEngine::memory_instance_ok(OpId id,
+                                       const alloc::ResourcePool& pool,
+                                       int inst) const {
+  const int ppb = pool.ports_per_bank();
+  if (inst / ppb != p_->mem_bank(id)) return false;
+  const int offset = inst % ppb;
+  return dfg_->op(id).kind == OpKind::kWrite ? pool.offset_writes(offset)
+                                             : pool.offset_reads(offset);
+}
+
+RestraintKind BindingEngine::classify_memory_busy(OpId id, int pool,
+                                                  int e) const {
+  // A closed timing window is the root cause whenever it is the binding
+  // deadline: more ports cannot reopen it, only widening can.
+  const int wmax = p_->window_max_of(id);
+  if (wmax >= 0 && p_->deadline(id) == wmax) {
+    return RestraintKind::kWindowMiss;
+  }
+  // Own bank saturated while another bank had a direction-compatible port
+  // free at this very step: the placement map, not the port count, is at
+  // fault — re-banking can spread the accesses.
+  const auto& pdesc = p_->resources.pools[static_cast<std::size_t>(pool)];
+  const int ppb = pdesc.ports_per_bank();
+  const int lat = pdesc.latency_cycles;
+  const bool is_write = dfg_->op(id).kind == OpKind::kWrite;
+  for (int inst = 0; inst < pdesc.count; ++inst) {
+    if (inst / ppb == p_->mem_bank(id)) continue;
+    const int offset = inst % ppb;
+    if (is_write ? !pdesc.offset_writes(offset) : !pdesc.offset_reads(offset)) {
+      continue;
+    }
+    if (instance_free(id, pool, inst, e, lat, /*excl_pred_ready=*/false)) {
+      return RestraintKind::kBankConflict;
+    }
+  }
+  return RestraintKind::kPortPressure;
+}
+
 namespace {
 struct Candidate {
   int instance = -1;
@@ -240,8 +278,26 @@ bool BindingEngine::try_bind(OpId id, int e) {
       o.pred != kNoOp && p_->in_region(o.pred) &&
       placement_[o.pred].scheduled && placement_[o.pred].step <= e;
 
+  // Memory-pooled writes keep the same-port/same-slot exclusivity rule
+  // free writes get in bind_free (distinct bank ports do not make two
+  // writes to ONE element in one step meaningful).
+  if (pdesc.is_memory && o.kind == OpKind::kWrite) {
+    for (OpId other : p_->port_writes[o.port]) {
+      if (other == id || !placement_[other].scheduled) continue;
+      const int other_slot = slot_of(placement_[other].step);
+      if (other_slot == slot_of(e + lat) &&
+          !(p_->exclusive_colocation && p_->exclusive(id, other))) {
+        note_refusal(id, e, pool, -1, RefuseCause::kBusy);
+        return false;
+      }
+    }
+  }
+
   std::vector<Candidate> feasible_negative;
   for (int inst = 0; inst < pdesc.count; ++inst) {
+    if (pdesc.is_memory && !memory_instance_ok(id, pdesc, inst)) {
+      continue;  // wrong bank / direction: not a candidate, not a refusal
+    }
     if (is_forbidden(id, pool, inst)) {
       note_refusal(id, e, pool, inst, RefuseCause::kForbidden);
       continue;
@@ -397,7 +453,11 @@ void BindingEngine::fatal(OpId id, int e) {
     }
     if (busy > 0) {
       Restraint r;
-      r.kind = RestraintKind::kNoResource;
+      r.kind =
+          pool >= 0 &&
+                  p_->resources.pools[static_cast<std::size_t>(pool)].is_memory
+              ? classify_memory_busy(id, pool, e)
+              : RestraintKind::kNoResource;
       r.op = id;
       r.step = e;
       r.pool = pool;
@@ -474,7 +534,12 @@ void BindingEngine::fatal_no_states(OpId id, int e) {
   failed_[id] = true;
   failed_list_.push_back(id);
   Restraint r;
-  r.kind = RestraintKind::kNoStates;
+  // Dependences that never became ready before a window-clamped deadline
+  // are the window's fault: extra states cannot raise the deadline.
+  const int wmax = p_->window_max_of(id);
+  r.kind = wmax >= 0 && p_->deadline(id) == wmax ? RestraintKind::kWindowMiss
+                                                 : RestraintKind::kNoStates;
+  if (r.kind == RestraintKind::kWindowMiss) r.pool = p_->resources.pool_of(id);
   r.op = id;
   r.step = e;
   r.scc = p_->pipeline.enabled ? p_->scc_of[id] : -1;
@@ -741,6 +806,33 @@ void check_schedule(const Problem& p, const Schedule& s) {
          pl.instance >=
              s.resources.pools[static_cast<std::size_t>(pool)].count)) {
       fail(strf("op %", id, " instance out of range"));
+    }
+    // Memory legality: bound to a port of its own bank, direction ok.
+    if (pool >= 0 &&
+        s.resources.pools[static_cast<std::size_t>(pool)].is_memory) {
+      const auto& pd = s.resources.pools[static_cast<std::size_t>(pool)];
+      const int ppb = pd.ports_per_bank();
+      if (pl.instance / ppb != p.mem_bank(id)) {
+        fail(strf("op %", id, " bound to bank ", pl.instance / ppb,
+                  " but placed in bank ", p.mem_bank(id)));
+      }
+      const int offset = pl.instance % ppb;
+      const bool is_write = dfg.op(id).kind == OpKind::kWrite;
+      if (is_write ? !pd.offset_writes(offset) : !pd.offset_reads(offset)) {
+        fail(strf("op %", id, " bound to a direction-incompatible port"));
+      }
+    }
+    // Timing windows (the accept-negative-slack endgame may legally pull
+    // SCC members before their window opens; the deadline still holds).
+    if (!p.mem_window_max.empty()) {
+      const int wmin = p.mem_window_min[id];
+      const int wmax = p.mem_window_max[id];
+      if (!p.accept_negative_slack && wmin >= 0 && pl.step < wmin) {
+        fail(strf("op %", id, " before its window opens at s", wmin + 1));
+      }
+      if (wmax >= 0 && pl.step > wmax) {
+        fail(strf("op %", id, " after its window closes at s", wmax + 1));
+      }
     }
   }
   // Dependences.

@@ -209,6 +209,15 @@ class BindingEngine {
   bool instance_free(ir::OpId id, int pool, int inst, int e, int lat,
                      bool excl_pred_ready) const;
   bool creates_comb_cycle(ir::OpId id, int pool, int inst, int e) const;
+  /// Memory pools: may `inst` (bank-major port index) serve this op at
+  /// all — right bank, direction-compatible port? Incompatible instances
+  /// are skipped silently so busy counts mean "my bank's ports".
+  bool memory_instance_ok(ir::OpId id, const alloc::ResourcePool& pool,
+                          int inst) const;
+  /// Classifies an all-ports-busy failure of a memory op: window closed →
+  /// kWindowMiss, another bank had a compatible free port at this step →
+  /// kBankConflict, otherwise kPortPressure.
+  RestraintKind classify_memory_busy(ir::OpId id, int pool, int e) const;
 
   void note_refusal(ir::OpId id, int e, int pool, int inst, RefuseCause cause,
                     double slack = 0);

@@ -33,7 +33,7 @@ namespace {
 bool same_action(const Action& a, const Action& b) {
   return a.kind == b.kind && a.pool == b.pool && a.amount == b.amount &&
          a.op == b.op && a.instance == b.instance && a.scc == b.scc &&
-         a.window_start == b.window_start;
+         a.window_start == b.window_start && a.port == b.port;
 }
 
 /// Applies one recorded seed action to the problem, translated to the
@@ -67,6 +67,43 @@ bool apply_seed_action(Problem& p, const Action& a, const ExpertOptions& eopts) 
       break;
     case ActionKind::kAcceptSlack:
       break;
+    case ActionKind::kAddMemPort: {
+      if (a.pool < 0 || a.pool >= static_cast<int>(p.resources.pools.size())) {
+        return false;
+      }
+      const auto& pool = p.resources.pools[static_cast<std::size_t>(a.pool)];
+      if (!pool.is_memory || p.memory == nullptr) return false;
+      const mem::ArraySpec& spec =
+          p.memory->arrays[static_cast<std::size_t>(pool.mem_array)];
+      if (pool.ports_per_bank() + std::max(1, a.amount) >
+          spec.max_ports_per_bank) {
+        return false;
+      }
+      break;
+    }
+    case ActionKind::kRebank: {
+      if (a.pool < 0 || a.pool >= static_cast<int>(p.resources.pools.size())) {
+        return false;
+      }
+      const auto& pool = p.resources.pools[static_cast<std::size_t>(a.pool)];
+      if (!pool.is_memory || p.memory == nullptr) return false;
+      const mem::ArraySpec& spec =
+          p.memory->arrays[static_cast<std::size_t>(pool.mem_array)];
+      if (pool.banks * 2 > spec.max_banks) return false;
+      break;
+    }
+    case ActionKind::kWidenWindow: {
+      if (a.port < 0 || p.memory == nullptr) return false;
+      const mem::WindowSpec* w = nullptr;
+      for (const mem::WindowSpec& ws : p.memory->windows) {
+        if (ws.port == a.port) w = &ws;
+      }
+      if (w == nullptr || w->max_step_limit < 0 ||
+          a.window_start > w->max_step_limit) {
+        return false;
+      }
+      break;
+    }
   }
   apply_action(p, a);
   return true;
@@ -157,13 +194,22 @@ SchedulerResult run_relaxation_loop(
     trace_valid = true;
     frontier = initial_frontier;
   }
+  // Timing windows pin ALAPs at absolute steps, so a spans-infeasibility
+  // under windows is not (only) a latency shortfall — adding states cannot
+  // raise a window-clamped deadline, and the fast-forward would burn its
+  // state budget without converging. Let the expert walk see the
+  // window-miss restraints instead.
+  const bool has_windows =
+      std::any_of(p.mem_window_max.begin(), p.mem_window_max.end(),
+                  [](int w) { return w >= 0; });
+
   for (int pass = 1; pass <= options.max_passes; ++pass) {
     bool fast_forwarded = false;
     // Fast-forward wide latency shortfalls: when the life spans prove the
     // region cannot fit by a large margin, add the missing states at once.
     // Near-feasible cases still go through the per-pass expert walk, so
     // small designs keep the paper's restraint-by-restraint narrative.
-    if (!p.spans.feasible && !single_pass) {
+    if (!p.spans.feasible && !single_pass && !has_windows) {
       int shortage = 0;
       for (ir::OpId id : p.ops) {
         if (p.spans.spans[id].in_region) {
@@ -238,6 +284,7 @@ SchedulerResult run_relaxation_loop(
     rec.success = outcome.success;
     for (const Restraint& r : outcome.restraints) {
       rec.restraints.push_back(r.to_string(dfg));
+      if (is_memory_restraint(r.kind)) ++result.memory_restraints;
     }
     result.passes = pass;
 
@@ -293,7 +340,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
 
   Problem p = build_problem(dfg, region, latency, lib, options.tclk_ps,
                             options.pipeline, num_ports, options.anchor_io,
-                            options.use_mutual_exclusivity);
+                            options.use_mutual_exclusivity, options.memory);
   p.enable_chaining = options.enable_chaining;
   p.avoid_comb_cycles = options.avoid_comb_cycles;
   p.exclusive_colocation = options.use_mutual_exclusivity;

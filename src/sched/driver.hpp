@@ -109,6 +109,12 @@ struct SchedulerOptions {
 
   int max_passes = 128;
 
+  /// Memory constraint family (banked arrays, port counts, I/O timing
+  /// windows; see mem/memory.hpp and docs/MEMORY.md). nullptr = no memory
+  /// constraints; scheduling is bit-exact with and without an empty spec.
+  /// The pointee must outlive the run.
+  const mem::MemorySpec* memory = nullptr;
+
   /// Cross-run seed (see ScheduleSeed). Must describe the same module;
   /// incompatible seeds are ignored (SeedUse::kMiss reports why not).
   const ScheduleSeed* seed = nullptr;
@@ -145,6 +151,11 @@ struct SchedulerResult {
   /// Recorded transferable state (only when options.record_seed and the
   /// run succeeded); what the serve layer's trace cache stores.
   ScheduleSeed seed_out;
+
+  /// Memory-family restraints (bank-conflict / port-pressure /
+  /// window-miss) recorded across all passes; reported by render_report /
+  /// render_json / ExplorePoint so memory-bound convergence is observable.
+  int memory_restraints = 0;
 
   /// Number of relaxation actions applied across all passes (Figure 9's
   /// driver of scheduling time, alongside the pass count).

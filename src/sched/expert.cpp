@@ -19,6 +19,9 @@ const char* action_kind_name(ActionKind k) {
     case ActionKind::kForbidBinding: return "forbid-binding";
     case ActionKind::kMoveScc: return "move-scc";
     case ActionKind::kAcceptSlack: return "accept-negative-slack";
+    case ActionKind::kAddMemPort: return "add-mem-port";
+    case ActionKind::kRebank: return "re-bank";
+    case ActionKind::kWidenWindow: return "widen-window";
   }
   return "?";
 }
@@ -45,6 +48,23 @@ std::string Action::to_string(const Problem& p) const {
       s += strf(" scc=", scc, " window -> s", window_start + 1);
       break;
     case ActionKind::kAcceptSlack:
+      break;
+    case ActionKind::kAddMemPort:
+      s += strf(" ", p.resources.pools[static_cast<std::size_t>(pool)].name,
+                " -> ",
+                p.resources.pools[static_cast<std::size_t>(pool)]
+                        .ports_per_bank() +
+                    amount,
+                " ports/bank");
+      break;
+    case ActionKind::kRebank:
+      s += strf(" ", p.resources.pools[static_cast<std::size_t>(pool)].name,
+                " -> ",
+                p.resources.pools[static_cast<std::size_t>(pool)].banks * 2,
+                " banks");
+      break;
+    case ActionKind::kWidenWindow:
+      s += strf(" port=", port, " max -> s", window_start + 1);
       break;
   }
   s += strf(" (gain=", fmt_fixed(gain, 2), " cost=", fmt_fixed(cost, 2), ")");
@@ -133,6 +153,15 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
         case RestraintKind::kCombCycle:
           a.gain += 0.25 * r.weight;  // more room sometimes sidesteps it
           break;
+        case RestraintKind::kBankConflict:
+        case RestraintKind::kPortPressure:
+          // Sequential regions: extra states spread the accesses over more
+          // steps. In a pipelined kernel every II-slot repeats, so states
+          // add no port bandwidth there (same SCC-style cap).
+          a.gain += p.pipeline.enabled ? 0 : r.weight;
+          break;
+        case RestraintKind::kWindowMiss:
+          break;  // extra states cannot reopen an absolute window
       }
     }
     if (a.gain > 0) candidates.push_back(a);
@@ -143,6 +172,9 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
   for (const Restraint& r : outcome.restraints) {
     if (r.pool < 0) continue;
     const auto& pdesc = p.resources.pools[static_cast<std::size_t>(r.pool)];
+    // Memory pools keep the banks x ports_per_bank invariant; only the
+    // dedicated memory actions below may grow them.
+    if (pdesc.is_memory) continue;
     auto& a = add_resource[r.pool];
     a.kind = ActionKind::kAddResource;
     a.pool = r.pool;
@@ -187,6 +219,81 @@ ExpertDecision choose_action(const Problem& p, const PassOutcome& outcome,
   }
   for (auto& [pool, a] : add_resource) {
     if (a.gain > 0) candidates.push_back(a);
+  }
+
+  // --- Memory family: add a port per bank, re-bank, widen a window. --------
+  // Port pressure reads as "every bank saturated" (more ports per bank is
+  // the direct lever), bank conflicts as "my bank saturated while another
+  // idled" (re-placement is the direct lever, an extra port the indirect
+  // one), window misses as "the contract closed too early" (only widening
+  // helps, and only where the spec permits it).
+  {
+    std::map<int, Action> add_port;  // keyed by pool
+    std::map<int, Action> rebank;    // keyed by pool
+    std::map<int, Action> widen;     // keyed by module port
+    const double adder_area = p.lib->fu_area(tech::FuClass::kAdder, 32);
+    for (const Restraint& r : outcome.restraints) {
+      if (!is_memory_restraint(r.kind) || p.memory == nullptr) continue;
+      if (r.kind == RestraintKind::kWindowMiss) {
+        if (r.op == kNoOp || r.op >= p.dfg->size()) continue;
+        const ir::Op& o = p.dfg->op(r.op);
+        const mem::WindowSpec* w = nullptr;
+        for (const mem::WindowSpec& ws : p.memory->windows) {
+          if (ws.port == static_cast<int>(o.port)) w = &ws;
+        }
+        if (w == nullptr || w->max_step_limit < 0) continue;  // hard contract
+        const int cur = p.mem_window_max[r.op];
+        if (cur < 0 || cur >= w->max_step_limit) continue;  // exhausted
+        // Jump to the op's chain-feasible result step, but always make
+        // progress by at least one step; never past the contract limit.
+        const int target = std::min(
+            w->max_step_limit,
+            std::max(cur + 1, p.spans.spans[r.op].asap + p.pool_latency(r.op)));
+        auto& a = widen[o.port];
+        a.kind = ActionKind::kWidenWindow;
+        a.port = o.port;
+        a.window_start = std::max(a.window_start, target);
+        a.cost = 0.5;
+        a.gain += r.weight;
+        continue;
+      }
+      if (r.pool < 0) continue;
+      const auto& pdesc = p.resources.pools[static_cast<std::size_t>(r.pool)];
+      if (!pdesc.is_memory) continue;
+      const mem::ArraySpec& spec =
+          p.memory->arrays[static_cast<std::size_t>(pdesc.mem_array)];
+      const double port_area =
+          p.lib->fu_area(tech::FuClass::kMemPort, pdesc.width);
+      if (pdesc.ports_per_bank() < spec.max_ports_per_bank) {
+        auto& a = add_port[r.pool];
+        a.kind = ActionKind::kAddMemPort;
+        a.pool = r.pool;
+        a.amount = 1;
+        // One new RW port in every bank.
+        a.cost = std::max(0.25, pdesc.banks * port_area / adder_area);
+        a.gain +=
+            r.kind == RestraintKind::kPortPressure ? r.weight : 0.5 * r.weight;
+      }
+      if (pdesc.banks * 2 <= spec.max_banks) {
+        auto& a = rebank[r.pool];
+        a.kind = ActionKind::kRebank;
+        a.pool = r.pool;
+        // Doubling the banks duplicates the whole port array.
+        a.cost = std::max(
+            0.25, pdesc.banks * pdesc.ports_per_bank() * port_area / adder_area);
+        a.gain += r.kind == RestraintKind::kBankConflict ? r.weight
+                                                         : 0.25 * r.weight;
+      }
+    }
+    for (auto& [pool, a] : add_port) {
+      if (a.gain > 0) candidates.push_back(a);
+    }
+    for (auto& [pool, a] : rebank) {
+      if (a.gain > 0) candidates.push_back(a);
+    }
+    for (auto& [port, a] : widen) {
+      if (a.gain > 0) candidates.push_back(a);
+    }
   }
 
   // --- ForbidBinding for combinational cycles. ---------------------------------
@@ -376,6 +483,33 @@ void apply_action(Problem& p, const Action& a) {
     case ActionKind::kAcceptSlack:
       p.accept_negative_slack = true;
       break;
+    case ActionKind::kAddMemPort: {
+      auto& pool = p.resources.pools[static_cast<std::size_t>(a.pool)];
+      pool.bank_rw_ports += std::max(1, a.amount);
+      pool.count = pool.banks * pool.ports_per_bank();
+      break;
+    }
+    case ActionKind::kRebank: {
+      auto& pool = p.resources.pools[static_cast<std::size_t>(a.pool)];
+      pool.banks *= 2;
+      pool.count = pool.banks * pool.ports_per_bank();
+      refresh_memory_banks(p, a.pool);
+      break;
+    }
+    case ActionKind::kWidenWindow: {
+      for (OpId id : p.ops) {
+        const ir::Op& o = p.dfg->op(id);
+        if (o.kind != ir::OpKind::kRead && o.kind != ir::OpKind::kWrite) {
+          continue;
+        }
+        if (static_cast<int>(o.port) != a.port || p.mem_window_max[id] < 0) {
+          continue;
+        }
+        p.mem_window_max[id] = std::max(p.mem_window_max[id], a.window_start);
+      }
+      refresh_spans(p);
+      break;
+    }
   }
 }
 

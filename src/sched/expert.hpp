@@ -23,18 +23,24 @@ enum class ActionKind : std::uint8_t {
   kForbidBinding,
   kMoveScc,
   kAcceptSlack,
+  // Memory constraint family (mem::MemorySpec; see docs/MEMORY.md):
+  kAddMemPort,   ///< +amount RW ports per bank (≤ max_ports_per_bank)
+  kRebank,       ///< double the array's banks (≤ max_banks), re-place ops
+  kWidenWindow,  ///< raise a port's window max step (≤ max_step_limit)
 };
 
 const char* action_kind_name(ActionKind k);
 
 struct Action {
   ActionKind kind = ActionKind::kAddState;
-  int pool = -1;         ///< kAddResource
+  int pool = -1;         ///< kAddResource / kAddMemPort / kRebank
   int amount = 1;        ///< kAddResource: instances to add (can unshare)
   ir::OpId op = ir::kNoOp;  ///< kForbidBinding
   int instance = -1;     ///< kForbidBinding
   int scc = -1;          ///< kMoveScc
-  int window_start = -1; ///< kMoveScc: new first step of the window
+  int window_start = -1; ///< kMoveScc: new first step of the window;
+                         ///< kWidenWindow: new max step of the port window
+  int port = -1;         ///< kWidenWindow: the windowed module port
   double gain = 0;
   double cost = 1;
 

@@ -40,7 +40,8 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
                       ir::LatencyBound latency, const tech::Library& lib,
                       double tclk_ps, PipelineConfig pipeline,
                       std::size_t num_ports, bool anchor_io,
-                      bool use_mutual_exclusivity) {
+                      bool use_mutual_exclusivity,
+                      const mem::MemorySpec* memory) {
   Problem p;
   p.dfg = &dfg;
   p.lib = &lib;
@@ -67,6 +68,60 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
   p.resources = alloc::estimate_initial_counts(dfg, std::move(set),
                                                estimate_spans, estimate_steps,
                                                eopts);
+
+  // Memory pools: one per banked array, appended after the clustered FU
+  // pools (reads/writes cluster to kNone, so the estimator never sees
+  // them). Instances are bank-major (bank * ports_per_bank + offset), so
+  // bank-conflict detection rides the flat-occupancy machinery unchanged.
+  if (memory != nullptr && !memory->empty()) {
+    memory->validate();
+    p.memory = memory;
+    p.mem_bank_of.assign(dfg.size(), -1);
+    p.mem_window_min.assign(dfg.size(), -1);
+    p.mem_window_max.assign(dfg.size(), -1);
+    for (std::size_t ai = 0; ai < memory->arrays.size(); ++ai) {
+      const mem::ArraySpec& a = memory->arrays[ai];
+      alloc::ResourcePool pool;
+      pool.cls = tech::FuClass::kMemPort;
+      pool.is_memory = true;
+      pool.mem_array = static_cast<int>(ai);
+      pool.banks = a.banks;
+      pool.bank_read_ports = a.bank_read_ports;
+      pool.bank_write_ports = a.bank_write_ports;
+      pool.bank_rw_ports = a.bank_rw_ports;
+      pool.count = pool.banks * pool.ports_per_bank();
+      pool.latency_cycles = a.latency_cycles;
+      pool.name = "mem:" + a.name;
+      const int pool_idx = static_cast<int>(p.resources.pools.size());
+      int width = 1;
+      for (OpId id : p.ops) {
+        const ir::Op& o = dfg.op(id);
+        if (o.kind != ir::OpKind::kRead && o.kind != ir::OpKind::kWrite) {
+          continue;
+        }
+        const int port = static_cast<int>(o.port);
+        if (port < a.first_port || port >= a.first_port + a.num_elems) {
+          continue;
+        }
+        p.resources.op_pool[id] = pool_idx;
+        p.mem_bank_of[id] = a.bank_of(port - a.first_port);
+        width = std::max(width, tech::resource_width_for(dfg, id));
+      }
+      pool.width = width;
+      p.resources.pools.push_back(std::move(pool));
+    }
+    for (const mem::WindowSpec& w : memory->windows) {
+      for (OpId id : p.ops) {
+        const ir::Op& o = dfg.op(id);
+        if (o.kind != ir::OpKind::kRead && o.kind != ir::OpKind::kWrite) {
+          continue;
+        }
+        if (static_cast<int>(o.port) != w.port) continue;
+        p.mem_window_min[id] = w.min_step;
+        p.mem_window_max[id] = w.max_step;
+      }
+    }
+  }
 
   // SCCs restricted to region ops (inter-iteration dependency cycles).
   p.scc_of.assign(dfg.size(), -1);
@@ -106,8 +161,28 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
 }
 
 void refresh_spans(Problem& p) {
+  const std::vector<int>* wmin =
+      p.mem_window_min.empty() ? nullptr : &p.mem_window_min;
+  const std::vector<int>* wmax =
+      p.mem_window_max.empty() ? nullptr : &p.mem_window_max;
   p.spans = alloc::compute_lifespans(*p.dfg, p.region, p.num_steps, *p.lib,
-                                     p.tclk_ps, p.anchor_io);
+                                     p.tclk_ps, p.anchor_io, wmin, wmax);
+}
+
+void refresh_memory_banks(Problem& p, int pool_idx) {
+  const alloc::ResourcePool& pool =
+      p.resources.pools[static_cast<std::size_t>(pool_idx)];
+  HLS_ASSERT(pool.is_memory && p.memory != nullptr,
+             "refresh_memory_banks on non-memory pool ", pool_idx);
+  // Evaluate the placement map at the pool's *current* bank count (the
+  // spec keeps the starting value; re-bank mutates only the pool).
+  mem::ArraySpec a =
+      p.memory->arrays[static_cast<std::size_t>(pool.mem_array)];
+  a.banks = pool.banks;
+  for (OpId id : p.ops) {
+    if (p.resources.pool_of(id) != pool_idx) continue;
+    p.mem_bank_of[id] = a.bank_of(p.dfg->op(id).port - a.first_port);
+  }
 }
 
 int scc_min_states(const Problem& p, const std::vector<OpId>& scc) {

@@ -9,6 +9,7 @@
 
 #include "alloc/estimate.hpp"
 #include "alloc/lifespan.hpp"
+#include "mem/memory.hpp"
 #include "sched/schedule.hpp"
 #include "tech/library.hpp"
 
@@ -54,6 +55,26 @@ struct Problem {
   /// Per port: write ops in program order (ordering constraint).
   std::vector<std::vector<ir::OpId>> port_writes;
 
+  /// Memory constraint family (nullptr = none; see docs/MEMORY.md). Pool
+  /// geometry for the arrays lives on the `is_memory` ResourcePools; the
+  /// tables below carry the per-op placement and current window state the
+  /// expert system mutates between passes (re-bank moves elements across
+  /// banks, widen-window raises mem_window_max).
+  const mem::MemorySpec* memory = nullptr;
+  std::vector<int> mem_bank_of;     ///< per OpId; -1 = not a memory access
+  std::vector<int> mem_window_min;  ///< per OpId; -1 = unwindowed
+  std::vector<int> mem_window_max;  ///< per OpId; -1 = unwindowed
+
+  bool has_memory() const { return memory != nullptr; }
+  int window_max_of(ir::OpId id) const {
+    return mem_window_max.empty() ? -1
+                                  : mem_window_max[static_cast<std::size_t>(id)];
+  }
+  int mem_bank(ir::OpId id) const {
+    return mem_bank_of.empty() ? -1
+                               : mem_bank_of[static_cast<std::size_t>(id)];
+  }
+
   /// Fanout cone sizes (static per DFG), cached so per-pass priority
   /// recomputation only redoes the span-dependent mobility part.
   std::vector<int> fanout_cones;
@@ -95,10 +116,15 @@ Problem build_problem(const ir::Dfg& dfg, const ir::LinearRegion& region,
                       ir::LatencyBound latency, const tech::Library& lib,
                       double tclk_ps, PipelineConfig pipeline,
                       std::size_t num_ports, bool anchor_io,
-                      bool use_mutual_exclusivity);
+                      bool use_mutual_exclusivity,
+                      const mem::MemorySpec* memory = nullptr);
 
-/// Recomputes `spans` for the current num_steps.
+/// Recomputes `spans` for the current num_steps (and window tables).
 void refresh_spans(Problem& p);
+
+/// Recomputes `mem_bank_of` for the ops of memory pool `pool` from the
+/// pool's current bank count (after the expert's re-bank action).
+void refresh_memory_banks(Problem& p, int pool);
 
 /// Minimum number of states the SCC's internal dependence chain needs with
 /// all external inputs registered (optimistic chaining, no sharing muxes).

@@ -12,6 +12,9 @@ const char* restraint_kind_name(RestraintKind k) {
     case RestraintKind::kCombCycle: return "comb-cycle";
     case RestraintKind::kSccWindow: return "scc-window";
     case RestraintKind::kNoStates: return "no-states";
+    case RestraintKind::kBankConflict: return "bank-conflict";
+    case RestraintKind::kPortPressure: return "port-pressure";
+    case RestraintKind::kWindowMiss: return "window-miss";
   }
   return "?";
 }

@@ -17,9 +17,21 @@ enum class RestraintKind : std::uint8_t {
   kCombCycle,      ///< binding would create a false combinational cycle
   kSccWindow,      ///< the op's SCC cannot fit its II-state window here
   kNoStates,       ///< the op's dependences never became ready in time
+  // Memory constraint family (mem::MemorySpec; see docs/MEMORY.md):
+  kBankConflict,   ///< own bank's ports busy while another bank sat idle
+  kPortPressure,   ///< every bank's compatible ports busy at the deadline
+  kWindowMiss,     ///< the op's timing window closed before it could bind
 };
 
 const char* restraint_kind_name(RestraintKind k);
+
+/// True for the memory constraint family (bank/port/window restraints) —
+/// reported separately in SchedulerResult / render_report / ExplorePoint.
+inline bool is_memory_restraint(RestraintKind k) {
+  return k == RestraintKind::kBankConflict ||
+         k == RestraintKind::kPortPressure ||
+         k == RestraintKind::kWindowMiss;
+}
 
 struct Restraint {
   RestraintKind kind = RestraintKind::kNoResource;

@@ -137,8 +137,9 @@ bool expand_grid(const JsonValue& grid, sched::BackendKind backend,
 
 const std::vector<std::string>& workload_names() {
   static const std::vector<std::string> names = {
-      "fir16", "ewf",    "arf",   "crc32", "fft8_stage",
-      "dct8",  "idct8",  "conv3x3", "sobel", "random",
+      "fir16", "ewf",    "arf",     "crc32",      "fft8_stage",
+      "dct8",  "idct8",  "conv3x3", "sobel",      "banked_fir",
+      "transpose4",      "stencil_row",           "random",
   };
   return names;
 }
@@ -197,6 +198,12 @@ bool resolve_workload(const JobRequest& job, workloads::Workload* out,
     *out = workloads::make_conv3x3();
   } else if (name == "sobel") {
     *out = workloads::make_sobel();
+  } else if (name == "banked_fir") {
+    *out = workloads::make_banked_fir();
+  } else if (name == "transpose4") {
+    *out = workloads::make_transpose4();
+  } else if (name == "stencil_row") {
+    *out = workloads::make_stencil_row();
   } else if (name == "random") {
     workloads::RandomCdfgOptions opts;
     opts.target_ops = job.random_ops;

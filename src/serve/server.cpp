@@ -65,6 +65,12 @@ struct Server::ActiveJob {
   bool session_hit = false;
   std::size_t next_point = 0;
   std::uint64_t failures = 0;
+  // Per-job seed tallies, bumped only in the barrier commit loop so the
+  // counts (like every other emitted field) are identical serial vs
+  // threaded.
+  std::uint64_t seed_replays = 0;
+  std::uint64_t seed_seeded = 0;
+  std::uint64_t seed_misses = 0;
 };
 
 Server::Server(ServerOptions options)
@@ -286,12 +292,22 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
       sink(point_line(item.job, item.index, *item.cfg, item.pt));
       ++stats_.points;
       stats_.total_passes += static_cast<std::uint64_t>(item.pt.passes);
-      if (item.pt.seed_use == "replay") ++stats_.seed_replays;
-      if (item.pt.seed_use == "seeded") ++stats_.seed_wins;
-      if (item.pt.seed_use == "miss") ++stats_.seed_misses;
+      ActiveJob& owner = active.at(item.job);
+      if (item.pt.seed_use == "replay") {
+        ++stats_.seed_replays;
+        ++owner.seed_replays;
+      }
+      if (item.pt.seed_use == "seeded") {
+        ++stats_.seed_wins;
+        ++owner.seed_seeded;
+      }
+      if (item.pt.seed_use == "miss") {
+        ++stats_.seed_misses;
+        ++owner.seed_misses;
+      }
       if (!item.pt.feasible) {
         ++stats_.points_failed;
-        ++active.at(item.job).failures;
+        ++owner.failures;
       }
       if (options_.trace_cache && item.extras.seed_recorded) {
         traces_.insert(item.key, std::move(item.extras.seed_out));
@@ -312,6 +328,9 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
       w.key("points"),
           w.value(static_cast<std::uint64_t>(aj.req.points.size()));
       w.key("failures"), w.value(aj.failures);
+      w.key("seed_replays"), w.value(aj.seed_replays);
+      w.key("seed_seeded"), w.value(aj.seed_seeded);
+      w.key("seed_misses"), w.value(aj.seed_misses);
       w.key("session_cache_hit"), w.value(aj.session_hit);
       w.key("module"), w.value(hex64(aj.module_hash));
       w.end_object();

@@ -32,6 +32,11 @@ const Library& artisan90() {
     m[FuClass::kShifter] = {90, 25, 0, 25, 0, 0.45, 0, 0};
     // Data-select unit: a 2-input mux is 110ps at any width (bit-sliced).
     m[FuClass::kMux] = {110, 0, 0, 0, 7, 0, 0, 0};
+    // Memory bank port: SRAM access path (address decode + bitline sense
+    // for reads, data setup for writes). Modeled like an on-chip SRAM
+    // macro port: flat-ish delay with a small log2(w) word-mux term, area
+    // dominated by the per-port periphery rather than the cell array.
+    m[FuClass::kMemPort] = {180, 10, 0, 60, 4, 0, 0, 0};
     return Library(
         "artisan_90nm_typical", std::move(m),
         /*reg_clk_to_q_ps=*/40, /*reg_setup_ps=*/40,

@@ -17,6 +17,7 @@ const char* fu_class_name(FuClass c) {
     case FuClass::kLogic: return "logic";
     case FuClass::kShifter: return "shift";
     case FuClass::kMux: return "mux";
+    case FuClass::kMemPort: return "mem";
   }
   return "?";
 }

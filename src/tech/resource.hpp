@@ -19,6 +19,7 @@ enum class FuClass : std::uint8_t {
   kLogic,       ///< and, or, xor, not (bitwise, width-parallel)
   kShifter,     ///< shifts by a non-constant amount
   kMux,         ///< data select (the DFG mux operation)
+  kMemPort,     ///< memory bank port (banked-array load/store access)
 };
 
 const char* fu_class_name(FuClass c);

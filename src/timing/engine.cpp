@@ -7,7 +7,7 @@ namespace hls::timing {
 DelayTables DelayTables::prewarm(const tech::Library& lib, int max_width,
                                  int max_mux) {
   DelayTables t;
-  constexpr auto kLast = static_cast<std::size_t>(tech::FuClass::kMux);
+  constexpr auto kLast = static_cast<std::size_t>(tech::FuClass::kMemPort);
   t.fu_delay_ps.resize(kLast + 1);
   for (std::size_t c = 0; c <= kLast; ++c) {
     const auto cls = static_cast<tech::FuClass>(c);

@@ -16,6 +16,9 @@ std::vector<Workload> suite() {
   all.push_back(make_idct8());
   all.push_back(make_conv3x3());
   all.push_back(make_sobel());
+  all.push_back(make_banked_fir());
+  all.push_back(make_transpose4());
+  all.push_back(make_stencil_row());
   RandomCdfgOptions opts;
   opts.target_ops = 150;
   all.push_back(make_random_cdfg(7, opts));

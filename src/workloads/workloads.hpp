@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ir/module.hpp"
+#include "mem/memory.hpp"
 
 namespace hls::workloads {
 
@@ -16,6 +17,11 @@ struct Workload {
   std::string name;
   ir::Module module;
   ir::StmtId loop = ir::kNoStmt;  ///< the loop to schedule / pipeline
+
+  /// Memory constraints over the module's ports (banked arrays, port
+  /// counts, I/O timing windows; mem/memory.hpp). Empty for most kernels;
+  /// scheduling is bit-exact with and without an empty spec.
+  mem::MemorySpec memory;
 
   /// Number of scheduler-visible operations in the loop region.
   int op_count() const;
@@ -45,6 +51,20 @@ Workload make_idct8(int data_width = 16);
 Workload make_conv3x3();
 /// Sobel gradient magnitude (two 3x3 kernels, |gx|+|gy| via muxes).
 Workload make_sobel();
+
+// ---- Memory-bound kernels --------------------------------------------------------------
+/// 8-tap FIR whose sample window lives in a banked array: 2 banks
+/// interleaved x 1 RW port. Port-starved at tight latency; converges via
+/// the expert's add-mem-port relaxation (memory_kernels.cpp).
+Workload make_banked_fir();
+/// 4x4 matrix transpose reading two columns of a 4-bank row-interleaved
+/// array: every read in a column lands in the same bank, so the initial
+/// banking serializes. Converges via re-bank.
+Workload make_transpose4();
+/// Stencil row update whose output port carries a soft I/O timing window
+/// (max_step below the chain's depth, with a relaxable limit). Converges
+/// via widen-window.
+Workload make_stencil_row();
 
 // ---- Synthetic suite -------------------------------------------------------------------
 struct RandomCdfgOptions {

@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include "frontend/builder.hpp"
+#include "pipeline/straighten.hpp"
 #include "sched/binder.hpp"
+#include "sched/driver.hpp"
 #include "tech/library.hpp"
 #include "timing/engine.hpp"
+#include "workloads/workloads.hpp"
 
 namespace hls::sched {
 namespace {
@@ -321,6 +324,157 @@ TEST(BindingEngine, VolumeCapOverflowAndStateTargetArithmetic) {
   // driver's aggregate fast-forward converges instead of looping.
   p.num_steps = target;
   EXPECT_EQ(provable_resource_overflow(p), 0);
+}
+
+// ---- Memory pools: bank conflicts and port pressure -------------------------
+
+/// Four reads over a banked array (interleaved: elements {0,2} in bank 0,
+/// {1,3} in bank 1) feeding one summed output.
+struct MemFixture {
+  ir::Module module;
+  Problem problem;
+  mem::MemorySpec spec;
+};
+
+MemFixture make_banked_reads(int banks, int rw_ports) {
+  Builder b("banked");
+  std::vector<frontend::PortHandle> ins;
+  for (int i = 0; i < 4; ++i) {
+    ins.push_back(b.in("a" + std::to_string(i), int_ty(32)));
+  }
+  auto out = b.out("y", int_ty(32));
+  auto loop = b.begin_counted(4);
+  frontend::Val acc = b.read(ins[0]);
+  for (int i = 1; i < 4; ++i) acc = b.add(acc, b.read(ins[1ull * i]));
+  b.write(out, acc);
+  b.wait();
+  b.end_loop();
+  b.set_latency(loop, 1, 8);
+  MemFixture f;
+  f.module = b.finish();
+  mem::ArraySpec a;
+  a.name = "a";
+  a.first_port = 0;
+  a.num_elems = 4;
+  a.banks = banks;
+  a.bank_rw_ports = rw_ports;
+  a.max_banks = 4;
+  a.max_ports_per_bank = 4;
+  f.spec.arrays.push_back(a);
+  const auto region = ir::linearize(f.module.thread.tree, loop);
+  f.problem = build_problem(f.module.thread.dfg, region, {1, 8},
+                            tech::artisan90(), 1600, PipelineConfig{},
+                            f.module.ports.size(), false, true, &f.spec);
+  return f;
+}
+
+// Two reads of the SAME bank in one step while the other bank's port sits
+// idle: the busy refusal must classify as kBankConflict (re-placement is
+// the lever), not generic port pressure.
+TEST(BindingEngine, SameBankCollisionWithIdleBankAggregatesToBankConflict) {
+  MemFixture f = make_banked_reads(/*banks=*/2, /*rw_ports=*/1);
+  const int mem_pool = pool_of_class(f.problem, FuClass::kMemPort);
+  ASSERT_GE(mem_pool, 0);
+  const auto& pool =
+      f.problem.resources.pools[static_cast<std::size_t>(mem_pool)];
+  EXPECT_TRUE(pool.is_memory);
+  EXPECT_EQ(pool.count, 2);  // 2 banks x 1 RW port, bank-major
+
+  const OpId read0 = find_op(f.module, "a0_read");
+  const OpId read2 = find_op(f.module, "a2_read");
+  ASSERT_EQ(f.problem.mem_bank(read0), 0);
+  ASSERT_EQ(f.problem.mem_bank(read2), 0);  // interleaved: elem 2 -> bank 0
+
+  const DependenceGraph dg = build_dependence_graph(f.problem);
+  timing::TimingEngine eng(tech::artisan90(), 1600);
+  RecordingHost host;
+  BindingEngine binder(f.problem, dg, eng, host);
+
+  ASSERT_TRUE(binder.try_bind(read0, 0));
+  EXPECT_EQ(host.commits.back().instance, 0);  // bank 0's only port
+  // Same bank, port held by read0; bank 1's instance must NOT be used.
+  EXPECT_FALSE(binder.try_bind(read2, 0));
+  EXPECT_FALSE(binder.scheduled(read2));
+
+  binder.fatal(read2, 0);
+  ASSERT_EQ(binder.num_restraints(), 1u);
+  const Restraint& r = binder.restraints().front();
+  EXPECT_EQ(r.kind, RestraintKind::kBankConflict);
+  EXPECT_EQ(r.op, read2);
+  EXPECT_EQ(r.pool, mem_pool);
+  EXPECT_EQ(r.weight, 1.0);  // one busy compatible port in my bank
+}
+
+// Single bank, single port: a collision has no idle bank to point at, so
+// it must classify as kPortPressure (more ports is the only lever).
+TEST(BindingEngine, SingleBankCollisionAggregatesToPortPressure) {
+  MemFixture f = make_banked_reads(/*banks=*/1, /*rw_ports=*/1);
+  const int mem_pool = pool_of_class(f.problem, FuClass::kMemPort);
+  ASSERT_GE(mem_pool, 0);
+
+  const OpId read0 = find_op(f.module, "a0_read");
+  const OpId read1 = find_op(f.module, "a1_read");
+  const DependenceGraph dg = build_dependence_graph(f.problem);
+  timing::TimingEngine eng(tech::artisan90(), 1600);
+  RecordingHost host;
+  BindingEngine binder(f.problem, dg, eng, host);
+
+  ASSERT_TRUE(binder.try_bind(read0, 0));
+  EXPECT_FALSE(binder.try_bind(read1, 0));
+
+  binder.fatal(read1, 0);
+  ASSERT_EQ(binder.num_restraints(), 1u);
+  const Restraint& r = binder.restraints().front();
+  EXPECT_EQ(r.kind, RestraintKind::kPortPressure);
+  EXPECT_EQ(r.op, read1);
+  EXPECT_EQ(r.pool, mem_pool);
+}
+
+// ---- Memory-free designs stay bit-exact with the machinery in place ---------
+
+// A null spec and an empty spec must produce byte-identical scheduler
+// results (placements, arrivals, restraint traces) on BOTH backends: the
+// memory machinery may not perturb memory-free designs at all.
+TEST(BindingEngine, EmptyMemorySpecIsByteIdenticalToNullOnBothBackends) {
+  auto fingerprint = [](const SchedulerResult& r) {
+    std::string s = r.success ? "ok" : "fail:" + r.failure_reason;
+    if (r.success) {
+      for (std::size_t id = 0; id < r.schedule.placement.size(); ++id) {
+        const OpPlacement& pl = r.schedule.placement[id];
+        if (!pl.scheduled) continue;
+        s += " %" + std::to_string(id) + "@" + std::to_string(pl.step) + ":" +
+             std::to_string(pl.pool) + "." + std::to_string(pl.instance);
+      }
+    }
+    for (const PassRecord& rec : r.history) {
+      for (const std::string& restraint : rec.restraints) s += "|" + restraint;
+      s += ">" + rec.action;
+    }
+    return s;
+  };
+  const mem::MemorySpec empty_spec;
+  for (const char* name : {"ewf", "crc32"}) {
+    for (const auto backend : {BackendKind::kList, BackendKind::kSdc}) {
+      workloads::Workload w = name == std::string("ewf")
+                                  ? workloads::make_ewf()
+                                  : workloads::make_crc32();
+      pipeline::straighten(w.module);
+      const auto region = ir::linearize(w.module.thread.tree, w.loop);
+      const auto latency = w.module.thread.tree.stmt(w.loop).latency;
+      SchedulerOptions null_opts;
+      null_opts.backend = backend;
+      SchedulerOptions empty_opts = null_opts;
+      empty_opts.memory = &empty_spec;
+      const auto r_null = schedule_region(w.module.thread.dfg, region, latency,
+                                          w.module.ports.size(), null_opts);
+      const auto r_empty = schedule_region(w.module.thread.dfg, region,
+                                           latency, w.module.ports.size(),
+                                           empty_opts);
+      EXPECT_EQ(fingerprint(r_null), fingerprint(r_empty))
+          << name << " backend=" << backend_name(backend);
+      EXPECT_EQ(r_empty.memory_restraints, 0) << name;
+    }
+  }
 }
 
 }  // namespace

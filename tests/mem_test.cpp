@@ -1,0 +1,333 @@
+// Tests for the memory constraint family (mem/memory.hpp +
+// docs/MEMORY.md): spec validation and placement maps, window folding
+// into the scheduling spans, end-to-end expert convergence through each
+// of the three memory relaxations (add-mem-port / re-bank /
+// widen-window), the memory_aware flow gate, and the reporting surface
+// (render_report / render_json / ExplorePoint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/explore.hpp"
+#include "core/report.hpp"
+#include "ir/analysis.hpp"
+#include "mem/memory.hpp"
+#include "pipeline/straighten.hpp"
+#include "sched/driver.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hls::mem {
+namespace {
+
+// ---- Spec validation and placement maps -------------------------------------
+
+TEST(MemorySpec, BankPlacementInterleavedAndBlocked) {
+  ArraySpec a;
+  a.num_elems = 8;
+  a.banks = 2;
+  a.interleaved = true;
+  EXPECT_EQ(a.bank_of(0), 0);
+  EXPECT_EQ(a.bank_of(1), 1);
+  EXPECT_EQ(a.bank_of(6), 0);
+  a.interleaved = false;  // blocked: ceil(8/2) = 4 elements per bank
+  EXPECT_EQ(a.bank_of(0), 0);
+  EXPECT_EQ(a.bank_of(3), 0);
+  EXPECT_EQ(a.bank_of(4), 1);
+  EXPECT_EQ(a.bank_of(7), 1);
+}
+
+TEST(MemorySpec, PortOffsetsFollowBankMajorLayout) {
+  ArraySpec a;
+  a.bank_read_ports = 1;
+  a.bank_write_ports = 1;
+  a.bank_rw_ports = 1;
+  EXPECT_EQ(a.ports_per_bank(), 3);
+  EXPECT_TRUE(a.offset_reads(0));    // read-only
+  EXPECT_FALSE(a.offset_writes(0));
+  EXPECT_FALSE(a.offset_reads(1));   // write-only
+  EXPECT_TRUE(a.offset_writes(1));
+  EXPECT_TRUE(a.offset_reads(2));    // read/write
+  EXPECT_TRUE(a.offset_writes(2));
+}
+
+TEST(MemorySpec, ValidateRejectsIllFormedSpecs) {
+  const auto reject = [](const MemorySpec& s) {
+    EXPECT_THROW(s.validate(), InternalError);
+  };
+  {
+    MemorySpec s;  // overlapping arrays
+    ArraySpec a;
+    a.name = "a";
+    a.num_elems = 4;
+    a.bank_rw_ports = 1;
+    s.arrays.push_back(a);
+    a.name = "b";
+    a.first_port = 2;
+    s.arrays.push_back(a);
+    reject(s);
+  }
+  {
+    MemorySpec s;  // banks above the relaxation ceiling
+    ArraySpec a;
+    a.num_elems = 4;
+    a.banks = 4;
+    a.max_banks = 2;
+    s.arrays.push_back(a);
+    reject(s);
+  }
+  {
+    MemorySpec s;  // inverted window
+    WindowSpec w;
+    w.min_step = 3;
+    w.max_step = 1;
+    s.windows.push_back(w);
+    reject(s);
+  }
+  {
+    MemorySpec s;  // widening limit below the starting max
+    WindowSpec w;
+    w.max_step = 4;
+    w.max_step_limit = 2;
+    s.windows.push_back(w);
+    reject(s);
+  }
+}
+
+TEST(MemorySpec, CanonicalDumpIsEmptyOnlyForEmptySpecs) {
+  MemorySpec s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.canonical_dump(), "");
+  ArraySpec a;
+  a.name = "x";
+  a.num_elems = 2;
+  s.arrays.push_back(a);
+  EXPECT_FALSE(s.empty());
+  EXPECT_NE(s.canonical_dump(), "");
+  // Deterministic: equal specs dump equal.
+  MemorySpec t;
+  t.arrays.push_back(a);
+  EXPECT_EQ(s.canonical_dump(), t.canonical_dump());
+  // And the dump reflects the constraint content.
+  WindowSpec w;
+  w.port = 1;
+  w.max_step = 3;
+  t.windows.push_back(w);
+  EXPECT_NE(s.canonical_dump(), t.canonical_dump());
+}
+
+TEST(MemorySpec, ArrayForPortCoversExactRanges) {
+  MemorySpec s;
+  ArraySpec a;
+  a.name = "a";
+  a.first_port = 2;
+  a.num_elems = 3;
+  s.arrays.push_back(a);
+  EXPECT_EQ(s.array_for_port(1), -1);
+  EXPECT_EQ(s.array_for_port(2), 0);
+  EXPECT_EQ(s.array_for_port(4), 0);
+  EXPECT_EQ(s.array_for_port(5), -1);
+}
+
+// ---- Windows fold into the scheduling spans ---------------------------------
+
+// The stencil kernel's output window must clamp the write's deadline (and
+// transitively its producers' ALAPs) in the built problem.
+TEST(MemoryWindows, WindowClampsDeadlinesThroughTheSpans) {
+  workloads::Workload w = workloads::make_stencil_row();
+  pipeline::straighten(w.module);
+  const auto region = ir::linearize(w.module.thread.tree, w.loop);
+  sched::Problem p = sched::build_problem(
+      w.module.thread.dfg, region, {4, 4}, tech::artisan90(), 1600,
+      sched::PipelineConfig{}, w.module.ports.size(), false, true, &w.memory);
+
+  ir::OpId write_id = ir::kNoOp;
+  for (ir::OpId id : p.ops) {
+    if (w.module.thread.dfg.op(id).kind == ir::OpKind::kWrite) write_id = id;
+  }
+  ASSERT_NE(write_id, ir::kNoOp);
+  EXPECT_EQ(p.window_max_of(write_id), 1);
+  // 4 states, window max 1: the write may not land in steps 2..3.
+  EXPECT_EQ(p.deadline(write_id), 1);
+  // Producers inherit the cut: every op feeding the write must close
+  // early enough too.
+  const ir::Op& wr = w.module.thread.dfg.op(write_id);
+  for (ir::OpId d : wr.operands) {
+    if (d == ir::kNoOp || w.module.thread.dfg.is_const(d)) continue;
+    EXPECT_LE(p.spans.spans[d].alap, 1) << "operand %" << d;
+  }
+}
+
+// ---- End-to-end convergence through each memory relaxation ------------------
+
+struct History {
+  bool restraint(const core::FlowResult& r, const char* needle) const {
+    for (const auto& pass : r.sched.history) {
+      for (const auto& s : pass.restraints) {
+        if (s.find(needle) != std::string::npos) return true;
+      }
+    }
+    return false;
+  }
+  bool action(const core::FlowResult& r, const char* needle) const {
+    for (const auto& pass : r.sched.history) {
+      if (pass.action.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+const alloc::ResourcePool* memory_pool(const core::FlowResult& r) {
+  for (const auto& p : r.sched.schedule.resources.pools) {
+    if (p.is_memory) return &p;
+  }
+  return nullptr;
+}
+
+// banked_fir starts port-starved (2 banks x 1 RW port for 8 reads under a
+// 4-state bound) and must converge by adding ports, never by re-banking
+// (max_banks caps it at the starting 2).
+TEST(MemoryConvergence, PortPressureConvergesViaAddMemPort) {
+  for (const auto backend :
+       {sched::BackendKind::kList, sched::BackendKind::kSdc}) {
+    core::FlowOptions o;
+    o.backend = backend;
+    o.emit_verilog = false;
+    const auto r = core::run_flow(workloads::make_banked_fir(), o);
+    const char* label = sched::backend_name(backend);
+    ASSERT_TRUE(r.success) << label << ": " << r.failure_reason;
+    History h;
+    EXPECT_TRUE(h.restraint(r, "port-pressure")) << label;
+    EXPECT_TRUE(h.action(r, "add-mem-port")) << label;
+    EXPECT_FALSE(h.action(r, "re-bank")) << label;
+    EXPECT_GT(r.sched.memory_restraints, 0) << label;
+    const auto* pool = memory_pool(r);
+    ASSERT_NE(pool, nullptr) << label;
+    EXPECT_EQ(pool->banks, 2) << label;
+    EXPECT_GT(pool->ports_per_bank(), 1) << label;
+  }
+}
+
+// transpose4's column reads all land in one bank of four (interleaved
+// row-major placement); the expert must re-bank to 8, splitting each
+// column, while add-mem-port stays unavailable (max_ports_per_bank = 1).
+TEST(MemoryConvergence, BankConflictConvergesViaRebank) {
+  for (const auto backend :
+       {sched::BackendKind::kList, sched::BackendKind::kSdc}) {
+    core::FlowOptions o;
+    o.backend = backend;
+    o.emit_verilog = false;
+    const auto r = core::run_flow(workloads::make_transpose4(), o);
+    const char* label = sched::backend_name(backend);
+    ASSERT_TRUE(r.success) << label << ": " << r.failure_reason;
+    History h;
+    EXPECT_TRUE(h.restraint(r, "bank-conflict")) << label;
+    EXPECT_TRUE(h.action(r, "re-bank")) << label;
+    EXPECT_FALSE(h.action(r, "add-mem-port")) << label;
+    const auto* pool = memory_pool(r);
+    ASSERT_NE(pool, nullptr) << label;
+    EXPECT_EQ(pool->banks, 8) << label;
+    EXPECT_EQ(pool->ports_per_bank(), 1) << label;
+  }
+}
+
+// stencil_row's output contract closes before the multiply chain can
+// deliver; the only fix is widening the window, which the spec's
+// max_step_limit permits.
+TEST(MemoryConvergence, WindowMissConvergesViaWidenWindow) {
+  for (const auto backend :
+       {sched::BackendKind::kList, sched::BackendKind::kSdc}) {
+    core::FlowOptions o;
+    o.backend = backend;
+    o.emit_verilog = false;
+    const auto r = core::run_flow(workloads::make_stencil_row(), o);
+    const char* label = sched::backend_name(backend);
+    ASSERT_TRUE(r.success) << label << ": " << r.failure_reason;
+    History h;
+    EXPECT_TRUE(h.restraint(r, "window-miss")) << label;
+    EXPECT_TRUE(h.action(r, "widen-window")) << label;
+  }
+}
+
+// A hard window (max_step_limit = -1) must NOT be widened: the run fails
+// cleanly with a schedule-stage diagnostic instead.
+TEST(MemoryConvergence, HardWindowFailsCleanlyInsteadOfWidening) {
+  workloads::Workload w = workloads::make_stencil_row();
+  ASSERT_EQ(w.memory.windows.size(), 1u);
+  w.memory.windows[0].max_step_limit = -1;  // contract, not a preference
+  core::FlowOptions o;
+  o.emit_verilog = false;
+  const auto r = core::run_flow(std::move(w), o);
+  EXPECT_FALSE(r.success);
+  History h;
+  EXPECT_FALSE(h.action(r, "widen-window"));
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics.back().stage, "schedule");
+}
+
+// ---- The memory_aware gate and the reporting surface ------------------------
+
+TEST(MemoryFlow, MemoryAwareOffSchedulesMemoryBlind) {
+  const core::FlowSession session(workloads::make_banked_fir());
+  core::ExploreConfig cfg;
+  cfg.curve = "a/b";
+  cfg.tclk_ps = 1600;
+  cfg.latency = 0;  // keep the designer's [1, 4] bound
+  const core::ExplorePoint aware = core::run_point(session, cfg);
+  cfg.memory_aware = false;
+  const core::ExplorePoint blind = core::run_point(session, cfg);
+
+  ASSERT_TRUE(aware.feasible) << aware.failure;
+  ASSERT_TRUE(blind.feasible) << blind.failure;
+  EXPECT_GT(aware.memory_restraints, 0);
+  EXPECT_GT(aware.mem_banks, 0);
+  EXPECT_GT(aware.mem_ports, 0);
+  // Blind runs never see the spec: no memory pools, no memory restraints.
+  EXPECT_EQ(blind.memory_restraints, 0);
+  EXPECT_EQ(blind.mem_banks, 0);
+  EXPECT_EQ(blind.mem_ports, 0);
+}
+
+TEST(MemoryFlow, SpecKeysTheModuleHashOnlyWhenPresent) {
+  workloads::Workload with = workloads::make_banked_fir();
+  workloads::Workload without = workloads::make_banked_fir();
+  without.memory = MemorySpec{};
+  workloads::Workload rebanked = workloads::make_banked_fir();
+  rebanked.memory.arrays[0].bank_rw_ports = 2;
+  const core::FlowSession s_with(std::move(with));
+  const core::FlowSession s_without(std::move(without));
+  const core::FlowSession s_rebanked(std::move(rebanked));
+  // Same IR: only the memory constraints distinguish these sessions.
+  EXPECT_NE(s_with.module_hash(), s_without.module_hash());
+  EXPECT_NE(s_with.module_hash(), s_rebanked.module_hash());
+}
+
+TEST(MemoryFlow, ReportsRenderBanksPortsAndRestraints) {
+  core::FlowOptions o;
+  o.emit_verilog = false;
+  const auto r = core::run_flow(workloads::make_transpose4(), o);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  const std::string rep = core::render_report(r);
+  EXPECT_NE(rep.find("Memory ("), std::string::npos);
+  EXPECT_NE(rep.find("mem:a"), std::string::npos);
+  const std::string json = core::render_json(r);
+  EXPECT_NE(json.find("\"memory\":{\"restraints\":"), std::string::npos);
+  EXPECT_NE(json.find("\"banks\":8"), std::string::npos);
+}
+
+// Satellite: an infeasible point's failure string leads with the failing
+// diagnostic's structured stage/code coordinates.
+TEST(MemoryFlow, ExplorePointFailurePrefixesDiagnosticStageAndCode) {
+  const core::FlowSession session(workloads::make_banked_fir());
+  core::ExploreConfig bad;
+  bad.curve = "bad";
+  bad.tclk_ps = -1;  // rejected by validate_flow_options
+  bad.latency = 4;
+  const core::ExplorePoint pt = core::run_point(session, bad);
+  ASSERT_FALSE(pt.feasible);
+  EXPECT_EQ(pt.failure.rfind("[options/non-positive-tclk] ", 0), 0u)
+      << pt.failure;
+}
+
+}  // namespace
+}  // namespace hls::mem

@@ -123,6 +123,15 @@ const Golden kGolden[] = {
     {"sobel", 0, 13819336629871952092ull},
     {"sobel", 1, 5306670583295784066ull},
     {"sobel", 2, 8901203364055785428ull},
+    {"banked_fir", 0, 9929501310269792292ull},
+    {"banked_fir", 1, 9117976113646896403ull},
+    {"banked_fir", 2, 5103256508794859553ull},
+    {"transpose4", 0, 1350249617972492515ull},
+    {"transpose4", 1, 90739056208431979ull},
+    {"transpose4", 2, 7975797190507510261ull},
+    {"stencil_row", 0, 1347082563062673650ull},
+    {"stencil_row", 1, 4265507960537316217ull},
+    {"stencil_row", 2, 18254965948077725994ull},
     {"rand7", 0, 8131484479129798431ull},
     {"rand7", 1, 5519097902058265206ull},
     {"rand7", 2, 5645597170538429115ull},
@@ -212,6 +221,7 @@ TEST(SchedGolden, WarmStartedPassesMatchColdPassesBitExactly) {
 
       sched::SchedulerOptions cold;
       cold.warm_start = false;
+      cold.memory = &wl.memory;  // empty specs are ignored by build_problem
       if (ii > 0) {
         cold.pipeline.enabled = true;
         cold.pipeline.ii = ii;
@@ -256,6 +266,7 @@ TEST(SchedGolden, SdcWarmStartedPassesMatchColdPassesBitExactly) {
       sched::SchedulerOptions cold;
       cold.backend = sched::BackendKind::kSdc;
       cold.warm_start = false;
+      cold.memory = &wl.memory;
       if (ii > 0) {
         cold.pipeline.enabled = true;
         cold.pipeline.ii = ii;
@@ -391,6 +402,7 @@ TEST(SchedBackends, SdcMatchesListOnFeasibilityLatencyAndIi) {
       const std::string label = w.name + " at II=" + std::to_string(ii);
 
       sched::SchedulerOptions list_opts;
+      list_opts.memory = &w.memory;
       if (ii > 0) {
         list_opts.pipeline.enabled = true;
         list_opts.pipeline.ii = ii;

@@ -142,14 +142,26 @@ TEST(ServeDeterminism, WarmCachesStayDeterministic) {
   concurrent.threads = 4;
   EXPECT_EQ(reference, run_stream(concurrent, 4, /*drains=*/2));
   // And the warm half genuinely replayed: the second drain's points all
-  // carry seed_use "replay" except failures.
+  // carry seed_use "replay" except failures, and the per-job done lines
+  // tally them.
   EXPECT_NE(reference.find("\"seed_use\":\"replay\""), std::string::npos);
+  EXPECT_NE(reference.find("\"seed_replays\":"), std::string::npos);
+  bool replay_tallied = false;
+  for (std::size_t at = reference.find("\"seed_replays\":");
+       at != std::string::npos;
+       at = reference.find("\"seed_replays\":", at + 1)) {
+    if (reference[at + std::string("\"seed_replays\":").size()] != '0') {
+      replay_tallied = true;
+    }
+  }
+  EXPECT_TRUE(replay_tallied);
 }
 
 TEST(ServeDeterminism, TraceCacheChangesPassCountsNotResults) {
   // Strip the fields a seed is allowed to change (passes, relaxations,
-  // seed_use) and the stats line; what remains must be identical with the
-  // trace cache on and off.
+  // seed_use, and the per-job seed tallies on the done line) and the
+  // stats line; what remains must be identical with the trace cache on
+  // and off.
   auto strip = [](std::string text) {
     std::string out;
     std::size_t start = 0;
@@ -159,7 +171,9 @@ TEST(ServeDeterminism, TraceCacheChangesPassCountsNotResults) {
       std::string line = text.substr(start, end - start);
       start = end + 1;
       if (line.find("\"stats\"") != std::string::npos) continue;
-      for (const char* field : {"\"passes\":", "\"relaxations\":"}) {
+      for (const char* field :
+           {"\"passes\":", "\"relaxations\":", "\"seed_replays\":",
+            "\"seed_seeded\":", "\"seed_misses\":"}) {
         const std::size_t at = line.find(field);
         if (at == std::string::npos) continue;
         std::size_t stop = line.find(',', at);
