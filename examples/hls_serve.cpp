@@ -5,22 +5,37 @@
 //   hls_serve --listen /tmp/hls.sock [--once]
 //   echo '{"id":0,"workload":"ewf","grid":{...}}' | hls_serve --jobs -
 //
-// Job format and determinism guarantees: docs/SERVE.md. Results stream to
-// stdout (or the socket) as JSON lines, ordered by (job id, point index)
-// regardless of thread count.
+// Job format and determinism guarantees: docs/SERVE.md; robustness
+// behavior (deadlines, budgets, shedding, graceful drain): docs/FAULTS.md.
+// Results stream to stdout (or the socket) as JSON lines, ordered by
+// (job id, point index) regardless of thread count.
+//
+// SIGTERM/SIGINT request a graceful drain: in-flight points finish, every
+// remaining point is emitted as an ordered cancelled placeholder, and the
+// process exits 0 — nonzero exits mean a real failure, never a shutdown.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "serve/io.hpp"
 #include "serve/server.hpp"
 
 namespace {
+
+// Flipped from the signal handler; observed by the serve engine at round
+// boundaries and by the accept loop via EINTR (the handlers are installed
+// WITHOUT SA_RESTART precisely so a blocked accept() wakes up).
+hls::support::StopSource g_stop;
+
+extern "C" void on_stop_signal(int) { g_stop.request_stop(); }
 
 int usage(int code) {
   std::cerr <<
@@ -41,6 +56,11 @@ int usage(int code) {
       "  --sessions N       compiled-session cache size (8)\n"
       "  --trace-entries N  trace cache size (1024)\n"
       "  --no-trace-cache   disable cross-config warm-start seeding\n"
+      "  --queue-depth N    shed jobs beyond N queued (0 = unbounded)\n"
+      "  --retries N        transient-fault compile retries (2)\n"
+      "  --max-request-bytes N\n"
+      "                     reject request documents larger than N\n"
+      "                     bytes (4194304; 0 = unlimited)\n"
       "  --stats            append a {\"stats\": ...} line\n";
   return code;
 }
@@ -77,7 +97,7 @@ int serve_document(hls::serve::Server& server, const std::string& text,
 }
 
 int listen_mode(hls::serve::Server& server, const std::string& path,
-                bool once) {
+                bool once, const hls::serve::IoOptions& io) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("socket");
@@ -87,6 +107,7 @@ int listen_mode(hls::serve::Server& server, const std::string& path,
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
     std::cerr << "socket path too long\n";
+    ::close(fd);
     return 1;
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
@@ -99,9 +120,12 @@ int listen_mode(hls::serve::Server& server, const std::string& path,
   }
   std::cerr << "hls_serve: listening on " << path << "\n";
   int rc = 0;
-  while (true) {
+  while (!g_stop.stop_requested()) {
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) {
+      // A stop signal interrupts the blocking accept with EINTR — that is
+      // a clean shutdown, not an error. Spurious EINTRs just retry.
+      if (errno == EINTR) continue;
       std::perror("accept");
       rc = 1;
       break;
@@ -109,20 +133,34 @@ int listen_mode(hls::serve::Server& server, const std::string& path,
     // One request document per connection: read until EOF (the client
     // shuts down its write side), serve, stream lines back, close.
     std::string text;
-    char buf[4096];
-    for (ssize_t n = ::read(conn, buf, sizeof buf); n > 0;
-         n = ::read(conn, buf, sizeof buf)) {
-      text.append(buf, static_cast<std::size_t>(n));
+    const hls::serve::ReadStatus rs =
+        hls::serve::read_request(conn, &text, io);
+    if (rs != hls::serve::ReadStatus::kOk) {
+      hls::JsonWriter w;
+      w.begin_object();
+      w.key("error");
+      w.value(rs == hls::serve::ReadStatus::kOversized
+                  ? hls::strf("[job/oversized] request exceeds ",
+                              io.max_request_bytes, " bytes; rejected")
+                  : std::string("[io/read_failed] could not read request"));
+      w.end_object();
+      std::string line = w.str();
+      line += '\n';
+      hls::serve::write_all(conn, line, io);
+      ::close(conn);
+      continue;
     }
-    auto sink = [conn](const std::string& line) {
+    // A client that hangs up mid-stream (EPIPE) stops receiving but must
+    // not abort the drain: caches and stats stay consistent for the next
+    // connection, and the round loop's invariants never depend on the
+    // sink succeeding.
+    bool peer_gone = false;
+    auto sink = [&](const std::string& line) {
+      if (peer_gone) return;
       std::string out = line;
       out += '\n';
-      std::size_t off = 0;
-      while (off < out.size()) {
-        const ssize_t n = ::write(conn, out.data() + off, out.size() - off);
-        if (n <= 0) break;
-        off += static_cast<std::size_t>(n);
-      }
+      int err = 0;
+      if (!hls::serve::write_all(conn, out, io, &err)) peer_gone = true;
     };
     serve_document(server, text, sink);
     ::close(conn);
@@ -136,10 +174,23 @@ int listen_mode(hls::serve::Server& server, const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Stop signals must interrupt a blocked accept(), so: no SA_RESTART.
+  // SIGPIPE is ignored — a hung-up client surfaces as an EPIPE write
+  // error (handled in the sink), never as process death.
+  struct sigaction sa{};
+  sa.sa_handler = on_stop_signal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string jobs_path;
   std::string listen_path;
   bool once = false;
   hls::serve::ServerOptions options;
+  hls::serve::IoOptions io;
+  io.max_request_bytes = 4u << 20;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -177,6 +228,18 @@ int main(int argc, char** argv) {
       options.max_trace_entries = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--no-trace-cache") {
       options.trace_cache = false;
+    } else if (arg == "--queue-depth") {
+      const char* v = next();
+      if (v == nullptr) return usage(2);
+      options.max_queue_depth = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return usage(2);
+      options.max_compile_retries = std::atoi(v);
+    } else if (arg == "--max-request-bytes") {
+      const char* v = next();
+      if (v == nullptr) return usage(2);
+      io.max_request_bytes = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--stats") {
       options.emit_stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -190,9 +253,12 @@ int main(int argc, char** argv) {
     std::cerr << "exactly one of --jobs / --listen is required\n";
     return usage(2);
   }
+  options.stop = &g_stop;
 
   hls::serve::Server server(options);
-  if (!listen_path.empty()) return listen_mode(server, listen_path, once);
+  if (!listen_path.empty()) {
+    return listen_mode(server, listen_path, once, io);
+  }
 
   std::string text;
   if (!read_file(jobs_path, &text)) {

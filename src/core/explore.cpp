@@ -25,10 +25,12 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
   opts.latency_min = cfg.latency;
   opts.latency_max = cfg.latency;
   opts.memory_aware = cfg.memory_aware;
+  opts.budget = cfg.budget;
   opts.emit_verilog = false;
   if (extras != nullptr) {
     opts.seed = extras->seed;
     opts.record_seed = extras->record_seed;
+    opts.stop = extras->stop;
   }
   pt.backend = sched::backend_name(cfg.backend);
   try {
@@ -71,6 +73,7 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
         if (it->severity != Severity::kError) continue;
         pt.failure = strf("[", it->stage, "/", it->code, "] ",
                           r.failure_reason);
+        pt.cancelled = it->code == "cancelled";
         break;
       }
     }

@@ -31,6 +31,10 @@ struct ExplorePoint {
   /// "[stage/code] message" — so grid consumers can classify failures
   /// (options vs compile vs schedule) without parsing the free-form text.
   std::string failure;
+  /// True when the run was cut short cooperatively rather than proven
+  /// infeasible: a stop request ("cancelled") or the serve layer skipping
+  /// the point before dispatch. Always paired with feasible == false.
+  bool cancelled = false;
 
   // Figure 9-style profiling of the run that produced the point.
   double sched_seconds = 0;  ///< wall-clock scheduling time
@@ -69,6 +73,9 @@ struct ExploreConfig {
   /// Honor the session workload's mem::MemorySpec (FlowOptions::
   /// memory_aware). Off = memory-blind baseline for the same grid point.
   bool memory_aware = true;
+  /// Per-point work-unit budget (FlowOptions::budget). Deterministic:
+  /// a budget-exhausted point is identical at every thread count.
+  support::BudgetLimits budget = {};
 };
 
 struct ExploreOptions {
@@ -99,6 +106,9 @@ struct RunPointExtras {
   /// Filled when record_seed is set and the run succeeded.
   sched::ScheduleSeed seed_out;
   bool seed_recorded = false;
+  /// Cooperative cancellation for the run (FlowOptions::stop); observed
+  /// at scheduling pass boundaries. The pointee must outlive the call.
+  const support::StopSource* stop = nullptr;
 };
 
 /// Runs ONE configuration against `session`'s compiled module — the same

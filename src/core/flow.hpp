@@ -59,6 +59,16 @@ struct FlowOptions {
   /// Emit Verilog text into the result (costs a little time).
   bool emit_verilog = true;
 
+  /// Deterministic work-unit budget for the scheduling stage
+  /// (support/budget.hpp): pass/commit/relaxation-step limits checked at
+  /// pass boundaries, plus the opt-in advisory wall-clock deadline.
+  /// Exhaustion fails the run with a "schedule" diagnostic whose code is
+  /// "pass_budget_exhausted" / "budget_exhausted" / "deadline_exceeded".
+  support::BudgetLimits budget;
+  /// Cooperative cancellation, observed at scheduling pass boundaries
+  /// (diagnostic code "cancelled"). The pointee must outlive the run.
+  const support::StopSource* stop = nullptr;
+
   /// Cross-run scheduling seed (sched::ScheduleSeed) from a finished run
   /// on the SAME module — the serve layer's trace cache feeds this.
   /// Incompatible seeds are ignored, exact-config seeds replay bit-exact

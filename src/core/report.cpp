@@ -21,6 +21,14 @@ std::string render_trace(const sched::SchedulerResult& r) {
 
 std::string render_report(const FlowResult& r) {
   if (!r.success) {
+    // Lead with the failing diagnostic's structured coordinates so a
+    // pass-budget exhaustion or a cancellation is distinguishable from
+    // ordinary infeasibility without parsing the free-form reason.
+    for (auto it = r.diagnostics.rbegin(); it != r.diagnostics.rend(); ++it) {
+      if (it->severity != Severity::kError) continue;
+      return strf("flow FAILED [", it->stage, "/", it->code, "]: ",
+                  r.failure_reason, "\n");
+    }
     return strf("flow FAILED: ", r.failure_reason, "\n");
   }
   const ir::Module& m = *r.module;
@@ -174,6 +182,15 @@ std::string render_json(const FlowResult& r) {
   } else {
     w.key("reason");
     w.value(r.failure_reason);
+    // The code that stopped the run (the last error diagnostic), so JSON
+    // consumers can branch on budget_exhausted/cancelled without walking
+    // the diagnostics array.
+    for (auto it = r.diagnostics.rbegin(); it != r.diagnostics.rend(); ++it) {
+      if (it->severity != Severity::kError) continue;
+      w.key("reason_code");
+      w.value(strf(it->stage, "/", it->code));
+      break;
+    }
     w.key("diagnostics");
     w.begin_array();
     for (const Diagnostic& d : r.diagnostics) {

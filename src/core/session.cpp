@@ -66,6 +66,12 @@ std::vector<Diagnostic> validate_flow_options(const FlowOptions& options) {
         strf("latency_min (", options.latency_min, ") exceeds latency_max (",
              options.latency_max, ")"));
   }
+  if (options.budget.max_passes < 0 || options.budget.max_commits < 0 ||
+      options.budget.max_relax_steps < 0 ||
+      options.budget.deadline_seconds < 0) {
+    bad("negative-budget",
+        "budget limits must be >= 0 (0 = unlimited); see support/budget.hpp");
+  }
   return diags;
 }
 
@@ -257,6 +263,8 @@ bool FlowRun::select_microarch() {
   if (options_.memory_aware && !memory_.empty()) sopts_.memory = &memory_;
   sopts_.seed = options_.seed;
   sopts_.record_seed = options_.record_seed;
+  sopts_.budget = options_.budget;
+  sopts_.stop = options_.stop;
 
   region_ = ir::linearize(m.thread.tree, result_.loop);
   result_.timings.microarch_seconds = seconds_since(t0);
@@ -273,7 +281,11 @@ bool FlowRun::schedule() {
   result_.sched_seconds = seconds_since(t0);
   result_.timings.sched_seconds = result_.sched_seconds;
   if (!result_.sched.success) {
-    fail("schedule", "infeasible",
+    // Budget exhaustion and cancellation carry their own codes; ordinary
+    // infeasibility (empty failure_code) keeps the long-standing one.
+    fail("schedule",
+         result_.sched.failure_code.empty() ? "infeasible"
+                                            : result_.sched.failure_code,
          strf("scheduling failed: ", result_.sched.failure_reason));
     return false;
   }

@@ -374,6 +374,7 @@ bool BindingEngine::bind_free(OpId id, int e) {
 
 void BindingEngine::commit(OpId id, int pool, int inst, int e, int lat,
                            double arrival) {
+  ++commits_;
   OpPlacement& pl = placement_[id];
   pl.scheduled = true;
   pl.step = e + lat;
@@ -566,6 +567,7 @@ PassOutcome BindingEngine::finish() {
   out.schedule.placement = std::move(placement_);
   out.restraints = std::move(restraints_);
   out.failed_ops = std::move(failed_list_);
+  out.commits = commits_;
   if (out.success) {
     OpId worst_op = kNoOp;
     out.schedule.worst_slack_ps =

@@ -90,6 +90,12 @@ struct PassOutcome {
   std::vector<Restraint> restraints;
   std::vector<ir::OpId> failed_ops;
   PassTrace trace;  ///< decision log for the next pass's warm start
+  /// Work-unit charges for support::Budget accounting (docs/FAULTS.md):
+  /// ops committed through the engine this pass (both backends, warm
+  /// replays included) and Bellman-Ford edge relaxation steps (SDC
+  /// backend only; 0 for the list backend).
+  std::uint64_t commits = 0;
+  std::uint64_t relax_steps = 0;
 };
 
 /// The shared binder: everything a constrained scheduling attempt needs
@@ -244,6 +250,7 @@ class BindingEngine {
   timing::CombCycleGraph comb_graph_;
   std::vector<Restraint> restraints_;
   std::vector<std::vector<Refusal>> refusals_;  ///< per op
+  std::uint64_t commits_ = 0;  ///< PassOutcome::commits
 };
 
 /// Solver-side scaffolding shared by both backends' pass runners: owns

@@ -138,8 +138,16 @@ SchedulerResult run_relaxation_loop(
     SchedulerBackend& backend, const SchedulerOptions& options,
     const ExpertOptions& eopts, const PassTrace* initial_trace,
     int initial_frontier, bool single_pass, const ScheduleSeed* ladder,
-    std::vector<PassRecord> history, std::vector<Action>* applied_out) {
+    std::vector<PassRecord> history, std::vector<Action>* applied_out,
+    support::Budget& budget) {
   const bool warm_startable = options.warm_start && backend.warm_startable();
+  // A work-unit pass budget tightens the option cap; exhaustion of either
+  // reports the same dedicated code at the loop's end.
+  int max_passes = options.max_passes;
+  if (options.budget.max_passes > 0 &&
+      options.budget.max_passes < max_passes) {
+    max_passes = static_cast<int>(options.budget.max_passes);
+  }
 
   SchedulerResult result;
   result.backend = backend.kind();
@@ -203,7 +211,18 @@ SchedulerResult run_relaxation_loop(
       std::any_of(p.mem_window_max.begin(), p.mem_window_max.end(),
                   [](int w) { return w >= 0; });
 
-  for (int pass = 1; pass <= options.max_passes; ++pass) {
+  for (int pass = 1; pass <= max_passes; ++pass) {
+    // Budgets and cancellation are observed only here, BETWEEN passes: a
+    // pass always runs to completion, so exhaustion is a pure function of
+    // the work done so far — byte-reproducible at any thread count — and
+    // cancellation never leaves a half-mutated problem behind.
+    const support::BudgetVerdict verdict = budget.check();
+    if (verdict != support::BudgetVerdict::kOk) {
+      result.failure_code = support::budget_verdict_code(verdict);
+      result.failure_reason = budget.describe(verdict);
+      result.timing_queries = eng.queries();
+      return result;
+    }
     bool fast_forwarded = false;
     // Fast-forward wide latency shortfalls: when the life spans prove the
     // region cannot fit by a large margin, add the missing states at once.
@@ -278,6 +297,8 @@ SchedulerResult run_relaxation_loop(
     const WarmStart warm{&trace, frontier};
     const bool use_warm = warm_startable && trace_valid && frontier > 0;
     PassOutcome outcome = backend.run_pass(eng, use_warm ? &warm : nullptr);
+    budget.charge_commits(outcome.commits);
+    budget.charge_relax_steps(outcome.relax_steps);
     PassRecord rec;
     rec.pass_number = pass;
     rec.num_steps = p.num_steps;
@@ -321,8 +342,8 @@ SchedulerResult run_relaxation_loop(
       trace_valid = true;
     }
   }
-  result.failure_reason =
-      strf("pass budget (", options.max_passes, ") exhausted");
+  result.failure_code = "pass_budget_exhausted";
+  result.failure_reason = strf("pass budget (", max_passes, ") exhausted");
   result.timing_queries = eng.queries();
   return result;
 }
@@ -385,10 +406,15 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   std::vector<Action> applied;
   std::vector<Action>* applied_out =
       options.record_seed ? &applied : nullptr;
+  // One budget for the whole run: a failed seed-replay attempt's work
+  // counts against the cold restart that follows it.
+  support::Budget budget(options.budget, options.stop);
   auto stamp_seed = [&](SchedulerResult& result) {
     if (options.record_seed && result.success) {
       result.seed_out.actions = std::move(applied);
     }
+    result.engine_commits = budget.commits();
+    result.relax_steps = budget.relax_steps();
   };
 
   // ---- Cross-run seeding -----------------------------------------------
@@ -436,7 +462,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
       SchedulerResult replayed = run_relaxation_loop(
           p, dfg, eng, *backend, options, eopts, &seed->final_trace,
           p.num_steps, /*single_pass=*/true, nullptr,
-          std::move(seeded_history), applied_out);
+          std::move(seeded_history), applied_out, budget);
       if (replayed.success) {
         replayed.seed_use = SeedUse::kReplay;
         stamp_seed(replayed);
@@ -457,7 +483,8 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
     miss_history.push_back(std::move(miss));
     SchedulerResult cold = run_relaxation_loop(
         p, dfg, eng, *backend, options, eopts, nullptr, 0,
-        /*single_pass=*/false, seed, std::move(miss_history), applied_out);
+        /*single_pass=*/false, seed, std::move(miss_history), applied_out,
+        budget);
     if (cold.seed_use == SeedUse::kNone) cold.seed_use = SeedUse::kMiss;
     stamp_seed(cold);
     return cold;
@@ -466,7 +493,7 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   SchedulerResult result = run_relaxation_loop(
       p, dfg, eng, *backend, options, eopts, nullptr, 0,
       /*single_pass=*/false, seed_shape_ok ? seed : nullptr, {},
-      applied_out);
+      applied_out, budget);
   if (seed != nullptr && result.seed_use == SeedUse::kNone) {
     result.seed_use = SeedUse::kMiss;
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sched/expert.hpp"
+#include "support/budget.hpp"
 
 namespace hls::sched {
 
@@ -109,6 +110,16 @@ struct SchedulerOptions {
 
   int max_passes = 128;
 
+  /// Deterministic work-unit budget for the run (support/budget.hpp):
+  /// pass, engine-commit and relaxation-step limits checked at pass
+  /// boundaries, plus the opt-in advisory wall-clock deadline. A
+  /// tighter budget.max_passes lowers max_passes; exhaustion surfaces as
+  /// failure_code "pass_budget_exhausted" / "budget_exhausted".
+  support::BudgetLimits budget;
+  /// Cooperative cancellation, observed at pass boundaries (failure_code
+  /// "cancelled"). The pointee must outlive the run; nullptr = never.
+  const support::StopSource* stop = nullptr;
+
   /// Memory constraint family (banked arrays, port counts, I/O timing
   /// windows; see mem/memory.hpp and docs/MEMORY.md). nullptr = no memory
   /// constraints; scheduling is bit-exact with and without an empty spec.
@@ -145,6 +156,17 @@ struct SchedulerResult {
   std::vector<PassRecord> history;
   std::uint64_t timing_queries = 0;
   std::string failure_reason;  ///< set when success == false
+  /// Stable machine-readable failure classification, empty on success and
+  /// for ordinary infeasibility (the flow layer maps empty to
+  /// "infeasible"). Budget/cancellation codes: "pass_budget_exhausted",
+  /// "budget_exhausted", "cancelled", "deadline_exceeded".
+  std::string failure_code;
+
+  /// Work-unit spend of the whole run (seed-replay attempts included):
+  /// BindingEngine commits and SDC Bellman-Ford relaxation steps — what
+  /// SchedulerOptions::budget meters.
+  std::uint64_t engine_commits = 0;
+  std::uint64_t relax_steps = 0;
 
   /// How the offered seed was used (kNone when none was offered).
   SeedUse seed_use = SeedUse::kNone;

@@ -99,6 +99,7 @@ class SdcPass final : SolverHost {
     }
     PassOutcome out = binder_.finish();
     out.trace = std::move(trace_);
+    out.relax_steps = relax_steps_;
     return out;
   }
 
@@ -119,6 +120,7 @@ class SdcPass final : SolverHost {
       queue.pop_front();
       in_queue_[u] = 0;
       for (const SdcScheduler::Edge& edge : out_[u]) {
+        ++relax_steps_;
         const int bound = saturate(x_[u] + edge.weight);
         if (bound <= x_[edge.to]) continue;
         // A committed op's start is final; constraints that would move it
@@ -328,6 +330,7 @@ class SdcPass final : SolverHost {
   std::vector<OpId> changed_scratch_;
   std::vector<std::uint32_t> changed_mark_;  ///< raise_bound dedup epochs
   std::uint32_t changed_epoch_ = 0;
+  std::uint64_t relax_steps_ = 0;  ///< edge relaxations, for PassOutcome
   std::vector<OpId> deferred_scratch_;
   std::vector<std::vector<OpId>> buckets_;
   std::vector<std::vector<OpId>> deadline_buckets_;

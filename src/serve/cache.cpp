@@ -59,6 +59,19 @@ SessionCache::Acquired SessionCache::acquire(
   return out;
 }
 
+bool SessionCache::evict_one(std::uint64_t* evicted_hash) {
+  std::uint64_t victim = 0;
+  if (!policy_.victim(&victim)) return false;  // everything pinned
+  sessions_.erase(victim);
+  policy_.erase(victim);
+  for (auto it = spec_memo_.begin(); it != spec_memo_.end();) {
+    it = it->second == victim ? spec_memo_.erase(it) : std::next(it);
+  }
+  ++evictions_;
+  if (evicted_hash != nullptr) *evicted_hash = victim;
+  return true;
+}
+
 void SessionCache::evict_to_capacity() {
   while (sessions_.size() > max_sessions_) {
     std::uint64_t victim = 0;
@@ -133,27 +146,33 @@ void TraceCache::invalidate_module(std::uint64_t module_hash) {
   }
 }
 
-void TraceCache::evict_to_capacity() {
-  while (total_ > max_entries_) {
-    // Eldest stamp across every bucket. Linear, but the cache is small
-    // (hundreds of entries) and eviction runs only at round barriers.
-    std::map<TraceKey, std::map<double, Entry>>::iterator eldest_key =
-        entries_.end();
-    std::map<double, Entry>::iterator eldest_entry;
-    for (auto key_it = entries_.begin(); key_it != entries_.end(); ++key_it) {
-      for (auto e = key_it->second.begin(); e != key_it->second.end(); ++e) {
-        if (eldest_key == entries_.end() ||
-            e->second.stamp < eldest_entry->second.stamp) {
-          eldest_key = key_it;
-          eldest_entry = e;
-        }
+bool TraceCache::evict_one() {
+  if (total_ == 0) return false;
+  // Eldest stamp across every bucket. Linear, but the cache is small
+  // (hundreds of entries) and eviction runs only at round barriers.
+  std::map<TraceKey, std::map<double, Entry>>::iterator eldest_key =
+      entries_.end();
+  std::map<double, Entry>::iterator eldest_entry;
+  for (auto key_it = entries_.begin(); key_it != entries_.end(); ++key_it) {
+    for (auto e = key_it->second.begin(); e != key_it->second.end(); ++e) {
+      if (eldest_key == entries_.end() ||
+          e->second.stamp < eldest_entry->second.stamp) {
+        eldest_key = key_it;
+        eldest_entry = e;
       }
     }
-    HLS_ASSERT(eldest_key != entries_.end(), "trace cache size out of sync");
-    eldest_key->second.erase(eldest_entry);
-    if (eldest_key->second.empty()) entries_.erase(eldest_key);
-    --total_;
-    ++evictions_;
+  }
+  HLS_ASSERT(eldest_key != entries_.end(), "trace cache size out of sync");
+  eldest_key->second.erase(eldest_entry);
+  if (eldest_key->second.empty()) entries_.erase(eldest_key);
+  --total_;
+  ++evictions_;
+  return true;
+}
+
+void TraceCache::evict_to_capacity() {
+  while (total_ > max_entries_) {
+    if (!evict_one()) return;
   }
 }
 

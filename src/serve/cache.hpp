@@ -60,6 +60,14 @@ class SessionCache {
   void pin(std::uint64_t module_hash) { policy_.pin(module_hash); }
   void unpin(std::uint64_t module_hash) { policy_.unpin(module_hash); }
 
+  /// Force-evicts the LRU unpinned session regardless of capacity — the
+  /// fault-injection lever ("session/evict") for exercising eviction
+  /// under load. Returns false (and evicts nothing) when every session is
+  /// pinned: in-flight jobs stay safe even under injected pressure. On
+  /// success stores the victim's module hash so the caller can drop its
+  /// dependent trace-cache entries.
+  bool evict_one(std::uint64_t* evicted_hash = nullptr);
+
   bool contains(std::uint64_t module_hash) const {
     return sessions_.find(module_hash) != sessions_.end();
   }
@@ -134,6 +142,12 @@ class TraceCache {
   /// Drops every entry for a module (used when its session is evicted:
   /// seeds for a design the cache can no longer name are dead weight).
   void invalidate_module(std::uint64_t module_hash);
+
+  /// Force-evicts the eldest entry regardless of capacity — the
+  /// fault-injection lever ("trace/evict"). Returns false when empty.
+  /// Safe at any barrier: seeds are copied into work items before
+  /// fan-out, so a forced eviction can never invalidate a running point.
+  bool evict_one();
 
   std::size_t size() const { return total_; }
   std::size_t capacity() const { return max_entries_; }

@@ -1,0 +1,59 @@
+#include "serve/io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hls::serve {
+
+ReadStatus read_request(int fd, std::string* out, const IoOptions& options) {
+  out->clear();
+  char buf[4096];
+  while (true) {
+    if (options.faults != nullptr && options.faults->should_fail("socket/read")) {
+      continue;  // simulated EINTR: retry without touching the socket
+    }
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (n == 0) return ReadStatus::kOk;  // peer closed its write side
+    out->append(buf, static_cast<std::size_t>(n));
+    if (options.max_request_bytes > 0 &&
+        out->size() > options.max_request_bytes) {
+      return ReadStatus::kOversized;
+    }
+  }
+}
+
+bool write_all(int fd, std::string_view data, const IoOptions& options,
+               int* errno_out) {
+  if (errno_out != nullptr) *errno_out = 0;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (options.faults != nullptr) {
+      if (options.faults->should_fail("socket/epipe")) {
+        if (errno_out != nullptr) *errno_out = EPIPE;
+        return false;
+      }
+    }
+    // An injected short write transfers exactly one byte, forcing the
+    // continuation loop a flaky kernel would.
+    const std::size_t len =
+        (options.faults != nullptr &&
+         options.faults->should_fail("socket/write"))
+            ? 1
+            : data.size() - off;
+    const ssize_t n = ::write(fd, data.data() + off, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno_out != nullptr) *errno_out = errno;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace hls::serve

@@ -1,0 +1,51 @@
+// Hardened socket I/O for the serving front end (examples/hls_serve.cpp):
+// short reads/writes and EINTR are facts of life on a real socket, and a
+// client hanging up mid-stream (EPIPE) must never take the server down
+// with it. These helpers own those loops so the accept loop stays a
+// straight-line narrative.
+//
+// Both entry points accept a FaultInjector (docs/FAULTS.md) so tests can
+// force the rare paths deterministically:
+//   "socket/read"  — the next read is interrupted (simulated EINTR)
+//   "socket/write" — the next write transfers a single byte (forces the
+//                    partial-write continuation loop)
+//   "socket/epipe" — the next write fails with EPIPE
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "support/fault.hpp"
+
+namespace hls::serve {
+
+struct IoOptions {
+  /// Reject requests larger than this many bytes; 0 = unlimited. The
+  /// caller surfaces the rejection as a structured "[job/oversized]"
+  /// error line — a bounded request size is the first line of defense
+  /// against a client streaming garbage forever.
+  std::size_t max_request_bytes = 0;
+  /// Optional deterministic fault injection (tests only).
+  support::FaultInjector* faults = nullptr;
+};
+
+enum class ReadStatus {
+  kOk,         ///< request fully read (peer closed its write side)
+  kOversized,  ///< request exceeded max_request_bytes; reading stopped
+  kError,      ///< read() failed with a non-retryable errno
+};
+
+/// Reads a request document from `fd` until EOF, retrying EINTR. Appends
+/// to `*out` (cleared first). Stops early with kOversized once the size
+/// cap is exceeded — the caller should reject and close.
+ReadStatus read_request(int fd, std::string* out, const IoOptions& options = {});
+
+/// Writes all of `data` to `fd`, looping over partial writes and retrying
+/// EINTR. Returns false on a hard error (EPIPE when the peer hung up,
+/// anything else fatal); `*errno_out` (optional) receives the errno so
+/// the caller can distinguish a gone peer from a sick socket.
+bool write_all(int fd, std::string_view data, const IoOptions& options = {},
+               int* errno_out = nullptr);
+
+}  // namespace hls::serve

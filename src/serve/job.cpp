@@ -271,6 +271,32 @@ bool parse_job(const JsonValue& v, JobRequest* out, std::string* error) {
       return false;
     }
   }
+  if (const JsonValue* b = v.find("budget"); b != nullptr) {
+    if (!b->is_object()) {
+      *error = "\"budget\" must be an object";
+      return false;
+    }
+    auto limit = [&](const char* key, std::int64_t* out_limit) {
+      const JsonValue* n = b->find(key);
+      if (n == nullptr) return true;
+      if (!n->is_number() || n->as_int() < 0) {
+        *error = strf("\"budget.", key, "\" must be a non-negative number");
+        return false;
+      }
+      *out_limit = n->as_int();
+      return true;
+    };
+    if (!limit("passes", &job.budget.max_passes)) return false;
+    if (!limit("commits", &job.budget.max_commits)) return false;
+    if (!limit("relax_steps", &job.budget.max_relax_steps)) return false;
+  }
+  if (const JsonValue* d = v.find("deadline_ms"); d != nullptr) {
+    if (!d->is_number() || d->as_number() < 0) {
+      *error = "\"deadline_ms\" must be a non-negative number";
+      return false;
+    }
+    job.budget.deadline_seconds = d->as_number() / 1000.0;
+  }
   if (const JsonValue* grid = v.find("grid"); grid != nullptr) {
     if (!expand_grid(*grid, backend, &job.points, error)) return false;
   }
@@ -291,6 +317,9 @@ bool parse_job(const JsonValue& v, JobRequest* out, std::string* error) {
   if (job.points.empty()) {
     *error = "job has no configurations (\"points\" and \"grid\" both empty)";
     return false;
+  }
+  if (!job.budget.unlimited()) {
+    for (core::ExploreConfig& cfg : job.points) cfg.budget = job.budget;
   }
   *out = std::move(job);
   return true;

@@ -8,6 +8,13 @@
 //   {"id": 2, "source": "module m { ... }",
 //    "points": [{"tclk_ps": 1600, "latency": 12}]}
 //
+// A job may carry a per-point work-unit budget and/or an advisory
+// wall-clock deadline (docs/FAULTS.md):
+//
+//   {"id": 3, "workload": "ewf", "deadline_ms": 500,
+//    "budget": {"passes": 4, "commits": 10000, "relax_steps": 100000},
+//    "grid": {...}}
+//
 // Job ids are the determinism anchor: admission, execution rounds and the
 // output stream are ordered by id, never by arrival order or thread
 // timing (docs/SERVE.md). Ids must be unique and non-negative.
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "core/explore.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "workloads/workloads.hpp"
 
@@ -34,6 +42,11 @@ struct JobRequest {
   int random_ops = 200;
   /// The configurations to run, in stream order.
   std::vector<core::ExploreConfig> points;
+  /// Per-point work-unit budget / advisory deadline, copied into every
+  /// point's ExploreConfig at parse time ("budget" + "deadline_ms" keys).
+  /// Work-unit exhaustion is deterministic: the same point fails with the
+  /// same [schedule/budget_exhausted] line at every thread count.
+  support::BudgetLimits budget = {};
 };
 
 /// The bundled kernel names resolve_workload accepts (plus "random").

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <exception>
 #include <map>
+#include <set>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -53,6 +55,11 @@ std::string ServeStats::to_json() const {
   w.key("seed_wins"), w.value(seed_wins);
   w.key("seed_misses"), w.value(seed_misses);
   w.key("total_passes"), w.value(total_passes);
+  w.key("jobs_shed"), w.value(jobs_shed);
+  w.key("jobs_cancelled"), w.value(jobs_cancelled);
+  w.key("points_cancelled"), w.value(points_cancelled);
+  w.key("compile_retries"), w.value(compile_retries);
+  w.key("faults_injected"), w.value(faults_injected);
   w.end_object();
   w.end_object();
   return w.str();
@@ -71,6 +78,8 @@ struct Server::ActiveJob {
   std::uint64_t seed_replays = 0;
   std::uint64_t seed_seeded = 0;
   std::uint64_t seed_misses = 0;
+  /// Points emitted as cancelled placeholders (cancel() or drain stop).
+  std::uint64_t cancelled_points = 0;
 };
 
 Server::Server(ServerOptions options)
@@ -86,6 +95,15 @@ bool Server::submit(JobRequest job, std::string* error) {
     return false;
   };
   if (job.id < 0) return reject("job id must be non-negative");
+  // Overload shedding: a bounded queue rejects loudly instead of growing
+  // without bound. The error is structured ("[job/shed] ...") so clients
+  // can distinguish back-pressure from malformed jobs and resubmit later.
+  if (options_.max_queue_depth > 0 &&
+      queued_.size() >= options_.max_queue_depth) {
+    ++stats_.jobs_shed;
+    return reject(strf("[job/shed] queue depth ", options_.max_queue_depth,
+                       " exceeded; job ", job.id, " rejected"));
+  }
   for (const JobRequest& q : queued_) {
     if (q.id == job.id) {
       return reject(strf("duplicate job id ", job.id));
@@ -128,6 +146,27 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
   stats_.jobs += queued_.size();
   queued_.clear();
 
+  // Jobs bounced by a transient (injected) compile fault, waiting out an
+  // exponential ROUND backoff. Backoff is counted in rounds, not
+  // wall-clock, so the retry schedule — and therefore the byte stream —
+  // is identical at every thread count (docs/FAULTS.md).
+  struct Retry {
+    JobRequest req;
+    std::uint64_t eligible_round = 0;
+  };
+  std::map<std::int64_t, Retry> retrying;
+  std::map<std::int64_t, int> retry_attempts;
+
+  // Consults the optional fault injector. Called ONLY from serial
+  // sections of the round loop: per-site call counts — and so which
+  // occurrence an armed fault hits — are thread-count independent.
+  auto fault = [&](std::string_view site) {
+    if (options_.faults == nullptr) return false;
+    if (!options_.faults->should_fail(site)) return false;
+    ++stats_.faults_injected;
+    return true;
+  };
+
   // One result line per point. Every field is deterministic — wall-clock
   // timings are deliberately absent (they would break byte-stability).
   auto point_line = [](std::int64_t job, std::size_t index,
@@ -144,6 +183,9 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
     w.key("pipelined"), w.value(pt.pipelined);
     w.key("backend"), w.value(pt.backend);
     w.key("feasible"), w.value(pt.feasible);
+    // Emitted only for points cut short cooperatively, so ordinary
+    // streams stay byte-identical to pre-cancellation builds.
+    if (pt.cancelled) w.key("cancelled"), w.value(true);
     if (pt.feasible) {
       w.key("delay_ns"), w.value(pt.delay_ns);
       w.key("area"), w.value(pt.area);
@@ -158,14 +200,155 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
     return w.str();
   };
 
+  // Placeholder for a point that never ran (cancellation, drain stop, or
+  // an injected dispatch fault): the config is echoed back so the line is
+  // position-independently parseable like a real result.
+  auto synthetic_point = [](const core::ExploreConfig& cfg,
+                            std::string failure, bool cancelled) {
+    core::ExplorePoint pt;
+    pt.curve = cfg.curve;
+    pt.tclk_ps = cfg.tclk_ps;
+    pt.latency = cfg.latency;
+    pt.pipelined = cfg.pipeline_ii > 0;
+    pt.backend = sched::backend_name(cfg.backend);
+    pt.failure = std::move(failure);
+    pt.cancelled = cancelled;
+    return pt;
+  };
+
+  auto emit_done = [&](std::int64_t id, const ActiveJob& aj) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("job"), w.value(id);
+    w.key("done"), w.value(true);
+    w.key("points"), w.value(static_cast<std::uint64_t>(aj.req.points.size()));
+    w.key("failures"), w.value(aj.failures);
+    // Only cancelled jobs carry the key, keeping ordinary summaries
+    // byte-identical to pre-cancellation builds.
+    if (aj.cancelled_points > 0) {
+      w.key("cancelled"), w.value(aj.cancelled_points);
+    }
+    w.key("seed_replays"), w.value(aj.seed_replays);
+    w.key("seed_seeded"), w.value(aj.seed_seeded);
+    w.key("seed_misses"), w.value(aj.seed_misses);
+    w.key("session_cache_hit"), w.value(aj.session_hit);
+    w.key("module"), w.value(hex64(aj.module_hash));
+    w.end_object();
+    sink(w.str());
+  };
+
+  // Emits every not-yet-run point of `aj` as a cancelled placeholder.
+  auto cancel_rest = [&](std::int64_t id, ActiveJob& aj,
+                         const char* message) {
+    for (std::size_t i = aj.next_point; i < aj.req.points.size(); ++i) {
+      sink(point_line(id, i, aj.req.points[i],
+                      synthetic_point(aj.req.points[i], message, true)));
+      ++stats_.points_cancelled;
+      ++aj.cancelled_points;
+    }
+    aj.next_point = aj.req.points.size();
+    ++stats_.jobs_cancelled;
+  };
+
   std::map<std::int64_t, ActiveJob> active;
-  while (!admission.idle()) {
+  std::uint64_t round = 0;
+  while (!admission.idle() || !retrying.empty()) {
+    ++round;
     ++tick_;
+
+    // ---- Cooperative shutdown (observed at round boundaries only) ------
+    // In-flight points from the previous round already finished and were
+    // emitted at its barrier; everything not yet dispatched becomes an
+    // ordered cancelled placeholder, every job still gets its done
+    // summary, and the stream stays parseable to the last byte.
+    if ((options_.stop != nullptr && options_.stop->stop_requested()) ||
+        fault("drain/stop")) {
+      for (auto& [id, aj] : active) {
+        cancel_rest(id, aj, "[serve/cancelled] drain stopped before point ran");
+        emit_done(id, aj);
+        sessions_.unpin(aj.module_hash);
+        admission.finish(id);
+      }
+      active.clear();
+      // Jobs that never started — still queued or in retry backoff — get
+      // one structured error line each, in id order.
+      std::set<std::int64_t> waiting;
+      for (const auto& entry : pending) waiting.insert(entry.first);
+      for (const auto& entry : retrying) waiting.insert(entry.first);
+      for (const std::int64_t id : waiting) {
+        JsonWriter w;
+        w.begin_object();
+        w.key("job"), w.value(id);
+        w.key("error"),
+            w.value("[job/cancelled] drain stopped before job started");
+        w.end_object();
+        sink(w.str());
+        ++stats_.jobs_cancelled;
+      }
+      break;
+    }
+
+    // ---- Retry intake: backoff elapsed → back into admission -----------
+    for (auto it = retrying.begin(); it != retrying.end();) {
+      if (it->second.eligible_round > round) {
+        ++it;
+        continue;
+      }
+      const std::int64_t id = it->first;
+      admission.enqueue(id, fnv1a(spec_key(it->second.req)));
+      pending.emplace(id, std::move(it->second.req));
+      it = retrying.erase(it);
+    }
+
+    // ---- Cancellation sweep over in-flight jobs (serial, id order) -----
+    for (auto& [id, aj] : active) {
+      if (cancelled_.count(id) == 0) continue;
+      cancel_rest(id, aj, "[serve/cancelled] point cancelled before dispatch");
+      cancelled_.erase(id);
+      // The job retires with its done summary at this round's barrier.
+    }
 
     // ---- Admission (serial, id order) ----------------------------------
     for (const std::int64_t id : admission.admit()) {
       JobRequest req = std::move(pending.at(id));
       pending.erase(id);
+      // A cancel that lands before the job compiles skips the front end
+      // entirely; the job still emits its full ordered point list.
+      if (cancelled_.count(id) != 0) {
+        ActiveJob aj;
+        aj.req = std::move(req);
+        cancel_rest(id, aj,
+                    "[serve/cancelled] point cancelled before dispatch");
+        emit_done(id, aj);
+        admission.finish(id);
+        cancelled_.erase(id);
+        continue;
+      }
+      // Injected transient compile fault → bounded retry with exponential
+      // round backoff. The job is requeued, not failed, until the retry
+      // budget is spent; only then does it surface a structured error.
+      if (fault("session/compile")) {
+        const int attempts = ++retry_attempts[id];
+        if (attempts <= options_.max_compile_retries) {
+          ++stats_.compile_retries;
+          Retry r;
+          r.eligible_round = round + (1ULL << (attempts - 1));
+          r.req = std::move(req);
+          retrying.emplace(id, std::move(r));
+        } else {
+          JsonWriter w;
+          w.begin_object();
+          w.key("job"), w.value(id);
+          w.key("error"),
+              w.value(strf("[serve/retries_exhausted] transient compile "
+                           "fault persisted after ",
+                           attempts, " attempts"));
+          w.end_object();
+          sink(w.str());
+        }
+        admission.finish(id);
+        continue;
+      }
       std::string resolve_error;
       SessionCache::Acquired acq = sessions_.acquire(
           spec_key(req),
@@ -216,6 +399,10 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
       core::FlowSession* session = nullptr;
       TraceKey key;
       bool has_seed = false;
+      /// Injected "worker/dispatch" fault, decided serially at build time
+      /// so the SAME item fails at every thread count; the worker then
+      /// synthesizes a failed point instead of scheduling.
+      bool fault_dispatch = false;
       sched::ScheduleSeed seed;
       core::RunPointExtras extras;
       core::ExplorePoint pt;
@@ -244,6 +431,7 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
             item.has_seed = true;
           }
         }
+        item.fault_dispatch = fault("worker/dispatch");
         work.push_back(std::move(item));
       }
       aj.next_point += take;
@@ -252,6 +440,13 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
 
     // ---- Fan out over the worker pool (barrier) ------------------------
     auto run_item = [&](Work& item) {
+      if (item.fault_dispatch) {
+        // The fault decision was made serially; the point fails with a
+        // structured diagnostic and the rest of the job proceeds.
+        item.pt = synthetic_point(
+            *item.cfg, "[serve/fault_injected] worker dispatch fault", false);
+        return;
+      }
       item.extras.seed = item.has_seed ? &item.seed : nullptr;
       item.extras.record_seed = options_.trace_cache;
       item.pt = core::run_point(*item.session, *item.cfg, &item.extras);
@@ -310,7 +505,13 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
         ++owner.failures;
       }
       if (options_.trace_cache && item.extras.seed_recorded) {
-        traces_.insert(item.key, std::move(item.extras.seed_out));
+        // An injected insert failure just drops the seed: a later run of
+        // the same config solves cold. Replay correctness never depends
+        // on an entry being present, only on committed entries being
+        // exact — so a dropped insert can never corrupt seed replay.
+        if (!fault("trace/insert")) {
+          traces_.insert(item.key, std::move(item.extras.seed_out));
+        }
       }
     }
 
@@ -321,24 +522,22 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
         ++it;
         continue;
       }
-      JsonWriter w;
-      w.begin_object();
-      w.key("job"), w.value(it->first);
-      w.key("done"), w.value(true);
-      w.key("points"),
-          w.value(static_cast<std::uint64_t>(aj.req.points.size()));
-      w.key("failures"), w.value(aj.failures);
-      w.key("seed_replays"), w.value(aj.seed_replays);
-      w.key("seed_seeded"), w.value(aj.seed_seeded);
-      w.key("seed_misses"), w.value(aj.seed_misses);
-      w.key("session_cache_hit"), w.value(aj.session_hit);
-      w.key("module"), w.value(hex64(aj.module_hash));
-      w.end_object();
-      sink(w.str());
+      emit_done(it->first, aj);
       sessions_.unpin(aj.module_hash);
       admission.finish(it->first);
       it = active.erase(it);
     }
+
+    // ---- Injected cache pressure (serial, barrier-safe) ----------------
+    // Forced evictions model memory pressure landing between rounds. A
+    // session eviction drops the module's seeds with it (the standing
+    // invariant: the trace cache never outlives the session cache's
+    // knowledge of a module); pinned in-flight sessions are never victims.
+    if (fault("session/evict")) {
+      std::uint64_t evicted = 0;
+      if (sessions_.evict_one(&evicted)) traces_.invalidate_module(evicted);
+    }
+    if (fault("trace/evict")) traces_.evict_one();
   }
 
   // Cache counters are cumulative across drain() calls, mirroring the

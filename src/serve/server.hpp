@@ -23,11 +23,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
+#include "support/budget.hpp"
+#include "support/fault.hpp"
 
 namespace hls::serve {
 
@@ -52,6 +55,25 @@ struct ServerOptions {
   bool trace_cache = true;
   /// Append a final {"stats": {...}} line to the stream.
   bool emit_stats = false;
+  /// Queued-job cap for overload shedding; 0 = unbounded. When the queue
+  /// is full, submit() rejects with a structured "[job/shed]" error line
+  /// instead of growing without bound (docs/SERVE.md, Robustness).
+  std::size_t max_queue_depth = 0;
+  /// Bounded retry for transient (injected) compile faults: a job whose
+  /// session compile hits a "session/compile" fault is re-queued with
+  /// exponential round backoff up to this many attempts, then fails with
+  /// a "[serve/retries_exhausted]" error line.
+  int max_compile_retries = 2;
+  /// Cooperative shutdown (e.g. from a SIGTERM handler). Observed at
+  /// round boundaries: in-flight points finish, every remaining point is
+  /// emitted as a cancelled placeholder, the stream stays ordered and
+  /// parseable. The pointee must outlive drain().
+  const support::StopSource* stop = nullptr;
+  /// Deterministic fault injection (tests only; docs/FAULTS.md lists the
+  /// sites). Consulted only from serial sections of the round loop, so an
+  /// armed fault fires at the same point in the stream at every thread
+  /// count. The pointee must outlive drain().
+  support::FaultInjector* faults = nullptr;
 };
 
 /// Deterministic counters for the run (no wall-clock anywhere: the stats
@@ -77,6 +99,15 @@ struct ServeStats {
   /// cache-on vs cache-off comparison metric.
   std::uint64_t total_passes = 0;
 
+  // Robustness counters (docs/FAULTS.md): shedding, cancellation, retry
+  // and injection activity. All deterministic — they count decisions made
+  // in serial sections, never thread-timing artifacts.
+  std::uint64_t jobs_shed = 0;         ///< submit() rejections (queue full)
+  std::uint64_t jobs_cancelled = 0;    ///< jobs cut short (cancel() or stop)
+  std::uint64_t points_cancelled = 0;  ///< cancelled placeholder points
+  std::uint64_t compile_retries = 0;   ///< transient-fault re-queues
+  std::uint64_t faults_injected = 0;   ///< injector sites that fired
+
   std::string to_json() const;
 };
 
@@ -97,6 +128,15 @@ class Server {
   /// Returns the number of jobs queued.
   std::size_t submit_text(std::string_view text,
                           std::vector<std::string>* errors = nullptr);
+
+  /// Requests cooperative cancellation of one job. Observed at round
+  /// boundaries: points already dispatched this round finish and are
+  /// emitted normally; every remaining point is emitted as a cancelled
+  /// placeholder ({"cancelled": true, "failure": "[serve/cancelled] ..."})
+  /// and the job's done summary reports the cancelled count. Unknown ids
+  /// are remembered (cancelling before drain() is fine). Call from the
+  /// sink or between drains — not from another thread mid-round.
+  void cancel(std::int64_t job_id) { cancelled_.insert(job_id); }
 
   /// Runs every queued job to completion, invoking `sink` once per output
   /// line (no trailing newline). Lines are, in stream order: per-point
@@ -119,6 +159,9 @@ class Server {
   TraceCache traces_;
   ServeStats stats_;
   std::vector<JobRequest> queued_;
+  /// Jobs with a pending cancel request (see cancel()); ids are erased
+  /// once the cancellation has been emitted.
+  std::set<std::int64_t> cancelled_;
   std::uint64_t tick_ = 0;  ///< monotone LRU clock across drains
 };
 

@@ -1,0 +1,64 @@
+#include "support/budget.hpp"
+
+#include "support/strings.hpp"
+
+namespace hls::support {
+
+const char* budget_verdict_code(BudgetVerdict verdict) {
+  switch (verdict) {
+    case BudgetVerdict::kOk: return "";
+    case BudgetVerdict::kCancelled: return "cancelled";
+    case BudgetVerdict::kDeadlineExceeded: return "deadline_exceeded";
+    case BudgetVerdict::kCommitsExhausted:
+    case BudgetVerdict::kRelaxExhausted: return "budget_exhausted";
+  }
+  return "";
+}
+
+Budget::Budget(const BudgetLimits& limits, const StopSource* stop)
+    : limits_(limits),
+      stop_(stop),
+      armed_(std::chrono::steady_clock::now()) {}
+
+BudgetVerdict Budget::check() const {
+  if (stop_ != nullptr && stop_->stop_requested()) {
+    return BudgetVerdict::kCancelled;
+  }
+  if (limits_.deadline_seconds > 0) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - armed_;
+    if (elapsed.count() >= limits_.deadline_seconds) {
+      return BudgetVerdict::kDeadlineExceeded;
+    }
+  }
+  if (limits_.max_commits > 0 &&
+      commits_ >= static_cast<std::uint64_t>(limits_.max_commits)) {
+    return BudgetVerdict::kCommitsExhausted;
+  }
+  if (limits_.max_relax_steps > 0 &&
+      relax_steps_ >= static_cast<std::uint64_t>(limits_.max_relax_steps)) {
+    return BudgetVerdict::kRelaxExhausted;
+  }
+  return BudgetVerdict::kOk;
+}
+
+std::string Budget::describe(BudgetVerdict verdict) const {
+  switch (verdict) {
+    case BudgetVerdict::kOk:
+      return "";
+    case BudgetVerdict::kCancelled:
+      return "cancelled by stop request at a pass boundary";
+    case BudgetVerdict::kDeadlineExceeded:
+      return strf("advisory deadline (", limits_.deadline_seconds,
+                  "s) exceeded at a pass boundary");
+    case BudgetVerdict::kCommitsExhausted:
+      return strf("work-unit budget exhausted: ", commits_,
+                  " engine commits >= limit ", limits_.max_commits);
+    case BudgetVerdict::kRelaxExhausted:
+      return strf("work-unit budget exhausted: ", relax_steps_,
+                  " relaxation steps >= limit ", limits_.max_relax_steps);
+  }
+  return "";
+}
+
+}  // namespace hls::support

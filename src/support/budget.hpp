@@ -1,0 +1,115 @@
+// Deterministic work-unit budgets and cooperative cancellation.
+//
+// The scheduler's pass/relaxation loop can run for a long time on a
+// pathological configuration, and nothing above it could stop a run once
+// started. This component gives every layer of the stack — scheduler,
+// flow, explore, serve — one shared vocabulary for "stop doing work":
+//
+//  * StopSource — a thread-safe cancellation flag. A signal handler or a
+//    controlling thread flips it; workers observe it cooperatively at
+//    pass boundaries, so a cancelled run always leaves consistent state.
+//
+//  * BudgetLimits / Budget — bounds in WORK UNITS (scheduling passes,
+//    BindingEngine commits, Bellman-Ford relaxation steps), not seconds.
+//    Work units are a pure function of the problem and the options, never
+//    of machine speed or thread timing, so a budget-exhausted failure is
+//    byte-reproducible: the same job fails at the same point with the
+//    same diagnostic at every thread count (docs/FAULTS.md has the full
+//    determinism argument). A wall-clock deadline is available as an
+//    opt-in ADVISORY overlay — useful operationally, but any run that
+//    relies on it forfeits byte-reproducibility of its failure point.
+//
+// Budgets are checked only at pass boundaries (sched/driver.cpp): a pass
+// always runs to completion, so the charge for the pass that crossed the
+// limit is included in the reported spend.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hls::support {
+
+/// Thread-safe cooperative cancellation flag. request_stop() is
+/// async-signal-safe (a lock-free atomic store), so signal handlers may
+/// call it directly.
+class StopSource {
+ public:
+  void request_stop() { stopped_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stopped_{false};
+};
+
+/// Work-unit bounds for one scheduling run. 0 = unlimited. `max_passes`
+/// tightens SchedulerOptions::max_passes (the smaller of the two wins and
+/// exhaustion reports sched/pass_budget_exhausted); commits and relaxation
+/// steps accumulate across every pass of the run, including seed-replay
+/// attempts.
+struct BudgetLimits {
+  std::int64_t max_passes = 0;
+  std::int64_t max_commits = 0;
+  std::int64_t max_relax_steps = 0;
+  /// Advisory wall-clock deadline in seconds (0 = none). Checked at the
+  /// same pass boundaries as the work units, but NOT deterministic —
+  /// see the header comment.
+  double deadline_seconds = 0;
+
+  bool unlimited() const {
+    return max_passes <= 0 && max_commits <= 0 && max_relax_steps <= 0 &&
+           deadline_seconds <= 0;
+  }
+};
+
+/// Why a budget check stopped (or did not stop) a run. Precedence when
+/// several trip at once is the declaration order below — cancellation
+/// outranks the deadline, which outranks the work units — so the reported
+/// code never depends on check order.
+enum class BudgetVerdict : std::uint8_t {
+  kOk,
+  kCancelled,
+  kDeadlineExceeded,
+  kCommitsExhausted,
+  kRelaxExhausted,
+};
+
+/// Structured diagnostic code for a verdict: "" (kOk), "cancelled",
+/// "deadline_exceeded", or "budget_exhausted" (both work-unit verdicts).
+const char* budget_verdict_code(BudgetVerdict verdict);
+
+/// Accumulates work-unit charges for one scheduling run and answers
+/// check() at pass boundaries. Arms its deadline clock at construction.
+/// Not thread-safe: one Budget belongs to one run.
+class Budget {
+ public:
+  /// Unlimited, never trips.
+  Budget() : Budget(BudgetLimits{}, nullptr) {}
+  explicit Budget(const BudgetLimits& limits,
+                  const StopSource* stop = nullptr);
+
+  void charge_commits(std::uint64_t n) { commits_ += n; }
+  void charge_relax_steps(std::uint64_t n) { relax_steps_ += n; }
+
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t relax_steps() const { return relax_steps_; }
+
+  BudgetVerdict check() const;
+
+  /// Deterministic human-readable reason for a non-kOk verdict (work-unit
+  /// messages name the unit, the spend and the limit; no wall-clock values
+  /// appear in any message).
+  std::string describe(BudgetVerdict verdict) const;
+
+ private:
+  BudgetLimits limits_;
+  const StopSource* stop_ = nullptr;
+  std::uint64_t commits_ = 0;
+  std::uint64_t relax_steps_ = 0;
+  std::chrono::steady_clock::time_point armed_;
+};
+
+}  // namespace hls::support

@@ -1,0 +1,67 @@
+#include "support/fault.hpp"
+
+#include <utility>
+
+namespace hls::support {
+
+FaultInjector::Site& FaultInjector::site(std::string_view name) {
+  const auto it = sites_.find(name);
+  if (it != sites_.end()) return it->second;
+  return sites_.emplace(std::string(name), Site{}).first->second;
+}
+
+void FaultInjector::arm(std::string site_name, std::uint64_t count,
+                        std::uint64_t skip) {
+  Site& s = site(site_name);
+  s.skip = skip;
+  s.count = count;
+  s.random = false;
+}
+
+void FaultInjector::arm_random(std::string site_name, double probability,
+                               std::uint64_t seed) {
+  Site& s = site(site_name);
+  s.random = true;
+  s.probability = probability;
+  s.rng = Rng(seed);
+  s.skip = 0;
+  s.count = 0;
+}
+
+void FaultInjector::disarm(std::string_view site_name) {
+  const auto it = sites_.find(site_name);
+  if (it == sites_.end()) return;
+  it->second.count = 0;
+  it->second.random = false;
+}
+
+bool FaultInjector::should_fail(std::string_view site_name) {
+  Site& s = site(site_name);
+  ++s.calls;
+  bool fail = false;
+  if (s.random) {
+    fail = s.rng.chance(s.probability);
+  } else if (s.count > 0) {
+    fail = s.calls > s.skip && s.calls <= s.skip + s.count;
+  }
+  if (fail) ++s.fired;
+  return fail;
+}
+
+std::uint64_t FaultInjector::calls(std::string_view site_name) const {
+  const auto it = sites_.find(site_name);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site_name) const {
+  const auto it = sites_.find(site_name);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : sites_) total += s.fired;
+  return total;
+}
+
+}  // namespace hls::support

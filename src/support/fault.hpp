@@ -1,0 +1,77 @@
+// Deterministic fault injection for robustness tests.
+//
+// A FaultInjector is a registry of named SITES — places in production
+// code that can fail for reasons the test harness cannot provoke
+// naturally (a transient compile hiccup, a cache eviction race, a socket
+// EINTR/EPIPE). Production code asks `should_fail(site)` at each site; an
+// unarmed injector (or a null pointer, the production default) always
+// answers no, so the instrumented paths cost one pointer check.
+//
+// Two arming modes, both reproducible:
+//  * Counted  — arm(site, count, skip): occurrences skip+1 .. skip+count
+//    fail. This is the workhorse for "fail exactly the second insert".
+//  * Seeded   — arm_random(site, p, seed): an hls::Rng Bernoulli trial per
+//    occurrence. Same seed, same call sequence → same fault sequence.
+//
+// Determinism rule for callers: consult the injector only from SERIAL
+// sections (the serve round loop, admission, barriers, socket loops) and
+// let the decision travel with the work item into any thread pool. The
+// injector itself is not thread-safe, and a site consulted under racy
+// thread timing would make the fault sequence nondeterministic anyway.
+//
+// Registered sites (docs/FAULTS.md): session/compile, session/evict,
+// trace/insert, trace/evict, worker/dispatch, drain/stop, socket/read,
+// socket/write, socket/epipe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "support/rng.hpp"
+
+namespace hls::support {
+
+class FaultInjector {
+ public:
+  /// Arms `site` to fail occurrences skip+1 .. skip+count (counted from 1
+  /// over the site's lifetime calls, including calls made before arming).
+  void arm(std::string site, std::uint64_t count = 1, std::uint64_t skip = 0);
+
+  /// Arms `site` to fail each occurrence with probability `p`, drawn from
+  /// a dedicated Rng seeded with `seed`.
+  void arm_random(std::string site, double probability, std::uint64_t seed);
+
+  void disarm(std::string_view site);
+  void reset() { sites_.clear(); }
+
+  /// True when this occurrence of `site` should fail. Counts the call
+  /// either way. Sites never armed always return false (and still count).
+  bool should_fail(std::string_view site);
+
+  /// Occurrences of `site` observed so far.
+  std::uint64_t calls(std::string_view site) const;
+  /// Occurrences of `site` that were failed.
+  std::uint64_t fired(std::string_view site) const;
+  std::uint64_t total_fired() const;
+
+ private:
+  struct Site {
+    std::uint64_t calls = 0;
+    std::uint64_t fired = 0;
+    // Counted mode.
+    std::uint64_t skip = 0;
+    std::uint64_t count = 0;
+    // Seeded mode.
+    bool random = false;
+    double probability = 0;
+    Rng rng{0};
+  };
+
+  Site& site(std::string_view name);
+
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+}  // namespace hls::support

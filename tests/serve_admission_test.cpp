@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "serve/cache.hpp"
+#include "serve/server.hpp"
 #include "workloads/workloads.hpp"
 
 namespace hls::serve {
@@ -378,6 +379,85 @@ TEST(TraceCache, InvalidateModuleDropsAllItsSeeds) {
   EXPECT_EQ(cache.lookup(a, 1400).seed, nullptr);
   EXPECT_EQ(cache.lookup(a2, 1500).seed, nullptr);
   EXPECT_NE(cache.lookup(b, 1400).seed, nullptr);
+}
+
+// ---- Forced eviction (fault-injection levers) ------------------------------
+
+TEST(SessionCache, ForcedEvictionSkipsPinnedSessions) {
+  SessionCache cache(4);
+  const auto ewf = cache.acquire("ewf", [] { return workloads::make_ewf(); },
+                                 1);
+  const auto crc = cache.acquire("crc", [] { return workloads::make_crc32(); },
+                                 2);
+  cache.pin(ewf.module_hash);
+  cache.pin(crc.module_hash);
+  // Everything pinned: injected pressure must not touch in-flight jobs.
+  EXPECT_FALSE(cache.evict_one(nullptr));
+  cache.unpin(ewf.module_hash);
+  std::uint64_t victim = 0;
+  ASSERT_TRUE(cache.evict_one(&victim));
+  EXPECT_EQ(victim, ewf.module_hash);  // LRU unpinned, not the pinned one
+  EXPECT_FALSE(cache.contains(ewf.module_hash));
+  EXPECT_TRUE(cache.contains(crc.module_hash));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(TraceCache, ForcedEvictionDropsEldestAndStopsWhenEmpty) {
+  TraceCache cache(8);
+  EXPECT_FALSE(cache.evict_one());  // empty: nothing to do
+  const TraceKey a{1, 0, 14, sched::BackendKind::kList};
+  const TraceKey b{2, 0, 14, sched::BackendKind::kList};
+  cache.insert(a, seed_at(1400));
+  cache.insert(b, seed_at(1500));
+  ASSERT_TRUE(cache.evict_one());
+  EXPECT_EQ(cache.lookup(a, 1400).seed, nullptr);  // eldest insertion went
+  EXPECT_NE(cache.lookup(b, 1500).seed, nullptr);
+  ASSERT_TRUE(cache.evict_one());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.evict_one());
+}
+
+// ---- Robustness counters in the stats line ---------------------------------
+
+TEST(ServeStatsCounters, ShedRetryAndCancelReachTheStatsLine) {
+  // The counters hls_serve --stats exposes (docs/FAULTS.md): shed at
+  // submit, bounded compile retries, cooperative cancellation, and the
+  // injected-fault tally — all present in the emitted stats object.
+  support::FaultInjector faults;
+  faults.arm("session/compile", /*count=*/1);
+  ServerOptions options;
+  options.threads = 2;
+  options.max_queue_depth = 2;
+  options.emit_stats = true;
+  options.faults = &faults;
+  Server server(options);
+  auto job = [](std::int64_t id, const char* workload) {
+    JobRequest j;
+    j.id = id;
+    j.workload = workload;
+    core::ExploreConfig cfg;
+    cfg.curve = "seq";
+    cfg.tclk_ps = 1800;
+    cfg.latency = 12;
+    j.points.push_back(cfg);
+    return j;
+  };
+  std::string error;
+  EXPECT_TRUE(server.submit(job(0, "crc32"), &error));   // retried (fault)
+  EXPECT_TRUE(server.submit(job(1, "ewf"), &error));     // cancelled below
+  EXPECT_FALSE(server.submit(job(2, "arf"), &error));    // shed: depth 2
+  EXPECT_NE(error.find("[job/shed]"), std::string::npos);
+  server.cancel(1);
+  std::string stats_line;
+  server.drain([&](const std::string& line) {
+    if (line.find("\"stats\"") != std::string::npos) stats_line = line;
+  });
+  ASSERT_FALSE(stats_line.empty());
+  EXPECT_NE(stats_line.find("\"jobs_shed\":1"), std::string::npos);
+  EXPECT_NE(stats_line.find("\"jobs_cancelled\":1"), std::string::npos);
+  EXPECT_NE(stats_line.find("\"points_cancelled\":1"), std::string::npos);
+  EXPECT_NE(stats_line.find("\"compile_retries\":1"), std::string::npos);
+  EXPECT_NE(stats_line.find("\"faults_injected\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -51,6 +51,14 @@ std::vector<JobRequest> job_set() {
   job(4, "arf", grid({1800, 2000}, 10, 4));     // pipelined grid
   job(5, "does-not-exist", grid({1600}, 10, 0));  // compile error path
   job(6, "fft8_stage", grid({1700, 1900}, 10, 0));
+  // A work-unit budget that trips after the first pass: the exhaustion
+  // point is itself part of the determinism contract (docs/FAULTS.md) —
+  // the same [schedule/budget_exhausted] line at every thread count.
+  {
+    std::vector<core::ExploreConfig> points = grid({1600}, 16, 0);
+    points.front().budget.max_commits = 50;
+    job(7, "ewf", std::move(points));
+  }
   return jobs;
 }
 
