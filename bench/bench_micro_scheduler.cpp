@@ -261,21 +261,23 @@ void emit_scheduler_json(const char* path, unsigned explore_threads) {
   const auto per_pass =
       emit_backend_sweep(w, sched::BackendKind::kList, 6400, true);
   w.end_array();
-  // The SDC sweeps stop at 1600 ops: the 6400-op point costs minutes of
-  // wall clock per run for a number that is reported, never gated. The
-  // cold sweep keeps the historical `schedule_ns_per_pass_sdc` meaning
-  // (every pass re-solved from scratch); the `_warm` sweep replays the
-  // validated prefix across relaxation passes, and the per-size delta is
-  // the SDC warm-start win tracked per commit.
+  // The SDC sweeps cover the full size ladder: since the anchor-star II
+  // encoding dropped window edges to O(n) per SCC, the 6400-op cold
+  // solve costs seconds instead of minutes, and compare_baseline.py
+  // gates both SDC keys like the list figures.
+  // The cold sweep keeps the historical `schedule_ns_per_pass_sdc`
+  // meaning (every pass re-solved from scratch); the `_warm` sweep
+  // replays the validated prefix across relaxation passes, and the
+  // per-size delta is the SDC warm-start win tracked per commit.
   w.key("schedule_ns_per_pass_sdc");
   w.begin_array();
   const auto sdc_cold =
-      emit_backend_sweep(w, sched::BackendKind::kSdc, 1600, false);
+      emit_backend_sweep(w, sched::BackendKind::kSdc, 6400, false);
   w.end_array();
   w.key("schedule_ns_per_pass_sdc_warm");
   w.begin_array();
   const auto sdc_warm =
-      emit_backend_sweep(w, sched::BackendKind::kSdc, 1600, true);
+      emit_backend_sweep(w, sched::BackendKind::kSdc, 6400, true);
   w.end_array();
   for (std::size_t i = 0; i < sdc_cold.size() && i < sdc_warm.size(); ++i) {
     const auto [ops, cold_ns] = sdc_cold[i];

@@ -14,12 +14,20 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "compare_baseline.py")
 
 
-def healthy(ns=1000000.0, exponent=1.3):
+def sweep(ns, success=True):
+    return [
+        {"ops": 100, "ns_per_pass": ns, "success": success},
+        {"ops": 400, "ns_per_pass": 4 * ns, "success": success},
+    ]
+
+
+def healthy(ns=1000000.0, exponent=1.3, sdc_ns=None):
     doc = {
-        "schedule_ns_per_pass": [
-            {"ops": 100, "ns_per_pass": ns},
-            {"ops": 400, "ns_per_pass": 4 * ns},
-        ],
+        "schedule_ns_per_pass": sweep(ns),
+        "schedule_ns_per_pass_sdc": sweep(sdc_ns if sdc_ns else 2 * ns),
+        "schedule_ns_per_pass_sdc_warm": sweep(
+            (sdc_ns if sdc_ns else 2 * ns) / 4
+        ),
         "complexity": {"fitted_exponent": exponent},
     }
     return doc
@@ -98,6 +106,43 @@ class CompareBaselineTest(unittest.TestCase):
         r = self.run_gate(healthy(), baseline)
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
         self.assertIn("absent from baseline", r.stderr)
+
+    def test_sdc_sweep_is_gated_like_the_list_sweep(self):
+        r = self.run_gate(healthy(sdc_ns=8000000.0), healthy())
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("schedule_ns_per_pass_sdc", r.stderr)
+        self.assertIn("4.00x baseline", r.stderr)
+
+    def test_missing_sdc_key_is_a_hard_error(self):
+        current = healthy()
+        del current["schedule_ns_per_pass_sdc_warm"]
+        r = self.run_gate(current, healthy())
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("schedule_ns_per_pass_sdc_warm", r.stderr)
+
+    def test_failed_sweep_point_fails_the_gate(self):
+        current = healthy()
+        current["schedule_ns_per_pass_sdc"][-1]["success"] = False
+        r = self.run_gate(current, healthy())
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("success:false", r.stderr)
+        self.assertIn("400 ops", r.stderr)
+
+    def test_missing_success_field_in_current_is_a_hard_error(self):
+        current = healthy()
+        del current["schedule_ns_per_pass"][0]["success"]
+        r = self.run_gate(current, healthy())
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("success", r.stderr)
+
+    def test_baseline_without_success_fields_is_accepted(self):
+        baseline = healthy()
+        for key in ("schedule_ns_per_pass", "schedule_ns_per_pass_sdc",
+                    "schedule_ns_per_pass_sdc_warm"):
+            for entry in baseline[key]:
+                del entry["success"]
+        r = self.run_gate(healthy(), baseline)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
     def test_invalid_json_is_a_hard_error(self):
         with tempfile.TemporaryDirectory() as tmp:

@@ -16,12 +16,13 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
   pt.curve = cfg.curve;
   pt.tclk_ps = cfg.tclk_ps;
   pt.latency = cfg.latency;
-  pt.pipelined = cfg.pipeline_ii > 0;
+  pt.pipelined = cfg.pipeline_ii > 0 || cfg.solve_min_ii;
 
   FlowOptions opts;
   opts.tclk_ps = cfg.tclk_ps;
   opts.backend = cfg.backend;
   opts.pipeline_ii = cfg.pipeline_ii;
+  opts.solve_min_ii = cfg.solve_min_ii;
   opts.latency_min = cfg.latency;
   opts.latency_max = cfg.latency;
   opts.memory_aware = cfg.memory_aware;
@@ -44,6 +45,7 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
                     [](const Diagnostic& d) { return d.stage == "schedule"; });
     if (reached_schedule) {
       pt.backend = sched::backend_name(r.sched.backend);
+      pt.min_ii = r.sched.min_ii;
     }
     pt.sched_seconds = r.sched_seconds;
     pt.passes = r.sched.passes;

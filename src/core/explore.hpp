@@ -22,6 +22,10 @@ struct ExplorePoint {
   double tclk_ps = 0;
   int latency = 0;      ///< LI of the configuration
   bool pipelined = false;
+  /// Solved minimum II when the config asked for min-II solving
+  /// (ExploreConfig::solve_min_ii) and the schedule stage was reached;
+  /// 0 otherwise.
+  int min_ii = 0;
   double delay_ns = 0;  ///< II x Tclk (inverse throughput)
   double area = 0;
   double power_mw = 0;
@@ -66,6 +70,10 @@ struct ExploreConfig {
   double tclk_ps = 0;
   int latency = 0;       ///< target LI (used as both min and max bound)
   int pipeline_ii = 0;   ///< 0 = sequential
+  /// Solve for the minimum feasible II instead of pinning pipeline_ii
+  /// (FlowOptions::solve_min_ii); pipeline_ii then floors the search.
+  /// The point reports the solved II in ExplorePoint::min_ii.
+  bool solve_min_ii = false;
   /// Scheduler backend for this configuration (backends can be swept
   /// against each other in one grid; kAuto lets the scheduler pick per
   /// problem and the point reports the resolved choice).

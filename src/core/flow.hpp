@@ -38,6 +38,14 @@ struct FlowOptions {
   sched::BackendKind backend = sched::BackendKind::kList;
   /// 0 = sequential micro-architecture; >0 = pipeline with this II.
   int pipeline_ii = 0;
+  /// Solve for the minimum feasible initiation interval instead of
+  /// taking pipeline_ii as given (sched::SchedulerOptions::solve_min_ii).
+  /// Implies a pipelined micro-architecture; pipeline_ii > 0 then acts
+  /// as the search floor (0 floors the search at II=1). The solved II is
+  /// reported as FlowResult::sched.min_ii and in render_report /
+  /// render_json ("min_ii"); no feasible II fails the schedule stage
+  /// with code "no_feasible_ii".
+  bool solve_min_ii = false;
   /// Override the loop's latency bound (0 keeps the designer's bound).
   int latency_min = 0;
   int latency_max = 0;

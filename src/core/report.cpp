@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -37,7 +39,8 @@ std::string render_report(const FlowResult& r) {
               " states; ",
               r.sched.schedule.pipeline.enabled
                   ? strf("pipelined II = ", r.sched.schedule.pipeline.ii,
-                         " (", r.machine.loop.folded.stages, " stages)")
+                         " (", r.machine.loop.folded.stages, " stages)",
+                         r.sched.min_ii > 0 ? " (minimum II solve)" : "")
                   : std::string("sequential"),
               "\n");
   out += strf("worst slack: ", fmt_fixed(r.sched.schedule.worst_slack_ps, 0),
@@ -105,12 +108,42 @@ std::string render_json(const FlowResult& r) {
     w.value(r.sched.schedule.pipeline.enabled);
     w.key("ii");
     w.value(r.machine.loop.initiation_interval());
+    if (r.sched.min_ii > 0) {
+      // Present only for min-II solves, so fixed-II artifacts are
+      // byte-identical to what they were before the key existed.
+      w.key("min_ii");
+      w.value(r.sched.min_ii);
+    }
     w.key("worst_slack_ps");
     w.value(r.sched.schedule.worst_slack_ps);
     w.key("passes");
     w.value(r.sched.passes);
     w.key("relaxations");
     w.value(r.sched.relaxations());
+    // Per-pass constraint-system statistics (SDC passes only; the key is
+    // absent for list-backend runs so their artifacts are unchanged).
+    // Edge-count regressions — e.g. losing the star encoding back to
+    // pairwise II windows — show up here directly instead of only as
+    // wall-clock drift in the bench figures.
+    if (std::any_of(r.sched.history.begin(), r.sched.history.end(),
+                    [](const sched::PassRecord& p) {
+                      return p.constraint_edges > 0;
+                    })) {
+      w.key("constraint_stats");
+      w.begin_array();
+      for (const auto& p : r.sched.history) {
+        if (p.constraint_edges == 0) continue;
+        w.begin_object();
+        w.key("pass");
+        w.value(p.pass_number);
+        w.key("edges");
+        w.value(p.constraint_edges);
+        w.key("propagation_relaxations");
+        w.value(p.propagation_relaxations);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.key("timing_queries");
     w.value(r.sched.timing_queries);
     w.key("sched_seconds");

@@ -232,7 +232,8 @@ bool FlowRun::select_microarch() {
   // A latency_min override above the designer's maximum leaves an empty
   // bound. Pipelined runs are exempt: the driver raises the maximum to
   // the feasible minimum there (paper Section V lets LI grow).
-  if (latency_.min > latency_.max && options_.pipeline_ii <= 0) {
+  if (latency_.min > latency_.max && options_.pipeline_ii <= 0 &&
+      !options_.solve_min_ii) {
     fail("microarch", "inverted-latency-bound",
          strf("effective latency bound [", latency_.min, ",", latency_.max,
               "] is empty: latency_min exceeds the loop's maximum latency"));
@@ -248,9 +249,14 @@ bool FlowRun::select_microarch() {
   if (sopts_.lib == &tech::artisan90()) {
     sopts_.shared_delays = shared_delays_.get();
   }
-  if (options_.pipeline_ii > 0) {
-    sopts_.pipeline = {true, options_.pipeline_ii};
-    loop_stmt.pipeline = {true, options_.pipeline_ii};
+  if (options_.pipeline_ii > 0 || options_.solve_min_ii) {
+    // Min-II solving implies a pipelined micro-architecture; an explicit
+    // pipeline_ii then floors the search (0 floors it at II=1). The
+    // solved II is written back into the loop stmt after scheduling.
+    const int floor_ii = std::max(1, options_.pipeline_ii);
+    sopts_.pipeline = {true, floor_ii};
+    sopts_.solve_min_ii = options_.solve_min_ii;
+    loop_stmt.pipeline = {true, floor_ii};
   }
   sopts_.enable_chaining = options_.enable_chaining;
   sopts_.enable_move_scc = options_.enable_move_scc;
@@ -288,6 +294,13 @@ bool FlowRun::schedule() {
                                             : result_.sched.failure_code,
          strf("scheduling failed: ", result_.sched.failure_reason));
     return false;
+  }
+  if (options_.solve_min_ii && result_.sched.min_ii > 0) {
+    // Sync the IR with the solved II so every downstream consumer of the
+    // loop stmt (not only the schedule's own pipeline config, which the
+    // scheduler already set) sees the micro-architecture that was built.
+    result_.module->thread.tree.stmt_mut(result_.loop).pipeline = {
+        true, result_.sched.schedule.pipeline.ii};
   }
   next_ = Stage::kRtl;
   return true;

@@ -49,13 +49,16 @@ BackendKind resolve_backend(const Problem& problem,
   // backend_explore comparison on feed-forward kernels, so it is the
   // default. The SDC backend earns its constraint propagation on
   // relaxation-heavy pipelined recurrences — II windows move whole SCC
-  // bodies at once instead of deferring member by member — as long as
-  // the design is small enough that its per-pass solve cost stays
-  // comparable (the SDC size sweep is capped at 1600 ops for a reason).
+  // bodies at once instead of deferring member by member. Since the
+  // anchor-star II encoding (sdc_scheduler.hpp) dropped window edges
+  // from O(n^2) to O(n) per SCC, the SDC per-pass cost stays
+  // subquadratic through the 6400-op sweep point (seconds, not minutes,
+  // for the cold solve), so the size cutoff guards only the remaining
+  // constant-factor gap to the list backend, not a blow-up.
   if (!problem.pipeline.enabled || problem.sccs.empty()) {
     return BackendKind::kList;
   }
-  constexpr std::size_t kSdcMaxOps = 1024;
+  constexpr std::size_t kSdcMaxOps = 4096;
   if (problem.ops.size() > kSdcMaxOps) return BackendKind::kList;
   return BackendKind::kSdc;
 }

@@ -74,4 +74,28 @@ BackendKind resolve_backend(const Problem& problem,
 std::unique_ptr<SchedulerBackend> make_backend(const Problem& problem,
                                                const SchedulerOptions& options);
 
+/// Pure II-feasibility probe (no binding, no timing queries): propagates
+/// the release bounds through the difference-constraint system at
+/// candidate `ii` — dependences, port write order, and the star-encoded
+/// II windows — and reports false when any op's start bound saturates at
+/// `max_states` (equivalently: the system has a positive cycle at this
+/// II, or a bound exceeds every state count the expert could ever reach).
+/// Sound: a probe-infeasible II can never be scheduled by a full solve,
+/// on either backend, because every constraint here is one the solve must
+/// also satisfy and resources/timing only tighten it further. Monotone in
+/// `ii` (larger II weakens every window edge), which is what makes
+/// min_feasible_ii a binary search. Implemented in sdc_scheduler.cpp next
+/// to the constraint-edge builder it shares with the SDC backend.
+bool ii_probe_feasible(const Problem& problem, const DependenceGraph& dg,
+                       int ii, int max_states);
+
+/// Smallest probe-feasible II in [lo, hi] (binary search over the
+/// monotone probe; per-candidate max_states is
+/// max(latency_max, candidate + 1), mirroring the driver's pipelined
+/// latency bound). Returns -1 when even `hi` is infeasible. Also enforces
+/// the recurrence bound: candidates below any SCC's scc_min_states are
+/// infeasible by definition.
+int min_feasible_ii(const Problem& problem, const DependenceGraph& dg,
+                    int lo, int hi, int latency_max);
+
 }  // namespace hls::sched

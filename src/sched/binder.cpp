@@ -616,15 +616,34 @@ void SolverHost::on_commit(OpId id, int pool, int inst, int e, int lat,
 
 void SolverHost::insert_active(OpId id) {
   active_.insert(po_.rank[id]);
+  // The newcomer may rank before the scan cursor without being deferred;
+  // the next pick_ready must see it.
+  ready_cursor_epoch_ = 0;
   if (p_.anchor_io && ir::is_io(dfg_.op(id).kind)) {
     step_anchored_.push_back(id);
   }
 }
 
 OpId SolverHost::pick_ready() const {
-  for (const int r : active_) {
+  // Resume after the last rank OBSERVED deferred in this epoch: erases
+  // cannot un-defer anything before the cursor, and inserts reset it, so
+  // skipping the prefix returns exactly what a full scan would. Without
+  // the cursor the bind loop is quadratic in the step's deferred set
+  // (every defer re-scans the whole marked prefix) — the second-hottest
+  // path of a large cold SDC solve.
+  auto it = ready_cursor_epoch_ == deferred_epoch_
+                ? active_.upper_bound(ready_cursor_rank_)
+                : active_.begin();
+  for (; it != active_.end(); ++it) {
+    const int r = *it;
     const OpId id = po_.order[static_cast<std::size_t>(r)];
-    if (deferred_mark_[id] == deferred_epoch_) continue;
+    if (deferred_mark_[id] == deferred_epoch_) {
+      // Known-deferred prefix grows: remember it. The op we RETURN is
+      // not part of it (the caller may still bind it).
+      ready_cursor_epoch_ = deferred_epoch_;
+      ready_cursor_rank_ = r;
+      continue;
+    }
     return id;
   }
   return kNoOp;

@@ -96,6 +96,10 @@ struct PassOutcome {
   /// backend only; 0 for the list backend).
   std::uint64_t commits = 0;
   std::uint64_t relax_steps = 0;
+  /// Static constraint-edge count of the pass's difference-constraint
+  /// system (SDC backend only; 0 for list passes). Surfaced per pass in
+  /// PassRecord::constraint_edges.
+  std::uint64_t constraint_edges = 0;
 };
 
 /// The shared binder: everything a constrained scheduling attempt needs
@@ -296,6 +300,14 @@ class SolverHost : public BindingEngine::Host {
   std::vector<std::uint32_t> deferred_mark_;
   std::vector<bool> defer_logged_;
   std::uint32_t deferred_epoch_ = 1;
+  /// pick_ready scan cursor: while the epoch matches deferred_epoch_,
+  /// every active rank <= ready_cursor_rank_ is deferred-marked at that
+  /// epoch, so scans resume past the prefix. insert_active invalidates
+  /// it (epoch 0 never matches; deferred_epoch_ starts at 1 and only
+  /// grows). Mutable: pick_ready is a const query whose result is
+  /// identical with or without the cursor.
+  mutable std::uint32_t ready_cursor_epoch_ = 0;
+  mutable int ready_cursor_rank_ = 0;
   PassTrace trace_;
 
  private:

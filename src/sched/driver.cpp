@@ -303,6 +303,8 @@ SchedulerResult run_relaxation_loop(
     rec.pass_number = pass;
     rec.num_steps = p.num_steps;
     rec.success = outcome.success;
+    rec.constraint_edges = outcome.constraint_edges;
+    rec.propagation_relaxations = outcome.relax_steps;
     for (const Restraint& r : outcome.restraints) {
       rec.restraints.push_back(r.to_string(dfg));
       if (is_memory_restraint(r.kind)) ++result.memory_restraints;
@@ -348,13 +350,16 @@ SchedulerResult run_relaxation_loop(
   return result;
 }
 
-}  // namespace
-
-SchedulerResult schedule_region(const ir::Dfg& dfg,
-                                const ir::LinearRegion& region,
-                                ir::LatencyBound latency,
-                                std::size_t num_ports,
-                                const SchedulerOptions& options) {
+/// One full scheduling run at a FIXED configuration (the entire former
+/// schedule_region): problem construction, recurrence bound, seeding,
+/// and the relaxation loop. The public schedule_region either forwards
+/// here directly or, under options.solve_min_ii, drives this once per
+/// candidate II.
+SchedulerResult schedule_region_impl(const ir::Dfg& dfg,
+                                     const ir::LinearRegion& region,
+                                     ir::LatencyBound latency,
+                                     std::size_t num_ports,
+                                     const SchedulerOptions& options) {
   const tech::Library& lib =
       options.lib != nullptr ? *options.lib : tech::artisan90();
   timing::TimingEngine eng(lib, options.tclk_ps, options.shared_delays);
@@ -499,6 +504,112 @@ SchedulerResult schedule_region(const ir::Dfg& dfg,
   }
   stamp_seed(result);
   return result;
+}
+
+}  // namespace
+
+SchedulerResult schedule_region(const ir::Dfg& dfg,
+                                const ir::LinearRegion& region,
+                                ir::LatencyBound latency,
+                                std::size_t num_ports,
+                                const SchedulerOptions& options) {
+  if (!options.solve_min_ii || !options.pipeline.enabled) {
+    return schedule_region_impl(dfg, region, latency, num_ports, options);
+  }
+
+  // ---- Minimum-II solving ----------------------------------------------
+  // Phase 1 (pure probe, no binding): binary-search the smallest II whose
+  // star-encoded difference-constraint system has a fixpoint within the
+  // reachable state counts (ii_probe_feasible is sound and monotone in
+  // II, backend.hpp). Phase 2: run full fixed-II solves upward from that
+  // candidate until one schedules — the probe is necessary, not
+  // sufficient (resources and timing can refuse a probe-feasible II), and
+  // the first candidate that fully schedules is by construction the
+  // minimum: every smaller II is either probe-infeasible or was attempted
+  // and failed. This matches an exhaustive II sweep's answer while
+  // skipping the sweep's infeasible prefix without running a single pass
+  // on it. Each candidate attempt gets the full option budget; the
+  // returned engine_commits/relax_steps accumulate the whole escalation.
+  const tech::Library& lib =
+      options.lib != nullptr ? *options.lib : tech::artisan90();
+  const int floor_ii = std::max(1, options.pipeline.ii);
+  SchedulerOptions probe_opts = options;
+  probe_opts.pipeline = {true, floor_ii};
+  Problem probe_p =
+      build_problem(dfg, region, latency, lib, options.tclk_ps,
+                    probe_opts.pipeline, num_ports, options.anchor_io,
+                    options.use_mutual_exclusivity, options.memory);
+  const DependenceGraph probe_dg = build_dependence_graph(probe_p);
+  const int hi = std::max(floor_ii, latency.max);
+  const int start = min_feasible_ii(probe_p, probe_dg, floor_ii, hi,
+                                    latency.max);
+
+  auto min_ii_record = [&](const std::string& text) {
+    PassRecord rec;
+    rec.pass_number = 0;
+    rec.action = text;
+    return rec;
+  };
+  auto no_feasible = [&](const std::string& detail) {
+    SchedulerResult r;
+    r.backend = resolve_backend(probe_p, probe_opts);
+    r.failure_code = "no_feasible_ii";
+    r.failure_reason = strf("no feasible initiation interval in [", floor_ii,
+                            ",", hi, "]: ", detail);
+    r.history.push_back(min_ii_record(r.failure_reason));
+    return r;
+  };
+  if (start < 0) {
+    return no_feasible(
+        "the difference-constraint system has no fixpoint within the "
+        "latency bound at any candidate II");
+  }
+
+  std::uint64_t commits = 0;
+  std::uint64_t relax = 0;
+  int attempts = 0;
+  for (int ii = start; ii <= hi; ++ii) {
+    // Re-probe each candidate (one Bellman-Ford, no binding) before
+    // paying for a full relaxation ladder. With the probe monotone in II
+    // this never fires after `start`, but it keeps the escalation sound
+    // under any future constraint family whose probe is not.
+    if (ii > start &&
+        !ii_probe_feasible(probe_p, probe_dg, ii,
+                           std::max(latency.max, ii + 1))) {
+      continue;
+    }
+    SchedulerOptions o2 = options;
+    o2.solve_min_ii = false;
+    o2.pipeline = {true, ii};
+    ++attempts;
+    SchedulerResult r =
+        schedule_region_impl(dfg, region, latency, num_ports, o2);
+    commits += r.engine_commits;
+    relax += r.relax_steps;
+    const bool out_of_budget =
+        r.failure_code == "budget_exhausted" || r.failure_code == "cancelled" ||
+        r.failure_code == "deadline_exceeded";
+    if (r.success || out_of_budget) {
+      r.engine_commits = commits;
+      r.relax_steps = relax;
+      if (r.success) {
+        r.min_ii = ii;
+        r.history.insert(
+            r.history.begin(),
+            min_ii_record(strf("min-II solve: probe-feasible from II=", start,
+                               ", solved at II=", ii, " (", attempts,
+                               " candidate attempt", attempts == 1 ? "" : "s",
+                               ")")));
+      }
+      return r;
+    }
+  }
+  SchedulerResult r = no_feasible(
+      strf("all ", attempts, " probe-feasible candidate(s) from II=", start,
+           " failed to schedule"));
+  r.engine_commits = commits;
+  r.relax_steps = relax;
+  return r;
 }
 
 }  // namespace hls::sched

@@ -132,6 +132,24 @@ struct SchedulerOptions {
   /// Record a ScheduleSeed for this run into SchedulerResult::seed_out on
   /// success (costs one trace copy per run; off by default).
   bool record_seed = false;
+
+  /// Solve for the minimum initiation interval instead of taking
+  /// pipeline.ii as given (pipelined regions only; ignored otherwise).
+  /// The driver probes II feasibility against the star-encoded
+  /// difference-constraint system (ii_probe_feasible, backend.hpp) with a
+  /// binary search starting at max(1, pipeline.ii), then runs full solves
+  /// upward from the smallest probe-feasible candidate until one
+  /// schedules; SchedulerResult::min_ii reports the solved II. Budget
+  /// limits apply to each candidate attempt; engine_commits/relax_steps
+  /// accumulate across attempts. No candidate feasible up to latency.max
+  /// fails with failure_code "no_feasible_ii".
+  bool solve_min_ii = false;
+
+  /// Use the legacy O(n^2) pairwise II-window encoding in the SDC backend
+  /// instead of the per-SCC anchor star. Schedules are bit-identical
+  /// across encodings (golden-suite enforced); this switch exists for
+  /// that A/B and as a reference implementation, not for production use.
+  bool sdc_pairwise_ii = false;
 };
 
 struct PassRecord {
@@ -143,6 +161,16 @@ struct PassRecord {
   /// True when `action` is a relaxation that was actually applied (false
   /// for the terminal "no applicable relaxation" narration).
   bool relaxed = false;
+
+  /// Constraint-system statistics (SDC backend; 0 for list passes).
+  /// `constraint_edges` is the static edge count of the pass's difference
+  /// constraint system — the figure the star encoding collapses from
+  /// O(n^2) to O(n) per SCC — and `propagation_relaxations` is the
+  /// Bellman-Ford edge-relaxation count the pass spent reaching its
+  /// fixpoints. Emitted by render_json ("constraint_stats") so encoding
+  /// regressions show up in bench artifacts, not only as wall-clock.
+  std::uint64_t constraint_edges = 0;
+  std::uint64_t propagation_relaxations = 0;
 };
 
 struct SchedulerResult {
@@ -178,6 +206,11 @@ struct SchedulerResult {
   /// window-miss) recorded across all passes; reported by render_report /
   /// render_json / ExplorePoint so memory-bound convergence is observable.
   int memory_restraints = 0;
+
+  /// Solved minimum initiation interval (options.solve_min_ii runs only):
+  /// the smallest II at which the region scheduled, also written into
+  /// schedule.pipeline.ii. 0 when min-II solving was off.
+  int min_ii = 0;
 
   /// Number of relaxation actions applied across all passes (Figure 9's
   /// driver of scheduling time, alongside the pass count).

@@ -437,8 +437,24 @@ int warm_start_frontier(const Problem& p, const Action& a,
       break;
     }
     case ActionKind::kMoveScc: {
+      // MoveScc only re-pins scc_window_start: the clamp enters through
+      // release()/deadline() of the SCC's MEMBERS (problem.cpp) and the
+      // spans of every other op are untouched. Under the star-encoded II
+      // windows nothing can diverge before the NEW window's earliest
+      // member entry: members seed their constraint bound at release(),
+      // non-member bounds move only through dependence edges from member
+      // results (>= release + latency) or through the SCC anchor, whose
+      // value is a function of member bounds — and every old-trace event
+      // such a move can invalidate FOLLOWS some member event in step
+      // order, which the first-member-event clamp below already covers.
+      // The legacy window-tail bound (deadline - latency) is sound for
+      // the same reasons; whichever is later wins, so warm passes after
+      // a window move replay the longest provably-safe prefix (members
+      // with latency >= II - 1 make the release bound the later one).
       const auto& members = p.sccs[static_cast<std::size_t>(a.scc)];
       std::vector<bool> is_member(p.dfg->size(), false);
+      int release_floor = p.num_steps;
+      int window_tail = p.num_steps;
       for (ir::OpId id : members) {
         is_member[id] = true;
         const int pool = p.resources.pool_of(id);
@@ -447,8 +463,10 @@ int warm_start_frontier(const Problem& p, const Action& a,
                 ? 0
                 : p.resources.pools[static_cast<std::size_t>(pool)]
                       .latency_cycles;
-        frontier = std::min(frontier, std::max(0, p.deadline(id) - lat));
+        release_floor = std::min(release_floor, std::max(0, p.release(id)));
+        window_tail = std::min(window_tail, std::max(0, p.deadline(id) - lat));
       }
+      frontier = std::min(frontier, std::max(release_floor, window_tail));
       for (const PassEvent& ev : trace.events) {
         if (ev.op != kNoOp && is_member[ev.op]) {
           frontier = std::min(frontier, ev.step);

@@ -8,41 +8,82 @@ namespace hls::sched {
 using ir::kNoOp;
 using ir::OpId;
 
-SdcScheduler::SdcScheduler(const Problem& p, const SchedulerOptions& options)
-    : SchedulerBackend(p, options), dg_(build_dependence_graph(p)) {
+namespace {
+
+/// Builds the static constraint adjacency for a problem at initiation
+/// interval `ii`: dependences, port write order, and — for pipelined
+/// problems — the II windows, star-encoded through one anchor variable
+/// per SCC (ids dfg.size() + scc_index) unless `pairwise` asks for the
+/// reference O(n^2) member-pair encoding. Shared between the SDC backend
+/// and the pure min-II feasibility probe so the two can never encode
+/// different systems. `num_vars` receives ops + anchors.
+std::vector<std::vector<SdcScheduler::Edge>> build_constraint_edges(
+    const Problem& p, const DependenceGraph& dg, int ii, bool pairwise,
+    std::size_t* num_vars) {
   const ir::Dfg& dfg = *p.dfg;
-  out_.assign(dfg.size(), {});
+  const bool star = p.pipeline.enabled && !pairwise;
+  const std::size_t vars = dfg.size() + (star ? p.sccs.size() : 0);
+  std::vector<std::vector<SdcScheduler::Edge>> out(vars);
   for (OpId id : p.ops) {
-    for (OpId d : dg_.deps[id]) {
+    for (OpId d : dg.deps[id]) {
       // x_consumer >= x_producer + latency: the result step of the
       // producer is the earliest chainable start of the consumer.
-      out_[d].push_back({id, p.pool_latency(d)});
+      out[d].push_back({id, p.pool_latency(d)});
     }
   }
   // Port write order: consecutive writes to one port may share a step
   // (when mutually exclusive) but never reorder.
   for (const auto& writes : p.port_writes) {
     for (std::size_t i = 1; i < writes.size(); ++i) {
-      out_[writes[i - 1]].push_back({writes[i], 0});
+      out[writes[i - 1]].push_back({writes[i], 0});
     }
   }
-  // II windows as pairwise difference constraints over result steps: for
-  // SCC members a != b, (x_b + lat_b) >= (x_a + lat_a) - (II - 1). SCCs
-  // are small (loop-carried accumulators), so the quadratic edge count is
-  // cheap, and the constraints move a whole SCC as one rigid-ish body
-  // during propagation instead of member by member.
-  if (p.pipeline.enabled) {
+  if (p.pipeline.enabled && !star) {
+    // Reference pairwise encoding (kept for the golden star/pairwise
+    // A/B): for SCC members a != b,
+    // (x_b + lat_b) >= (x_a + lat_a) - (II - 1).
     for (const auto& scc : p.sccs) {
       for (OpId a : scc) {
         for (OpId b : scc) {
           if (a == b) continue;
-          out_[a].push_back(
-              {b, p.pool_latency(a) - p.pool_latency(b) -
-                      (p.pipeline.ii - 1)});
+          out[a].push_back(
+              {b, p.pool_latency(a) - p.pool_latency(b) - (ii - 1)});
         }
       }
     }
+  } else if (star) {
+    // Star encoding: A_s >= x_a + lat_a for every member (the SCC's
+    // latest result step), x_b >= A_s - lat_b - (II - 1) back out.
+    // Composition through A_s reproduces every pairwise constraint
+    // exactly; the a == b composition is x_b >= x_b - (II - 1), vacuous
+    // for II >= 1. 2n edges per SCC instead of n(n - 1).
+    for (std::size_t s = 0; s < p.sccs.size(); ++s) {
+      const OpId anchor = static_cast<OpId>(dfg.size() + s);
+      for (OpId a : p.sccs[s]) {
+        out[a].push_back({anchor, p.pool_latency(a)});
+        out[anchor].push_back({a, -p.pool_latency(a) - (ii - 1)});
+      }
+    }
   }
+  if (num_vars != nullptr) *num_vars = vars;
+  return out;
+}
+
+int max_region_latency(const Problem& p) {
+  int lat = 0;
+  for (OpId id : p.ops) lat = std::max(lat, p.pool_latency(id));
+  return lat;
+}
+
+}  // namespace
+
+SdcScheduler::SdcScheduler(const Problem& p, const SchedulerOptions& options)
+    : SchedulerBackend(p, options), dg_(build_dependence_graph(p)) {
+  out_ = build_constraint_edges(p, dg_, p.pipeline.ii,
+                                options.sdc_pairwise_ii, &num_vars_);
+  anchor_base_ = p.dfg->size();
+  max_latency_ = max_region_latency(p);
+  for (const auto& edges : out_) edge_count_ += edges.size();
 }
 
 namespace {
@@ -51,8 +92,8 @@ namespace {
 // (longest path from the implicit source) gives every op its earliest
 // start `x_`; the solver walks the steps in order offering ready ops to
 // the shared BindingEngine in priority order exactly like the list pass,
-// but a failed step raises the op's lower bound and re-propagates it
-// through the constraint graph, so dependent ops and II-window partners
+// but a failed step raises the refused ops' lower bounds — batched into
+// one re-propagation per step — so dependent ops and II-window partners
 // are never attempted at steps the system already excludes. Binding,
 // restraints and the active-set/trace scaffolding are the shared
 // BindingEngine/SolverHost (binder.cpp); this file contributes only the
@@ -61,9 +102,22 @@ class SdcPass final : SolverHost {
  public:
   SdcPass(const Problem& p,
           const std::vector<std::vector<SdcScheduler::Edge>>& out,
+          std::size_t anchor_base, std::size_t num_vars, int max_latency,
           const DependenceGraph& dg, timing::TimingEngine& eng,
           const WarmStart* warm)
-      : SolverHost(p, dg, eng), out_(out), warm_(warm) {
+      : SolverHost(p, dg, eng),
+        out_(out),
+        warm_(warm),
+        anchor_base_(anchor_base),
+        num_vars_(num_vars),
+        // Anchors track result steps, which legitimately run past the op
+        // saturation point by up to the largest pool latency; clamping
+        // them at num_steps would weaken window constraints near the last
+        // states relative to the pairwise encoding (whose single-edge
+        // bound only clamps at the op). The slack keeps the clamp inert
+        // for every value reachable from op bounds while still cutting
+        // off pathological positive-cycle propagation.
+        anchor_cap_(p.num_steps + max_latency) {
     unmet_ = dg.base_unmet;
     avail_.assign(dfg_.size(), 0);
     solve_initial();
@@ -106,14 +160,18 @@ class SdcPass final : SolverHost {
  private:
   // ---- The difference-constraint core ---------------------------------------
 
-  /// Clamped add: x values saturate at num_steps ("no feasible start"),
-  /// which also bounds propagation in the (driver-precluded) event of a
-  /// positive cycle.
-  int saturate(int v) const { return std::min(v, p_.num_steps); }
+  bool is_anchor(OpId v) const {
+    return static_cast<std::size_t>(v) >= anchor_base_;
+  }
 
-  /// Incremental Bellman-Ford longest path: relaxes from the seeded ops
-  /// until the system is at its least fixpoint again. Appends every op
-  /// whose bound rose to `changed` (when given).
+  /// Incremental Bellman-Ford longest path: relaxes from the seeded
+  /// variables until the system is at its least fixpoint again. Appends
+  /// every OP whose bound rose to `changed` (when given); anchor
+  /// variables propagate but are never recorded — they have no bucket,
+  /// no binder state, and no deadline. Op bounds saturate at num_steps
+  /// ("no feasible start"); anchor bounds at num_steps + max pool
+  /// latency. Both clamps also bound propagation in the
+  /// (driver-precluded) event of a positive cycle.
   void relax(std::deque<OpId>& queue, std::vector<OpId>* changed) {
     while (!queue.empty()) {
       const OpId u = queue.front();
@@ -121,16 +179,19 @@ class SdcPass final : SolverHost {
       in_queue_[u] = 0;
       for (const SdcScheduler::Edge& edge : out_[u]) {
         ++relax_steps_;
-        const int bound = saturate(x_[u] + edge.weight);
+        const bool anchor = is_anchor(edge.to);
+        const int cap = anchor ? anchor_cap_ : p_.num_steps;
+        const int bound = std::min(x_[u] + edge.weight, cap);
         if (bound <= x_[edge.to]) continue;
         // A committed op's start is final; constraints that would move it
         // cannot fire (its partners took the bound into account when it
         // was placed, and the window check at bind time guards the rest).
-        if (binder_.scheduled(edge.to) || binder_.op_failed(edge.to)) {
+        if (!anchor &&
+            (binder_.scheduled(edge.to) || binder_.op_failed(edge.to))) {
           continue;
         }
         x_[edge.to] = bound;
-        if (changed != nullptr) changed->push_back(edge.to);
+        if (!anchor && changed != nullptr) changed->push_back(edge.to);
         if (!in_queue_[edge.to]) {
           in_queue_[edge.to] = 1;
           queue.push_back(edge.to);
@@ -140,8 +201,8 @@ class SdcPass final : SolverHost {
   }
 
   void solve_initial() {
-    x_.assign(dfg_.size(), 0);
-    in_queue_.assign(dfg_.size(), 0);
+    x_.assign(num_vars_, 0);
+    in_queue_.assign(num_vars_, 0);
     changed_mark_.assign(dfg_.size(), 0);
     std::deque<OpId> queue;
     for (OpId id : p_.ops) {
@@ -152,18 +213,10 @@ class SdcPass final : SolverHost {
     relax(queue, nullptr);
   }
 
-  /// Raises `id`'s lower bound to `step` and re-propagates. Changed ops
-  /// whose bound now excludes them from the active set are re-bucketed at
-  /// their new earliest step.
-  void raise_bound(OpId id, int step) {
-    if (x_[id] >= step) return;
-    x_[id] = saturate(step);
-    std::deque<OpId> queue{id};
-    in_queue_[id] = 1;
-    changed_scratch_.clear();
-    relax(queue, &changed_scratch_);
-    // relax() appends an op once per bound rise; re-bucket each changed
-    // op once (at its now-final bound), not once per rise.
+  /// Re-buckets every op in `changed_scratch_` once, at its now-final
+  /// bound. relax() appends an op once per bound rise; the epoch mark
+  /// dedups multi-rise ops.
+  void requeue_changed() {
     ++changed_epoch_;
     for (const OpId c : changed_scratch_) {
       if (changed_mark_[c] == changed_epoch_) continue;
@@ -247,17 +300,38 @@ class SdcPass final : SolverHost {
 
   void end_step(int e) {
     // Anchored ops are only eligible on their home step; everything else
-    // that could not bind here gets its lower bound raised — this is how
-    // resource conflicts enter the constraint system, and the propagation
-    // moves dependents and window partners before they are attempted.
+    // that could not bind here gets its lower bound raised to e + 1 —
+    // this is how resource conflicts enter the constraint system, and
+    // the propagation moves dependents and window partners before they
+    // are attempted. All the raises are batched into ONE Bellman-Ford
+    // wave: the least fixpoint of the system is independent of the
+    // relaxation order, so seeding every refused op at once reaches
+    // exactly the state the former one-wave-per-op cascade reached, at a
+    // fraction of the edge relaxations (each wave re-walked the shared
+    // downstream cone).
     for (OpId id : step_anchored_) active_.erase(po_.rank[id]);
     in_step_ = false;
     deferred_scratch_.clear();
     for (const int r : active_) {
       deferred_scratch_.push_back(po_.order[static_cast<std::size_t>(r)]);
     }
+    std::deque<OpId> queue;
     for (OpId id : deferred_scratch_) {
-      raise_bound(id, e + 1);
+      if (x_[id] >= e + 1) continue;
+      x_[id] = std::min(e + 1, p_.num_steps);
+      if (!in_queue_[id]) {
+        in_queue_[id] = 1;
+        queue.push_back(id);
+      }
+    }
+    changed_scratch_.clear();
+    relax(queue, &changed_scratch_);
+    // A refused op raised exactly to e + 1 stays in the active set and is
+    // retried next step; one whose bound the wave pushed further appears
+    // in `changed_scratch_` and is re-bucketed at its new earliest step
+    // (requeue_changed erases it from the active set first).
+    requeue_changed();
+    for (OpId id : deferred_scratch_) {
       if (x_[id] >= p_.num_steps) active_.erase(po_.rank[id]);
     }
   }
@@ -322,13 +396,16 @@ class SdcPass final : SolverHost {
 
   const std::vector<std::vector<SdcScheduler::Edge>>& out_;
   const WarmStart* warm_;
+  const std::size_t anchor_base_;  ///< first anchor variable id
+  const std::size_t num_vars_;     ///< ops + star anchors
+  const int anchor_cap_;           ///< anchor saturation (num_steps + max lat)
 
   std::vector<int> unmet_;
   std::vector<int> avail_;
-  std::vector<int> x_;          ///< constraint lower bound per op (start step)
+  std::vector<int> x_;  ///< constraint lower bound per variable (start step)
   std::vector<char> in_queue_;  ///< Bellman-Ford work-queue membership
   std::vector<OpId> changed_scratch_;
-  std::vector<std::uint32_t> changed_mark_;  ///< raise_bound dedup epochs
+  std::vector<std::uint32_t> changed_mark_;  ///< requeue dedup epochs
   std::uint32_t changed_epoch_ = 0;
   std::uint64_t relax_steps_ = 0;  ///< edge relaxations, for PassOutcome
   std::vector<OpId> deferred_scratch_;
@@ -344,8 +421,79 @@ class SdcPass final : SolverHost {
 
 PassOutcome SdcScheduler::run_pass(timing::TimingEngine& eng,
                                    const WarmStart* warm) {
-  SdcPass pass(problem_, out_, dg_, eng, warm);
-  return pass.run();
+  SdcPass pass(problem_, out_, anchor_base_, num_vars_, max_latency_, dg_,
+               eng, warm);
+  PassOutcome out = pass.run();
+  out.constraint_edges = edge_count_;
+  return out;
+}
+
+// ---- Minimum-II feasibility probe -----------------------------------------
+
+bool ii_probe_feasible(const Problem& p, const DependenceGraph& dg, int ii,
+                       int max_states) {
+  // Recurrence bound first: an SCC whose optimistic internal chain needs
+  // more states than II can never sit inside an II window, no matter
+  // where the window goes. This check is tighter than the unit-latency
+  // positive-cycle test below (it sees chaining against the clock
+  // period), so it prunes most infeasible candidates outright.
+  for (const auto& scc : p.sccs) {
+    if (scc_min_states(p, scc) > ii) return false;
+  }
+  std::size_t num_vars = 0;
+  const auto out =
+      build_constraint_edges(p, dg, ii, /*pairwise=*/false, &num_vars);
+  const int max_lat = max_region_latency(p);
+  std::vector<int> x(num_vars, 0);
+  std::vector<char> in_queue(num_vars, 0);
+  std::deque<OpId> queue;
+  for (OpId id : p.ops) {
+    x[id] = p.release(id);
+    in_queue[id] = 1;
+    queue.push_back(id);
+  }
+  const std::size_t anchor_base = p.dfg->size();
+  while (!queue.empty()) {
+    const OpId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    for (const SdcScheduler::Edge& edge : out[u]) {
+      const bool anchor = static_cast<std::size_t>(edge.to) >= anchor_base;
+      const int cap = anchor ? max_states + max_lat : max_states;
+      const int bound = std::min(x[u] + edge.weight, cap);
+      if (bound <= x[edge.to]) continue;
+      x[edge.to] = bound;
+      if (!in_queue[edge.to]) {
+        in_queue[edge.to] = 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  // Saturated op bound = no start step exists within the largest state
+  // count the expert could ever reach (positive cycles saturate too).
+  for (OpId id : p.ops) {
+    if (x[id] >= max_states) return false;
+  }
+  return true;
+}
+
+int min_feasible_ii(const Problem& p, const DependenceGraph& dg, int lo,
+                    int hi, int latency_max) {
+  if (lo > hi) return -1;
+  auto feasible = [&](int ii) {
+    return ii_probe_feasible(p, dg, ii, std::max(latency_max, ii + 1));
+  };
+  if (!feasible(hi)) return -1;
+  // Invariant: feasible(hi); probe monotone in II.
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 }  // namespace hls::sched

@@ -1,16 +1,32 @@
 // SDC scheduling backend (system of integer difference constraints).
 //
 // Dependences (x_u >= x_d + lat_d), release/deadline bounds from the
-// timing-aware life spans, the pipeline II window (for SCC members a, b:
-// x_b >= x_a + lat_a - lat_b - (II-1), both directions), and port write
-// order are formulated as difference constraints over the operations'
-// start steps and solved to the least fixpoint with an incremental
-// Bellman-Ford longest-path core (no external LP solver). Resource
-// conflicts enter the system dynamically: when the legalizing binder
-// cannot place an op at its current lower bound, the bound is raised by
-// one step and re-propagated incrementally, so every transitively
+// timing-aware life spans, the pipeline II windows, and port write order
+// are formulated as difference constraints over the operations' start
+// steps and solved to the least fixpoint with an incremental Bellman-Ford
+// longest-path core (no external LP solver). Resource conflicts enter the
+// system dynamically: when the legalizing binder cannot place an op at
+// its current lower bound, the end-of-step raise batches every refused
+// op's bound bump into ONE re-propagation, so every transitively
 // dependent op (and every II-window partner) moves with it before any
 // doomed binding attempt is made.
+//
+// II windows are star-encoded: each SCC gets one auxiliary anchor
+// variable A_s with edges a -> A_s (weight lat_a, so A_s >= x_a + lat_a
+// tracks the SCC's latest result step) and A_s -> b (weight
+// -lat_b - (II-1)). Composing the two reproduces the pairwise window
+// constraint (x_b + lat_b) >= (x_a + lat_a) - (II - 1) transitively for
+// every member pair — 2n edges per SCC instead of n(n-1) — and the least
+// fixpoint restricted to the op variables is IDENTICAL to the pairwise
+// encoding's at every quiescent point (the anchor's least value is
+// exactly max_a(x_a + lat_a); the a == b composition contributes the
+// vacuous x_b >= x_b - (II-1)). Schedules are therefore bit-exact across
+// encodings; the golden suite's star/pairwise A/B enforces it, with the
+// pairwise reference encoding kept reachable via
+// SchedulerOptions::sdc_pairwise_ii. Anchor variables never touch the
+// binder: they are not ops, are never bucketed, and saturate above
+// num_steps (by the largest pool latency) so clamping cannot weaken a
+// window constraint that an op-level clamp would have enforced exactly.
 //
 // Binding itself is the shared sched::BindingEngine (binder.hpp) — the
 // same component the list pass drives — so chaining/slack verdicts,
@@ -45,7 +61,9 @@ class SdcScheduler final : public SchedulerBackend {
   PassOutcome run_pass(timing::TimingEngine& eng,
                        const WarmStart* warm) override;
 
-  /// One difference constraint x_to >= x_from + weight.
+  /// One difference constraint x_to >= x_from + weight. `to` may be an
+  /// SCC anchor variable (ids dfg.size() .. dfg.size() + sccs.size() - 1
+  /// under the star encoding), never handed to the binder.
   struct Edge {
     ir::OpId to = ir::kNoOp;
     int weight = 0;
@@ -56,6 +74,10 @@ class SdcScheduler final : public SchedulerBackend {
   // dependence graph (binder.hpp's rules) and the static constraint edges.
   DependenceGraph dg_;
   std::vector<std::vector<Edge>> out_;  ///< constraint adjacency, by source
+  std::size_t anchor_base_ = 0;  ///< first anchor variable id (= dfg.size())
+  std::size_t num_vars_ = 0;     ///< ops + star anchors
+  int max_latency_ = 0;          ///< largest pool latency over region ops
+  std::uint64_t edge_count_ = 0;  ///< total constraint edges (PassRecord stat)
 };
 
 }  // namespace hls::sched

@@ -22,7 +22,8 @@ bool backend_from_name(std::string_view name, sched::BackendKind* out) {
   return true;
 }
 
-std::string default_curve(int latency, int ii) {
+std::string default_curve(int latency, int ii, bool solve_min_ii) {
+  if (solve_min_ii) return strf("pipelined-", latency, "-iimin");
   return strf(ii > 0 ? "pipelined-" : "sequential-", latency,
               ii > 0 ? strf("-ii", ii) : std::string());
 }
@@ -50,11 +51,16 @@ bool parse_point(const JsonValue& v, sched::BackendKind backend,
   cfg.tclk_ps = tclk->as_number();
   cfg.latency = static_cast<int>(latency->as_int());
   if (const JsonValue* ii = v.find("ii"); ii != nullptr) {
-    if (!ii->is_number() || ii->as_int() < 0) {
-      *error = "\"ii\" must be a non-negative number";
+    // "min" asks the scheduler to solve for the smallest feasible II
+    // (core::ExploreConfig::solve_min_ii) instead of pinning one.
+    if (ii->is_string() && ii->as_string() == "min") {
+      cfg.solve_min_ii = true;
+    } else if (!ii->is_number() || ii->as_int() < 0) {
+      *error = "\"ii\" must be a non-negative number or \"min\"";
       return false;
+    } else {
+      cfg.pipeline_ii = static_cast<int>(ii->as_int());
     }
-    cfg.pipeline_ii = static_cast<int>(ii->as_int());
   }
   cfg.backend = backend;
   if (const JsonValue* b = v.find("backend"); b != nullptr) {
@@ -67,7 +73,7 @@ bool parse_point(const JsonValue& v, sched::BackendKind backend,
       curve != nullptr && curve->is_string()) {
     cfg.curve = curve->as_string();
   } else {
-    cfg.curve = default_curve(cfg.latency, cfg.pipeline_ii);
+    cfg.curve = default_curve(cfg.latency, cfg.pipeline_ii, cfg.solve_min_ii);
   }
   *out = std::move(cfg);
   return true;
@@ -105,7 +111,24 @@ bool expand_grid(const JsonValue& grid, sched::BackendKind backend,
   std::vector<double> tclks, latencies, iis;
   if (!numbers("tclk_ps", true, &tclks)) return false;
   if (!numbers("latency", true, &latencies)) return false;
-  if (!numbers("ii", false, &iis)) return false;
+  // The II axis additionally accepts the string "min" (solve for the
+  // minimum feasible II at that grid point), carried as a -1 marker.
+  if (const JsonValue* a = grid.find("ii"); a != nullptr) {
+    if (!a->is_array() || a->size() == 0) {
+      *error = "\"grid.ii\" must be a non-empty array";
+      return false;
+    }
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (a->at(i).is_string() && a->at(i).as_string() == "min") {
+        iis.push_back(-1);
+      } else if (a->at(i).is_number() && a->at(i).as_int() >= 0) {
+        iis.push_back(a->at(i).as_number());
+      } else {
+        *error = "\"grid.ii\" must hold non-negative numbers or \"min\"";
+        return false;
+      }
+    }
+  }
   if (iis.empty()) iis.push_back(0);
   if (const JsonValue* b = grid.find("backend"); b != nullptr) {
     if (!b->is_string() || !backend_from_name(b->as_string(), &backend)) {
@@ -117,15 +140,17 @@ bool expand_grid(const JsonValue& grid, sched::BackendKind backend,
     for (double ii : iis) {
       for (double tclk : tclks) {
         core::ExploreConfig cfg;
-        if (!(tclk > 0) || latency < 1 || ii < 0) {
+        if (!(tclk > 0) || latency < 1) {
           *error = "grid values must be positive (ii may be 0)";
           return false;
         }
         cfg.tclk_ps = tclk;
         cfg.latency = static_cast<int>(latency);
-        cfg.pipeline_ii = static_cast<int>(ii);
+        cfg.solve_min_ii = ii < 0;  // the "min" marker
+        cfg.pipeline_ii = ii < 0 ? 0 : static_cast<int>(ii);
         cfg.backend = backend;
-        cfg.curve = default_curve(cfg.latency, cfg.pipeline_ii);
+        cfg.curve =
+            default_curve(cfg.latency, cfg.pipeline_ii, cfg.solve_min_ii);
         out->push_back(std::move(cfg));
       }
     }

@@ -179,7 +179,16 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
     w.key("curve"), w.value(pt.curve);
     w.key("tclk_ps"), w.value(pt.tclk_ps);
     w.key("latency"), w.value(static_cast<std::int64_t>(pt.latency));
-    w.key("ii"), w.value(static_cast<std::int64_t>(cfg.pipeline_ii));
+    // Min-II points echo the request form ("min") plus the solved II
+    // when the schedule stage was reached; fixed-II lines are unchanged.
+    if (cfg.solve_min_ii) {
+      w.key("ii"), w.value("min");
+      if (pt.min_ii > 0) {
+        w.key("min_ii"), w.value(static_cast<std::int64_t>(pt.min_ii));
+      }
+    } else {
+      w.key("ii"), w.value(static_cast<std::int64_t>(cfg.pipeline_ii));
+    }
     w.key("pipelined"), w.value(pt.pipelined);
     w.key("backend"), w.value(pt.backend);
     w.key("feasible"), w.value(pt.feasible);
@@ -209,7 +218,7 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
     pt.curve = cfg.curve;
     pt.tclk_ps = cfg.tclk_ps;
     pt.latency = cfg.latency;
-    pt.pipelined = cfg.pipeline_ii > 0;
+    pt.pipelined = cfg.pipeline_ii > 0 || cfg.solve_min_ii;
     pt.backend = sched::backend_name(cfg.backend);
     pt.failure = std::move(failure);
     pt.cancelled = cancelled;
@@ -421,8 +430,13 @@ void Server::drain(const std::function<void(const std::string& line)>& sink) {
         item.index = aj.next_point + i;
         item.cfg = &aj.req.points[item.index];
         item.session = aj.session.get();
-        item.key = TraceKey{aj.module_hash, item.cfg->pipeline_ii,
-                            item.cfg->latency, item.cfg->backend};
+        // Min-II points get their own key space (-1): their donor seeds
+        // carry the SOLVED II and must not be offered to fixed-II points
+        // (or vice versa) just because the request II matched.
+        item.key =
+            TraceKey{aj.module_hash,
+                     item.cfg->solve_min_ii ? -1 : item.cfg->pipeline_ii,
+                     item.cfg->latency, item.cfg->backend};
         if (options_.trace_cache) {
           const TraceCache::Hit hit =
               traces_.lookup(item.key, item.cfg->tclk_ps);

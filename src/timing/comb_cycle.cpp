@@ -1,22 +1,35 @@
 #include "timing/comb_cycle.hpp"
 
+#include <algorithm>
+
 #include "support/diagnostics.hpp"
 
 namespace hls::timing {
 
+void CombCycleGraph::ensure(int node) {
+  if (node >= static_cast<int>(adj_.size())) {
+    adj_.resize(static_cast<std::size_t>(node) + 1);
+    seen_.resize(static_cast<std::size_t>(node) + 1, 0);
+  }
+}
+
 bool CombCycleGraph::reachable(int from, int to) const {
   if (from == to) return true;
-  std::set<int> seen{from};
-  std::vector<int> work{from};
-  while (!work.empty()) {
-    const int v = work.back();
-    work.pop_back();
-    auto it = adj_.find(v);
-    if (it == adj_.end()) continue;
-    for (const auto& [w, count] : it->second) {
+  if (from >= static_cast<int>(adj_.size())) return false;
+  ++seen_epoch_;
+  seen_[static_cast<std::size_t>(from)] = seen_epoch_;
+  work_.clear();
+  work_.push_back(from);
+  while (!work_.empty()) {
+    const int v = work_.back();
+    work_.pop_back();
+    for (const auto& [w, count] : adj_[static_cast<std::size_t>(v)]) {
       if (count <= 0) continue;
       if (w == to) return true;
-      if (seen.insert(w).second) work.push_back(w);
+      if (seen_[static_cast<std::size_t>(w)] != seen_epoch_) {
+        seen_[static_cast<std::size_t>(w)] = seen_epoch_;
+        work_.push_back(w);
+      }
     }
   }
   return false;
@@ -28,29 +41,41 @@ bool CombCycleGraph::would_create_cycle(int from, int to) const {
 }
 
 void CombCycleGraph::add_edge(int from, int to) {
-  ++adj_[from][to];
+  ensure(std::max(from, to));
+  for (auto& [w, count] : adj_[static_cast<std::size_t>(from)]) {
+    if (w == to) {
+      ++count;
+      return;
+    }
+  }
+  adj_[static_cast<std::size_t>(from)].emplace_back(to, 1);
 }
 
 void CombCycleGraph::remove_edge(int from, int to) {
-  auto it = adj_.find(from);
-  HLS_ASSERT(it != adj_.end(), "remove_edge: no such edge");
-  auto jt = it->second.find(to);
-  HLS_ASSERT(jt != it->second.end() && jt->second > 0,
+  HLS_ASSERT(from < static_cast<int>(adj_.size()),
              "remove_edge: no such edge");
-  if (--jt->second == 0) it->second.erase(jt);
+  auto& edges = adj_[static_cast<std::size_t>(from)];
+  for (auto it = edges.begin(); it != edges.end(); ++it) {
+    if (it->first == to && it->second > 0) {
+      if (--it->second == 0) edges.erase(it);
+      return;
+    }
+  }
+  HLS_ASSERT(false, "remove_edge: no such edge");
 }
 
 bool CombCycleGraph::has_edge(int from, int to) const {
-  auto it = adj_.find(from);
-  if (it == adj_.end()) return false;
-  auto jt = it->second.find(to);
-  return jt != it->second.end() && jt->second > 0;
+  if (from >= static_cast<int>(adj_.size())) return false;
+  for (const auto& [w, count] : adj_[static_cast<std::size_t>(from)]) {
+    if (w == to) return count > 0;
+  }
+  return false;
 }
 
 std::size_t CombCycleGraph::num_edges() const {
   std::size_t n = 0;
-  for (const auto& [v, m] : adj_) {
-    for (const auto& [w, c] : m) {
+  for (const auto& edges : adj_) {
+    for (const auto& [w, c] : edges) {
       if (c > 0) ++n;
     }
   }

@@ -7,12 +7,17 @@
 // bindings entirely rather than reporting false paths to logic synthesis.
 //
 // CombCycleGraph tracks chaining edges between resource instances across
-// all states and answers "would adding this edge close a cycle?".
+// all states and answers "would adding this edge close a cycle?". The
+// query runs once per chaining candidate inside BindingEngine::try_bind —
+// the single hottest path of a large cold solve — so the graph is stored
+// as dense adjacency indexed by instance id with an epoch-stamped visited
+// scratch: no per-query allocation, no tree lookups. Instance ids are
+// small dense integers (alloc::InstanceNumbering), so the dense storage
+// is what the id space was designed for.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <utility>
 #include <vector>
 
 namespace hls::timing {
@@ -35,7 +40,15 @@ class CombCycleGraph {
 
  private:
   bool reachable(int from, int to) const;
-  std::map<int, std::map<int, int>> adj_;  ///< from -> to -> multiplicity
+  void ensure(int node);
+
+  /// adj_[from] = (to, multiplicity) pairs; degrees are tiny (an
+  /// instance chains into a handful of others), so linear scans beat any
+  /// tree or hash per edge mutation.
+  std::vector<std::vector<std::pair<int, int>>> adj_;
+  mutable std::vector<std::uint32_t> seen_;  ///< visited iff == seen_epoch_
+  mutable std::uint32_t seen_epoch_ = 0;
+  mutable std::vector<int> work_;  ///< DFS stack scratch
 };
 
 }  // namespace hls::timing

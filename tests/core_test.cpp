@@ -99,6 +99,27 @@ TEST(Flow, RecurrenceBoundsTheFeasibleII) {
   EXPECT_TRUE(r8.success) << r8.failure_reason;
 }
 
+TEST(Flow, MinIiSolveFindsTheRecurrenceBound) {
+  // solve_min_ii walks the flow to the smallest feasible II instead of
+  // demanding one up front. On EWF that lands within the recurrence
+  // bound the fixed-II test above brackets (1 infeasible, 12 feasible).
+  FlowOptions o;
+  o.solve_min_ii = true;
+  o.backend = sched::BackendKind::kSdc;  // constraint stats come from SDC
+  auto r = run_flow(workloads::make_ewf(), o);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.sched.min_ii, 1);
+  EXPECT_LE(r.sched.min_ii, 12);
+  EXPECT_EQ(r.sched.schedule.pipeline.ii, r.sched.min_ii);
+  // The solved II reaches the report surfaces.
+  const std::string rep = render_report(r);
+  EXPECT_NE(rep.find("minimum II solve"), std::string::npos);
+  const std::string json = render_json(r);
+  EXPECT_NE(json.find("\"min_ii\":" + std::to_string(r.sched.min_ii)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"constraint_stats\""), std::string::npos);
+}
+
 TEST(Flow, Idct8BothMicroarchitectures) {
   FlowOptions seq;
   seq.latency_min = 8;

@@ -460,5 +460,67 @@ TEST(ServeStatsCounters, ShedRetryAndCancelReachTheStatsLine) {
   EXPECT_NE(stats_line.find("\"faults_injected\":1"), std::string::npos);
 }
 
+// ---- Job parsing: the "min" II form ----------------------------------------
+
+TEST(JobParsing, PointIiMinRequestsMinimumIiSolve) {
+  std::vector<JobRequest> jobs;
+  std::vector<std::string> errors;
+  ASSERT_TRUE(parse_jobs(
+      R"({"id": 7, "workload": "ewf",
+          "points": [{"tclk_ps": 1800, "latency": 16, "ii": "min"},
+                     {"tclk_ps": 1800, "latency": 16, "ii": 4}]})",
+      &jobs, &errors));
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(jobs[0].points.size(), 2u);
+  EXPECT_TRUE(jobs[0].points[0].solve_min_ii);
+  EXPECT_EQ(jobs[0].points[0].pipeline_ii, 0);
+  EXPECT_EQ(jobs[0].points[0].curve, "pipelined-16-iimin");
+  EXPECT_FALSE(jobs[0].points[1].solve_min_ii);
+  EXPECT_EQ(jobs[0].points[1].pipeline_ii, 4);
+}
+
+TEST(JobParsing, GridIiAxisMixesNumbersAndMin) {
+  std::vector<JobRequest> jobs;
+  std::vector<std::string> errors;
+  ASSERT_TRUE(parse_jobs(
+      R"({"id": 3, "workload": "ewf",
+          "grid": {"tclk_ps": [1600, 1800], "latency": [16],
+                   "ii": [0, "min"]}})",
+      &jobs, &errors));
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  ASSERT_EQ(jobs.size(), 1u);
+  // latency-major, then II, then tclk: both fixed-II points first.
+  ASSERT_EQ(jobs[0].points.size(), 4u);
+  EXPECT_FALSE(jobs[0].points[0].solve_min_ii);
+  EXPECT_FALSE(jobs[0].points[1].solve_min_ii);
+  EXPECT_TRUE(jobs[0].points[2].solve_min_ii);
+  EXPECT_TRUE(jobs[0].points[3].solve_min_ii);
+  EXPECT_EQ(jobs[0].points[2].pipeline_ii, 0);
+  EXPECT_EQ(jobs[0].points[2].curve, "pipelined-16-iimin");
+  EXPECT_DOUBLE_EQ(jobs[0].points[2].tclk_ps, 1600);
+  EXPECT_DOUBLE_EQ(jobs[0].points[3].tclk_ps, 1800);
+}
+
+TEST(JobParsing, MalformedIiIsRejectedWithTheStructuredMessage) {
+  std::vector<JobRequest> jobs;
+  std::vector<std::string> errors;
+  ASSERT_TRUE(parse_jobs(
+      R"([{"id": 1, "workload": "ewf",
+           "points": [{"tclk_ps": 1800, "latency": 16, "ii": "max"}]},
+          {"id": 2, "workload": "ewf",
+           "grid": {"tclk_ps": [1800], "latency": [16], "ii": [-2]}}])",
+      &jobs, &errors));
+  EXPECT_TRUE(jobs.empty());
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("\"ii\" must be a non-negative number or \"min\""),
+            std::string::npos)
+      << errors[0];
+  EXPECT_NE(
+      errors[1].find("\"grid.ii\" must hold non-negative numbers or \"min\""),
+      std::string::npos)
+      << errors[1];
+}
+
 }  // namespace
 }  // namespace hls::serve
