@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Fit the scheduler cost model from committed bench baselines.
+
+Reads the signals CI already collects and regenerates the committed
+coefficient file the C++ cost model compiles in
+(src/core/cost_model_coeffs.inc):
+
+ * bench/baseline_scheduler.json — the per-size ns-per-pass sweeps
+   (schedule_ns_per_pass, _sdc, _sdc_warm) fit the per-backend power laws
+   ns_per_pass = a * ops^e in log-log space, and backend_explore fixes
+   the mean passes-per-point prior.
+ * bench/baseline_explore.json — bench_explore_guided's recurrence A/B
+   (list vs SDC wall-clock on recurrence-bearing pipelined grids, where
+   both backends take IDENTICAL pass counts through the shared expert
+   ladder) fits the SDC recurrence discount — the observed-over-
+   feed-forward correction — and the affordability bound; its memory A/B
+   fits the per-memory-pool pass bump.
+
+The output is deterministic: same inputs, same bytes. Re-fit after
+regenerating either baseline:
+
+    python3 bench/fit_cost_model.py
+
+Until the first bench_explore_guided baseline is committed,
+--bootstrap substitutes neutral recurrence/memory coefficients (discount
+1.0, affordability 1.5, no memory bump) and records that in the
+provenance header.
+"""
+import argparse
+import json
+import math
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fit_power_law(points):
+    """Least-squares fit of y = a * x^e in log-log space.
+
+    `points` is a list of (x, y) with x, y > 0. Returns (a, e).
+    """
+    if len(points) < 2:
+        raise ValueError("power-law fit needs at least two points")
+    lx = [math.log(x) for x, _ in points]
+    ly = [math.log(y) for _, y in points]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    e = sxy / sxx
+    a = math.exp(my - e * mx)
+    return a, e
+
+
+def sweep_points(doc, key):
+    entries = doc.get(key)
+    if not isinstance(entries, list) or not entries:
+        raise KeyError(f"baseline_scheduler.json: missing sweep '{key}'")
+    out = []
+    for entry in entries:
+        if not entry.get("success", False):
+            # A failed sweep point's timing is meaningless; skip it rather
+            # than let it bend the law.
+            continue
+        out.append((float(entry["ops"]), float(entry["ns_per_pass"])))
+    if len(out) < 2:
+        raise ValueError(f"baseline_scheduler.json: '{key}' has < 2 "
+                         "successful points")
+    return out
+
+
+def base_passes(doc):
+    entries = doc.get("backend_explore")
+    if not isinstance(entries, list) or not entries:
+        raise KeyError("baseline_scheduler.json: missing 'backend_explore'")
+    ratios = []
+    for entry in entries:
+        feasible = entry.get("feasible", 0)
+        if feasible > 0:
+            ratios.append(float(entry["passes"]) / float(feasible))
+    if not ratios:
+        raise ValueError("baseline_scheduler.json: backend_explore has no "
+                         "feasible points")
+    return sum(ratios) / len(ratios)
+
+
+def fit_recurrence(explore_doc, laws):
+    """Fits the SDC recurrence discount and affordability bound.
+
+    The recurrence A/B measures list vs SDC wall-clock on pipelined
+    grids whose pass counts are identical (shared expert ladder), so
+    each entry's sdc_seconds/list_seconds IS the observed per-pass cost
+    ratio rho(n). The discount is rho(n) over the feed-forward warm
+    ratio the sweep laws predict at that size, fitted as c * n^g; the
+    affordability bound is the largest observed rho — the per-pass
+    overhead band within which the A/B saw SDC stay wall-clock
+    competitive on recurrences.
+    """
+    entries = explore_doc.get("recurrence_ab")
+    if not isinstance(entries, list) or not entries:
+        raise KeyError("baseline_explore.json: missing 'recurrence_ab'")
+    (list_a, list_e) = laws["list"]
+    (warm_a, warm_e) = laws["sdc_warm"]
+    discount_points = []
+    rhos = []
+    sizes = []
+    for entry in entries:
+        n = float(entry["ops"])
+        list_s = float(entry["list_seconds"])
+        sdc_s = float(entry["sdc_seconds"])
+        if entry["list_passes"] != entry["sdc_passes"]:
+            raise ValueError(
+                "baseline_explore.json: recurrence_ab entry at "
+                f"{int(n)} ops has unequal pass counts "
+                f"({entry['list_passes']} vs {entry['sdc_passes']}); the "
+                "wall ratio is only a per-pass ratio when passes match")
+        if list_s <= 0 or sdc_s <= 0:
+            raise ValueError("baseline_explore.json: non-positive seconds "
+                             f"in recurrence_ab at {int(n)} ops")
+        rho = sdc_s / list_s
+        ff_ratio = (warm_a * n ** warm_e) / (list_a * n ** list_e)
+        discount_points.append((n, rho / ff_ratio))
+        rhos.append(rho)
+        sizes.append(int(n))
+    c, g = fit_power_law(discount_points)
+    return c, g, max(rhos), sizes
+
+
+def fit_memory_bump(explore_doc):
+    """Per-memory-pool pass bump from the memory-aware vs blind A/B."""
+    ab = explore_doc.get("memory_ab")
+    if not isinstance(ab, dict):
+        raise KeyError("baseline_explore.json: missing 'memory_ab'")
+    pools = int(ab["pools"])
+    aware = float(ab["passes_aware"])
+    blind = float(ab["passes_blind"])
+    if pools <= 0 or blind <= 0:
+        raise ValueError("baseline_explore.json: memory_ab needs positive "
+                         "'pools' and 'passes_blind'")
+    return max(0.0, (aware / blind - 1.0) / pools)
+
+
+def emit(out_path, laws, mean_passes, recurrence, memory_bump, provenance):
+    (list_a, list_e) = laws["list"]
+    (warm_a, warm_e) = laws["sdc_warm"]
+    (cold_a, cold_e) = laws["sdc_cold"]
+    (disc_c, disc_g, affordability, _sizes) = recurrence
+
+    def lit(v):
+        return repr(float(v))
+
+    lines = [
+        "// Generated by bench/fit_cost_model.py — DO NOT EDIT BY HAND.",
+        "// Re-fit with:  python3 bench/fit_cost_model.py",
+        "// (see docs/EXPLORE.md, \"Re-fitting the cost model\").",
+        "//",
+    ]
+    for p in provenance:
+        lines.append(f"// {p}")
+    lines += [
+        "",
+        "// Per-backend per-pass cost laws, ns_per_pass = a * ops^e,",
+        "// least-squares in log-log space over the committed feed-forward",
+        "// sweep (bench/baseline_scheduler.json).",
+        f"inline constexpr double kListPassA = {lit(list_a)};",
+        f"inline constexpr double kListPassE = {lit(list_e)};",
+        f"inline constexpr double kSdcWarmPassA = {lit(warm_a)};",
+        f"inline constexpr double kSdcWarmPassE = {lit(warm_e)};",
+        f"inline constexpr double kSdcColdPassA = {lit(cold_a)};",
+        f"inline constexpr double kSdcColdPassE = {lit(cold_e)};",
+        "",
+        "// Observed-over-feed-forward SDC correction on recurrence-bearing",
+        "// pipelined problems, discount(n) = c * n^g (bench_explore_guided",
+        "// recurrence A/B; pass counts are identical across backends there,",
+        "// so wall ratios are per-pass ratios).",
+        f"inline constexpr double kSdcRecurrenceDiscountC = {lit(disc_c)};",
+        f"inline constexpr double kSdcRecurrenceDiscountG = {lit(disc_g)};",
+        "",
+        "// Largest per-pass overhead the recurrence A/B observed SDC",
+        "// repaying on recurrence grids — the affordability bound",
+        "// model_prefers_sdc compares predicted ratios against.",
+        f"inline constexpr double kSdcAffordability = {lit(affordability)};",
+        "",
+        "// Mean scheduling passes per explore point (backend_explore",
+        "// aggregate) and the extra passes each memory pool costs on top",
+        "// (memory-aware vs blind A/B).",
+        f"inline constexpr double kBasePasses = {lit(mean_passes)};",
+        f"inline constexpr double kMemoryPoolPassBump = {lit(memory_bump)};",
+        "",
+    ]
+    with open(out_path, "w") as f:
+        f.write("\n".join(lines))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument(
+        "--scheduler-baseline",
+        default=os.path.join(REPO, "bench", "baseline_scheduler.json"))
+    ap.add_argument(
+        "--explore-baseline",
+        default=os.path.join(REPO, "bench", "baseline_explore.json"))
+    ap.add_argument(
+        "--out",
+        default=os.path.join(REPO, "src", "core", "cost_model_coeffs.inc"))
+    ap.add_argument(
+        "--bootstrap", action="store_true",
+        help="tolerate a missing explore baseline; emit neutral "
+             "recurrence/memory coefficients")
+    args = ap.parse_args()
+
+    with open(args.scheduler_baseline) as f:
+        sched_doc = json.load(f)
+    laws = {
+        "list": fit_power_law(sweep_points(sched_doc, "schedule_ns_per_pass")),
+        "sdc_warm": fit_power_law(
+            sweep_points(sched_doc, "schedule_ns_per_pass_sdc_warm")),
+        "sdc_cold": fit_power_law(
+            sweep_points(sched_doc, "schedule_ns_per_pass_sdc")),
+    }
+    mean_passes = base_passes(sched_doc)
+    provenance = [
+        "Inputs: bench/baseline_scheduler.json "
+        f"(sweep sizes {sorted(int(x) for x, _ in sweep_points(sched_doc, 'schedule_ns_per_pass'))})",
+    ]
+
+    if os.path.exists(args.explore_baseline):
+        with open(args.explore_baseline) as f:
+            explore_doc = json.load(f)
+        recurrence = fit_recurrence(explore_doc, laws)
+        memory_bump = fit_memory_bump(explore_doc)
+        provenance.append(
+            "        bench/baseline_explore.json "
+            f"(recurrence A/B sizes {recurrence[3]})")
+    elif args.bootstrap:
+        recurrence = (1.0, 0.0, 1.5, [])
+        memory_bump = 0.0
+        provenance.append(
+            "        BOOTSTRAP: no bench/baseline_explore.json yet; "
+            "neutral recurrence discount (1.0), affordability 1.5, "
+            "no memory bump")
+    else:
+        print(
+            f"fit_cost_model: {args.explore_baseline} not found "
+            "(run bench_explore_guided and commit its BENCH_explore.json, "
+            "or pass --bootstrap)", file=sys.stderr)
+        return 2
+
+    emit(args.out, laws, mean_passes, recurrence, memory_bump, provenance)
+    rel = os.path.relpath(args.out, REPO)
+    print(f"fit_cost_model: wrote {rel}")
+    print(f"  list:      ns/pass = {laws['list'][0]:.1f} * n^{laws['list'][1]:.4f}")
+    print(f"  sdc warm:  ns/pass = {laws['sdc_warm'][0]:.1f} * n^{laws['sdc_warm'][1]:.4f}")
+    print(f"  sdc cold:  ns/pass = {laws['sdc_cold'][0]:.1f} * n^{laws['sdc_cold'][1]:.4f}")
+    print(f"  recurrence discount = {recurrence[0]:.4f} * n^{recurrence[1]:.4f}"
+          f", affordability = {recurrence[2]:.4f}")
+    print(f"  base passes = {mean_passes:.3f}, memory pool bump = {memory_bump:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

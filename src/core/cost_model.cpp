@@ -1,0 +1,62 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hls::core {
+
+namespace coeffs {
+#include "core/cost_model_coeffs.inc"
+}  // namespace coeffs
+
+namespace {
+
+double power_law(double a, double e, std::size_t ops) {
+  // Clamp to one op: the laws were fitted on 100..6400-op designs and a
+  // zero-op region would otherwise predict a zero (list) or infinite
+  // (negative-exponent discount) cost.
+  const double n = static_cast<double>(std::max<std::size_t>(ops, 1));
+  return a * std::pow(n, e);
+}
+
+}  // namespace
+
+double predicted_ns_per_pass(const CostFeatures& features, bool sdc) {
+  if (!sdc) {
+    return power_law(coeffs::kListPassA, coeffs::kListPassE, features.ops);
+  }
+  double ns = features.warm_start
+                  ? power_law(coeffs::kSdcWarmPassA, coeffs::kSdcWarmPassE,
+                              features.ops)
+                  : power_law(coeffs::kSdcColdPassA, coeffs::kSdcColdPassE,
+                              features.ops);
+  if (features.pipelined && features.recurrences > 0) {
+    // The feed-forward sweep overstates SDC on recurrence problems: II
+    // windows bound the constraint graph the Bellman-Ford propagation
+    // walks, so the observed per-pass ratio CLOSES with size instead of
+    // widening (the committed recurrence A/B). The discount is that
+    // observed-over-feed-forward correction.
+    ns *= power_law(coeffs::kSdcRecurrenceDiscountC,
+                    coeffs::kSdcRecurrenceDiscountG, features.ops);
+  }
+  return ns;
+}
+
+double predicted_passes(const CostFeatures& features) {
+  return coeffs::kBasePasses *
+         (1.0 + coeffs::kMemoryPoolPassBump *
+                    static_cast<double>(features.memory_pools));
+}
+
+double predicted_cost_ns(const CostFeatures& features, bool sdc) {
+  return predicted_ns_per_pass(features, sdc) * predicted_passes(features);
+}
+
+bool model_prefers_sdc(const CostFeatures& features) {
+  if (!features.pipelined || features.recurrences == 0) return false;
+  return predicted_ns_per_pass(features, /*sdc=*/true) <=
+         coeffs::kSdcAffordability *
+             predicted_ns_per_pass(features, /*sdc=*/false);
+}
+
+}  // namespace hls::core

@@ -1,0 +1,66 @@
+// The fitted scheduling cost model: deterministic per-pass and per-point
+// cost predictions keyed on problem shape, consulted by
+// sched::resolve_backend (backend auto-selection) and the model-guided
+// explore engine (best-first chain ordering).
+//
+// The model is FITTED OFFLINE from the signals CI already collects —
+// the per-size ns-per-pass sweeps and backend A/Bs in
+// BENCH_scheduler.json / BENCH_explore.json — by bench/fit_cost_model.py,
+// which regenerates the committed coefficient file
+// src/core/cost_model_coeffs.inc (provenance in its header; re-fit
+// instructions in docs/EXPLORE.md). At runtime the model is a pure
+// function of its features: same features, same prediction, on every
+// machine — predictions ORDER work and PICK backends, they never gate
+// results, so a stale fit can cost wall-clock but can never change what
+// any run produces.
+//
+// This header is deliberately dependency-free (no sched/ or core/ types)
+// so both the scheduler layer below and the explore layer above can
+// consult one model without an include cycle.
+#pragma once
+
+#include <cstddef>
+
+namespace hls::core {
+
+/// Problem-shape features the cost model reads. Everything is available
+/// before scheduling starts: op count, recurrence structure (the
+/// region-restricted SCCs of a pipelined problem), memory pools, and the
+/// warm-start switch (cold SDC passes obey a much steeper law).
+struct CostFeatures {
+  std::size_t ops = 0;
+  bool pipelined = false;
+  /// Region-restricted SCC count (0 for feed-forward / sequential
+  /// problems; recurrence-bearing pipelined problems have >= 1).
+  std::size_t recurrences = 0;
+  /// Memory pools under constraint (0 when memory-blind or the design
+  /// has no arrays); each pool adds bank/port/window restraint passes.
+  std::size_t memory_pools = 0;
+  /// SchedulerOptions::warm_start — selects the warm or cold SDC law.
+  bool warm_start = true;
+};
+
+/// Predicted cost of one scheduling pass in nanoseconds, per backend
+/// (`sdc` false = the list backend). Power laws fitted from the
+/// feed-forward sweep, with the fitted recurrence discount applied to
+/// SDC on recurrence-bearing pipelined problems.
+double predicted_ns_per_pass(const CostFeatures& features, bool sdc);
+
+/// Predicted pass count for one configuration (the fitted mean passes
+/// per explore point, bumped per constrained memory pool). A prior for
+/// ORDERING work — actual pass counts depend on the relaxation ladder.
+double predicted_passes(const CostFeatures& features);
+
+/// Predicted total scheduling cost of one configuration in nanoseconds:
+/// predicted_ns_per_pass * predicted_passes.
+double predicted_cost_ns(const CostFeatures& features, bool sdc);
+
+/// The backend auto-selection rule: true when the model predicts the SDC
+/// backend's per-pass cost stays within the fitted affordability bound
+/// of the list backend's. Only recurrence-bearing pipelined problems
+/// ever prefer SDC — the constraint system earns its constant-factor
+/// overhead by moving whole SCC bodies per window action, a benefit
+/// feed-forward problems cannot collect (sched::resolve_backend).
+bool model_prefers_sdc(const CostFeatures& features);
+
+}  // namespace hls::core

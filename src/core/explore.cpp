@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include "core/cost_model.hpp"
 #include "support/diagnostics.hpp"
 
 namespace hls::core {
@@ -52,6 +55,10 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
     pt.relaxations = r.sched.relaxations();
     pt.seed_use = sched::seed_use_name(r.sched.seed_use);
     pt.memory_restraints = r.sched.memory_restraints;
+    for (const sched::PassRecord& rec : r.sched.history) {
+      pt.constraint_edges += rec.constraint_edges;
+      pt.propagation_relaxations += rec.propagation_relaxations;
+    }
     for (const alloc::ResourcePool& pool : r.sched.schedule.resources.pools) {
       if (!pool.is_memory) continue;
       pt.mem_banks += pool.banks;
@@ -87,6 +94,104 @@ ExplorePoint run_point(const FlowSession& session, const ExploreConfig& cfg,
   return pt;
 }
 
+bool proves_infeasibility(const ExplorePoint& point) {
+  if (point.feasible || point.cancelled) return false;
+  return point.failure.rfind("[schedule/infeasible]", 0) == 0 ||
+         point.failure.rfind("[schedule/no_feasible_ii]", 0) == 0;
+}
+
+std::string explore_chain_key(const ExploreConfig& cfg) {
+  // '\x1f' (unit separator) fences the free-form curve name off from the
+  // numeric fields; everything after it is numeric, so keys are
+  // collision-free. tclk_ps is deliberately absent — it is the chain's
+  // ladder axis.
+  return strf(cfg.curve, '\x1f', cfg.latency, '|', cfg.pipeline_ii, '|',
+              cfg.solve_min_ii, '|', static_cast<int>(cfg.backend), '|',
+              cfg.memory_aware, '|', cfg.budget.max_passes, '|',
+              cfg.budget.max_commits, '|', cfg.budget.max_relax_steps, '|',
+              cfg.budget.deadline_seconds);
+}
+
+double predicted_config_cost_ns(const FlowSession& session,
+                                const ExploreConfig& cfg) {
+  CostFeatures features;
+  features.ops = session.module().thread.dfg.size();
+  features.pipelined = cfg.pipeline_ii > 0 || cfg.solve_min_ii;
+  // Recurrence *presence* prior: the region-restricted SCCs are only
+  // computed once scheduling builds its Problem, and for ordering all
+  // the model needs is whether the recurrence discount can apply.
+  features.recurrences = features.pipelined ? 1 : 0;
+  features.memory_pools =
+      cfg.memory_aware ? session.memory().arrays.size() : 0;
+  bool sdc = false;
+  switch (cfg.backend) {
+    case sched::BackendKind::kSdc: sdc = true; break;
+    case sched::BackendKind::kList: sdc = false; break;
+    case sched::BackendKind::kAuto: sdc = model_prefers_sdc(features); break;
+  }
+  return predicted_cost_ns(features, sdc);
+}
+
+namespace {
+
+/// One clock ladder: the guided engine's unit of dispatch, seed sharing
+/// and pruning.
+struct GuidedChain {
+  std::vector<std::size_t> order;  ///< config indices, loosest tclk first
+  double cost = 0;                 ///< summed predicted ns (LPT dispatch)
+  std::size_t anchor = 0;          ///< smallest config index (tie-break)
+};
+
+std::vector<GuidedChain> build_guided_chains(
+    const FlowSession& session, const std::vector<ExploreConfig>& configs) {
+  // std::map keeps grouping deterministic; final chain order is fixed by
+  // the (cost, anchor) sort below regardless of container choice.
+  std::map<std::string, std::size_t> by_key;
+  std::vector<GuidedChain> chains;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto [it, inserted] =
+        by_key.emplace(explore_chain_key(configs[i]), chains.size());
+    if (inserted) chains.emplace_back();
+    GuidedChain& chain = chains[it->second];
+    chain.order.push_back(i);
+    chain.cost += predicted_config_cost_ns(session, configs[i]);
+  }
+  for (GuidedChain& chain : chains) {
+    chain.anchor = *std::min_element(chain.order.begin(), chain.order.end());
+    // Loosest clock first (the cheapest end of the ladder and the
+    // dominance witness's side); equal clocks keep config order, so
+    // exact-config duplicates replay off the first occurrence.
+    std::stable_sort(chain.order.begin(), chain.order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (configs[a].tclk_ps != configs[b].tclk_ps) {
+                         return configs[a].tclk_ps > configs[b].tclk_ps;
+                       }
+                       return a < b;
+                     });
+  }
+  // Longest-predicted-first across chains bounds the parallel makespan
+  // (LPT); the anchor tie-break keeps the order deterministic when the
+  // model prices two chains identically.
+  std::sort(chains.begin(), chains.end(),
+            [](const GuidedChain& a, const GuidedChain& b) {
+              if (a.cost != b.cost) return a.cost > b.cost;
+              return a.anchor < b.anchor;
+            });
+  return chains;
+}
+
+}  // namespace
+
+std::vector<std::size_t> guided_order(
+    const FlowSession& session, const std::vector<ExploreConfig>& configs) {
+  std::vector<std::size_t> order;
+  order.reserve(configs.size());
+  for (const GuidedChain& chain : build_guided_chains(session, configs)) {
+    order.insert(order.end(), chain.order.begin(), chain.order.end());
+  }
+  return order;
+}
+
 std::vector<ExplorePoint> explore(const FlowSession& session,
                                   const std::vector<ExploreConfig>& configs,
                                   const ExploreOptions& options) {
@@ -111,6 +216,82 @@ std::vector<ExplorePoint> explore(const FlowSession& session,
     options.progress(pt, ++completed, configs.size());
   };
 
+  std::vector<std::exception_ptr> errors(configs.size());
+
+  if (options.guided || options.prune) {
+    // Model-guided engine: chains are the work units. All cross-thread
+    // state is per-chain and chains never share slots, so every field of
+    // every point — including seed_use — is identical at any thread
+    // count; only dispatch overlap (wall-clock) changes.
+    const std::vector<GuidedChain> chains =
+        build_guided_chains(session, configs);
+    auto run_chain = [&](const GuidedChain& chain) {
+      sched::ScheduleSeed donor;
+      bool have_donor = false;
+      bool have_witness = false;
+      double witness_tclk = 0;
+      for (const std::size_t i : chain.order) {
+        const ExploreConfig& cfg = configs[i];
+        if (options.prune && have_witness && cfg.tclk_ps < witness_tclk) {
+          // Dominated: provable infeasibility at a looser clock on this
+          // chain proves this strictly tighter point infeasible too
+          // (feasibility is monotone in tclk along a chain). Synthesize
+          // the point without scheduling.
+          ExplorePoint& pt = points[i];
+          pt.curve = cfg.curve;
+          pt.tclk_ps = cfg.tclk_ps;
+          pt.latency = cfg.latency;
+          pt.pipelined = cfg.pipeline_ii > 0 || cfg.solve_min_ii;
+          pt.backend = sched::backend_name(cfg.backend);
+          pt.failure = strf(kDominatedPrefix,
+                            " provably infeasible at looser clock tclk_ps=",
+                            witness_tclk);
+          report(pt);
+          continue;
+        }
+        try {
+          RunPointExtras extras;
+          extras.seed = have_donor ? &donor : nullptr;
+          extras.record_seed = true;
+          points[i] = run_point(session, cfg, &extras);
+          if (extras.seed_recorded) {
+            donor = std::move(extras.seed_out);
+            have_donor = true;
+          }
+          if (options.prune && !have_witness &&
+              proves_infeasibility(points[i])) {
+            have_witness = true;
+            witness_tclk = cfg.tclk_ps;
+          }
+          report(points[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    if (threads <= 1 || chains.size() <= 1) {
+      for (const GuidedChain& chain : chains) run_chain(chain);
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (std::size_t c = next.fetch_add(1); c < chains.size();
+             c = next.fetch_add(1)) {
+          run_chain(chains[c]);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(std::min(threads, chains.size()));
+      for (std::size_t t = 0; t < std::min(threads, chains.size()); ++t) {
+        pool.emplace_back(worker);
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return points;
+  }
+
   if (threads <= 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
       points[i] = run_point(session, configs[i]);
@@ -123,7 +304,6 @@ std::vector<ExplorePoint> explore(const FlowSession& session,
   // slot, so the result vector is ordered like `configs` no matter which
   // worker picks which configuration up.
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(configs.size());
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < configs.size();
          i = next.fetch_add(1)) {

@@ -7,8 +7,21 @@
 // vector is ordered like `configs`, and every result field except the
 // wall-clock `sched_seconds` is identical regardless of the thread count
 // (every run schedules the same immutable compiled module).
+//
+// Model-guided mode (ExploreOptions::guided / ::prune, docs/EXPLORE.md):
+// configurations that differ only in clock period form a *chain*; chains
+// become the parallel work units, dispatched longest-predicted-first
+// (core/cost_model.hpp) for makespan, and each chain runs serially from
+// its loosest clock down, threading each success's sched::ScheduleSeed
+// into the next point. With `prune`, a provable infeasibility part-way
+// down a chain skips every strictly tighter clock on that chain —
+// reported as synthetic `[explore/dominated]` points without running.
+// Either way the engine stays deterministic at every thread count, and
+// every point it does run is field-identical to the exhaustive engine's
+// (seeds never change schedules or pass counts; golden-suite enforced).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -52,6 +65,15 @@ struct ExplorePoint {
   /// through RunPointExtras ("none" / "replay" / "seeded" / "miss"; see
   /// sched::SeedUse). Plain explore() runs always report "none".
   std::string seed_use = "none";
+
+  /// Constraint-system totals across the run's scheduling passes (SDC
+  /// backend; 0 for list runs): static difference-constraint edges and
+  /// Bellman-Ford edge relaxations (PassRecord::constraint_edges /
+  /// ::propagation_relaxations summed over the pass history). Surfaced
+  /// per point so grid-level encoding regressions are visible in
+  /// BENCH_explore.json, not only as wall-clock.
+  std::uint64_t constraint_edges = 0;
+  std::uint64_t propagation_relaxations = 0;
 
   // Memory constraint family observability (all 0 for memory-free
   // designs; see mem/memory.hpp and docs/MEMORY.md).
@@ -98,6 +120,25 @@ struct ExploreOptions {
   std::function<void(const ExplorePoint& point, std::size_t completed,
                      std::size_t total)>
       progress;
+
+  /// Model-guided execution: run the grid as clock-ladder chains
+  /// (explore_chain_key) dispatched longest-predicted-first
+  /// (predicted_config_cost_ns), each chain serially loosest-clock-first
+  /// with in-chain warm-start seed sharing. Points the engine runs are
+  /// field-identical to the exhaustive engine's except `seed_use` (which
+  /// reports the sharing) and wall-clock; the result vector stays ordered
+  /// like `configs`.
+  bool guided = false;
+  /// Infeasibility-dominance pruning (implies the guided chain engine):
+  /// once a chain point fails with a *provable* schedule-stage code
+  /// (proves_infeasibility), every strictly tighter clock on that chain
+  /// is reported as a synthetic `[explore/dominated]` point without
+  /// running. Sound because feasibility is monotone in the clock period
+  /// along a chain: a schedule found at a tight clock is valid verbatim
+  /// at a looser one (chaining slack only grows), and the deterministic
+  /// relaxation ladder preserves that monotonicity (test-enforced).
+  /// Budget/cancellation failures are not proofs and never prune.
+  bool prune = false;
 };
 
 /// Seed plumbing for run_point: lets a serving layer thread a
@@ -142,5 +183,42 @@ std::vector<ExplorePoint> explore(
 /// micro-architectures with latencies {8, 16, 32}, clock scaled so each
 /// curve spans a range of delays (25 configurations).
 std::vector<ExploreConfig> idct_paper_grid();
+
+// ---- Model-guided engine building blocks (shared with the serve layer
+// ---- and the guided-explore tests/bench).
+
+/// Failure prefix stamped on points skipped by dominance pruning.
+inline constexpr char kDominatedPrefix[] = "[explore/dominated]";
+
+/// True when the point's failure is a *proof* of infeasibility for its
+/// configuration — a schedule-stage result that cannot change on re-run:
+/// the relaxation ladder exhausted every expert action
+/// ("[schedule/infeasible]") or min-II search exhausted every candidate
+/// ("[schedule/no_feasible_ii]"). Budget, deadline and cancellation
+/// failures say the run was cut short, not that the point is infeasible,
+/// so they never justify pruning.
+bool proves_infeasibility(const ExplorePoint& point);
+
+/// Chain (family) key: every ExploreConfig field EXCEPT the clock
+/// period, so configs with equal keys form one clock ladder — the unit
+/// of in-chain seed sharing and of dominance pruning. Pure and
+/// deterministic.
+std::string explore_chain_key(const ExploreConfig& cfg);
+
+/// Predicted scheduling cost of one configuration in nanoseconds
+/// (core/cost_model.hpp), from features available before any run: the
+/// session's post-optimizer op count, the config's pipelining, and the
+/// memory-pool count when memory-aware. Used to ORDER work (chain
+/// dispatch, serve admission) — never to gate or alter results.
+double predicted_config_cost_ns(const FlowSession& session,
+                                const ExploreConfig& cfg);
+
+/// The guided execution order as a permutation of config indices: chains
+/// sorted by predicted cost descending (longest-processing-time-first
+/// dispatch), each chain's members loosest clock first (ties by config
+/// index). explore(guided) consumes chains directly; the serve layer
+/// reorders a job's points with this at admission.
+std::vector<std::size_t> guided_order(const FlowSession& session,
+                                      const std::vector<ExploreConfig>& configs);
 
 }  // namespace hls::core

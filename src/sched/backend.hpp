@@ -59,12 +59,15 @@ class SchedulerBackend {
 };
 
 /// Resolves `options.backend` to a concrete backend kind (never kAuto).
-/// Deterministic: a pure function of the problem shape, so repeated calls
-/// — and re-runs of the same configuration — always pick the same
-/// backend. The kAuto heuristic keys off recurrence presence (pipelined
-/// SCCs) and op count; its thresholds come from the per-backend figures
-/// tracked in BENCH_scheduler.json (schedule_ns_per_pass vs
-/// schedule_ns_per_pass_sdc* and the backend_explore comparison).
+/// Deterministic: a pure function of the problem shape and options, so
+/// repeated calls — and re-runs of the same configuration — always pick
+/// the same backend. The kAuto rule consults the fitted cost model
+/// (core/cost_model.hpp): list unless the problem is a pipelined
+/// recurrence whose predicted SDC per-pass cost stays within the fitted
+/// affordability bound of list's. Coefficients are fitted offline by
+/// bench/fit_cost_model.py from BENCH_scheduler.json /
+/// BENCH_explore.json; `options.legacy_auto_rule` restores the old
+/// fixed 4096-op-cap heuristic for A/B (docs/SCHEDULER.md).
 BackendKind resolve_backend(const Problem& problem,
                             const SchedulerOptions& options);
 

@@ -150,6 +150,12 @@ struct SchedulerOptions {
   /// across encodings (golden-suite enforced); this switch exists for
   /// that A/B and as a reference implementation, not for production use.
   bool sdc_pairwise_ii = false;
+
+  /// Resolve kAuto with the legacy fixed-threshold rule (pipelined
+  /// recurrences up to 4096 ops take SDC) instead of the fitted cost
+  /// model (core/cost_model.hpp). Kept for A/B against the model-guided
+  /// rule; see docs/SCHEDULER.md for the crossover data behind both.
+  bool legacy_auto_rule = false;
 };
 
 struct PassRecord {
